@@ -1,0 +1,45 @@
+// Shared implementation for Figures 14 and 15: ground-truth best-GPU shares
+// over stencil instances plus the cross-architecture model's prediction
+// accuracy per GPU.
+#pragma once
+
+#include "common.hpp"
+
+namespace smart::bench {
+
+inline void print_advisor_figure(const std::string& figure, bool cost_weighted,
+                                 const std::string& paper_note) {
+  print_banner(figure + (cost_weighted ? " — cost efficiency"
+                                       : " — pure performance"),
+               paper_note);
+  for (int dims : {2, 3}) {
+    auto cfg = scaled_profile_config(dims);
+    const auto ds = core::build_profile_dataset(cfg);
+
+    core::RegressionConfig rc;
+    rc.instance_cap = static_cast<std::size_t>(util::scaled(80000, 1500));
+    core::RegressionTask task(ds, rc);
+    task.fit_full(core::RegressorKind::kMlp);
+    const core::GpuAdvisor advisor(task);
+    const std::size_t budget = static_cast<std::size_t>(util::scaled(8000, 300));
+    const auto result = cost_weighted ? advisor.cost_efficiency(budget)
+                                      : advisor.pure_performance(budget);
+
+    util::Table table({"GPU", "truth share(%)", "pred accuracy(%)", "wins"});
+    for (const auto& share : result.shares) {
+      table.row()
+          .add(ds.gpus[share.gpu].name)
+          .add(100.0 * share.truth_share, 1)
+          .add(100.0 * share.accuracy, 1)
+          .add(static_cast<long long>(share.truth_count));
+    }
+    std::cout << "--- " << dims << "-D stencil instances (" << result.instances
+              << " instances) ---\n";
+    emit(table, figure + "_" + std::to_string(dims) + "d");
+    std::cout << "overall best-GPU prediction accuracy: "
+              << util::format_double(100.0 * result.overall_accuracy, 1)
+              << "%\n\n";
+  }
+}
+
+}  // namespace smart::bench

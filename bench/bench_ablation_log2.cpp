@@ -1,0 +1,111 @@
+// Ablation: log2 scaling of numeric tuning parameters (paper Sec. IV-E:
+// "the StencilMART performs log2 operation on the numerical parameters to
+// ensure the stability of network training"). Trains the same MLP on
+// linear-valued vs log2-valued parameter features.
+#include <cmath>
+
+#include "common.hpp"
+#include "ml/models.hpp"
+#include "stencil/features.hpp"
+
+namespace {
+
+using namespace smart;
+
+/// Instance features with a switchable parameter encoding.
+ml::Matrix build_features(const core::ProfileDataset& ds,
+                          const std::vector<core::RegressionInstance>& rows,
+                          bool log2_params) {
+  const auto& ocs = gpusim::valid_combinations();
+  std::vector<std::vector<float>> out;
+  out.reserve(rows.size());
+  for (const auto& ins : rows) {
+    std::vector<float> f;
+    const auto sf = stencil::extract_features(ds.stencils[ins.stencil],
+                                              ds.config.max_order)
+                        .to_vector();
+    f.insert(f.end(), sf.begin(), sf.end());
+    for (int b = 0; b < gpusim::kNumOpts; ++b) {
+      f.push_back(ocs[ins.oc].has(static_cast<gpusim::Opt>(b)) ? 1.0f : 0.0f);
+    }
+    const auto& s = ds.settings[ins.stencil][ins.oc][ins.setting];
+    if (log2_params) {
+      for (double v : s.to_feature_vector()) f.push_back(static_cast<float>(v));
+    } else {
+      f.push_back(static_cast<float>(s.block_x));
+      f.push_back(static_cast<float>(s.block_y));
+      f.push_back(static_cast<float>(s.merge_factor));
+      f.push_back(static_cast<float>(s.merge_dim + 1));
+      f.push_back(static_cast<float>(s.unroll));
+      f.push_back(static_cast<float>(s.stream_tile));
+      f.push_back(static_cast<float>(s.stream_dim + 1));
+      f.push_back(s.use_smem ? 1.0f : 0.0f);
+      f.push_back(static_cast<float>(s.tb_depth));
+    }
+    for (double v : ds.gpus[ins.gpu].feature_vector()) {
+      f.push_back(static_cast<float>(v));
+    }
+    out.push_back(std::move(f));
+  }
+  return ml::Matrix::from_rows(out);
+}
+
+double mlp_mape(const core::ProfileDataset& ds,
+                const std::vector<core::RegressionInstance>& instances,
+                bool log2_params) {
+  util::Rng rng(77);
+  const auto folds = ml::kfold_splits(instances.size(), 3, rng);
+  std::vector<double> truth;
+  std::vector<double> pred;
+  for (const auto& fold : folds) {
+    std::vector<core::RegressionInstance> train;
+    std::vector<core::RegressionInstance> test;
+    for (auto i : fold.train_indices) train.push_back(instances[i]);
+    for (auto i : fold.test_indices) test.push_back(instances[i]);
+    ml::MaxAbsScaler scaler;
+    const ml::Matrix x_train =
+        scaler.fit_transform(build_features(ds, train, log2_params));
+    const ml::Matrix x_test =
+        scaler.transform(build_features(ds, test, log2_params));
+    std::vector<float> y_train;
+    for (const auto& ins : train) {
+      y_train.push_back(static_cast<float>(std::log2(ins.time_ms)));
+    }
+    util::Rng net_rng(5);
+    ml::TrainConfig tc;
+    tc.epochs = 20;
+    tc.batch_size = 256;
+    tc.learning_rate = 5e-4;
+    ml::NnRegressor model(ml::make_mlp(x_train.cols(), 4, 64, net_rng), tc);
+    model.fit(x_train, y_train);
+    const auto preds = model.predict(x_test);
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      truth.push_back(test[i].time_ms);
+      pred.push_back(std::exp2(preds[i]));
+    }
+  }
+  return util::mape(truth, pred);
+}
+
+}  // namespace
+
+int main() {
+  using namespace smart;
+  bench::print_banner("Ablation — log2 parameter scaling for the MLP",
+                      "DESIGN.md ablation #3; paper Sec. IV-E");
+
+  util::Table table({"dims", "linear params MAPE(%)", "log2 params MAPE(%)"});
+  for (int dims : {2, 3}) {
+    auto cfg = bench::scaled_profile_config(dims);
+    const auto ds = core::build_profile_dataset(cfg);
+    core::RegressionConfig rc;
+    rc.instance_cap = static_cast<std::size_t>(util::scaled(20000, 1200));
+    const core::RegressionTask task(ds, rc);
+    table.row()
+        .add(std::to_string(dims) + "-D")
+        .add(mlp_mape(ds, task.instances(), false), 1)
+        .add(mlp_mape(ds, task.instances(), true), 1);
+  }
+  bench::emit(table, "ablation_log2");
+  return 0;
+}

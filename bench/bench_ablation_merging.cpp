@@ -1,0 +1,35 @@
+// Ablation: does PCC-based OC merging (Sec. IV-D) actually help the
+// classifier? Compares GBDT accuracy when predicting 5 merged groups vs
+// all 30 raw OCs vs a coarser 3-group merge.
+#include "common.hpp"
+
+int main() {
+  using namespace smart;
+  bench::print_banner("Ablation — OC merging (5 groups vs raw 30 OCs)",
+                      "DESIGN.md ablation #1; paper Sec. IV-D");
+
+  for (int dims : {2, 3}) {
+    auto cfg = bench::scaled_profile_config(dims);
+    const auto ds = core::build_profile_dataset(cfg);
+
+    util::Table table({"GPU", "raw 30 classes(%)", "3 groups(%)",
+                       "5 groups(%)"});
+    for (std::size_t g = 0; g < ds.num_gpus(); ++g) {
+      table.row().add(ds.gpus[g].name);
+      for (int target : {30, 3, 5}) {
+        core::OcMerger merger;
+        core::OcMerger::Options options;
+        options.target_groups = target;
+        merger.fit(ds, options);
+        const auto result = core::run_classification(
+            ds, merger, g, core::ClassifierKind::kGbdt, {});
+        table.add(100.0 * result.accuracy, 1);
+      }
+    }
+    std::cout << "--- " << dims << "-D stencils ---\n";
+    bench::emit(table, "ablation_merging_" + std::to_string(dims) + "d");
+  }
+  std::cout << "note: raw-OC accuracy is depressed by near-tie OCs within a\n"
+               "group; merging removes those (paper's motivation).\n";
+  return 0;
+}

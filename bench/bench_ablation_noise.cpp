@@ -1,0 +1,28 @@
+// Ablation: robustness of OC-selection accuracy to measurement noise. The
+// simulator's noise sigma bundles run-to-run variance with unmodeled
+// microarchitectural idiosyncrasies; higher sigma makes best-OC labels
+// flip between near-tie groups and caps the achievable accuracy.
+#include "common.hpp"
+
+int main() {
+  using namespace smart;
+  bench::print_banner("Ablation — label noise vs classification accuracy",
+                      "DESIGN.md ablation #4");
+
+  util::Table table({"sigma", "2-D GBDT(%)", "3-D GBDT(%)"});
+  for (double sigma : {0.0, 0.02, 0.04, 0.08, 0.16}) {
+    table.row().add(sigma, 2);
+    for (int dims : {2, 3}) {
+      auto cfg = bench::scaled_profile_config(dims);
+      cfg.sim.noise_sigma = sigma;
+      const auto ds = core::build_profile_dataset(cfg);
+      core::OcMerger merger;
+      merger.fit(ds);
+      const auto result = core::run_classification(
+          ds, merger, 1, core::ClassifierKind::kGbdt, {});
+      table.add(100.0 * result.accuracy, 1);
+    }
+  }
+  bench::emit(table, "ablation_noise");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: stencil representation — Table II feature vectors vs binary
+// tensors. For classification this contrasts GBDT(features) with
+// ConvNet(tensor) and FcNet(tensor); for regression, MLP(features) with
+// ConvMLP(tensor). Mirrors the paper's discussion in Secs. IV-C and V-C1.
+#include "common.hpp"
+
+int main() {
+  using namespace smart;
+  bench::print_banner("Ablation — feature-set vs tensor representation",
+                      "DESIGN.md ablation #2; paper Secs. IV-C, V-C1");
+
+  for (int dims : {2, 3}) {
+    auto cfg = bench::scaled_profile_config(dims);
+    const auto ds = core::build_profile_dataset(cfg);
+    core::OcMerger merger;
+    merger.fit(ds);
+
+    util::Table cls({"task", "representation", "model", "score"});
+    const auto gbdt = core::run_classification(ds, merger, 1,
+                                               core::ClassifierKind::kGbdt, {});
+    const auto conv = core::run_classification(
+        ds, merger, 1, core::ClassifierKind::kConvNet, {});
+    cls.row().add("OC selection").add("features").add("GBDT").add(
+        util::format_double(100.0 * gbdt.accuracy, 1) + "%");
+    cls.row().add("OC selection").add("tensor").add("ConvNet").add(
+        util::format_double(100.0 * conv.accuracy, 1) + "%");
+
+    core::RegressionConfig rc;
+    rc.instance_cap = static_cast<std::size_t>(util::scaled(20000, 1200));
+    core::RegressionTask task(ds, rc);
+    core::RegressionConfig rc_conv = rc;
+    rc_conv.instance_cap = std::min<std::size_t>(rc.instance_cap, 2000);
+    rc_conv.epochs = 10;
+    core::RegressionTask conv_task(ds, rc_conv);
+    const auto mlp = task.cross_validate(core::RegressorKind::kMlp);
+    const auto convmlp = conv_task.cross_validate(core::RegressorKind::kConvMlp);
+    cls.row().add("time prediction").add("features").add("MLP").add(
+        util::format_double(mlp.mape_overall, 1) + "% MAPE");
+    cls.row().add("time prediction").add("tensor").add("ConvMLP").add(
+        util::format_double(convmlp.mape_overall, 1) + "% MAPE");
+
+    std::cout << "--- " << dims << "-D stencils (V100) ---\n";
+    bench::emit(cls, "ablation_repr_" + std::to_string(dims) + "d");
+  }
+  return 0;
+}

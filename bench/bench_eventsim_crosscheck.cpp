@@ -1,0 +1,56 @@
+// Cross-check of the analytic cost model against the block-level
+// discrete-event simulator (round-robin TB scheduling over SM slots, DRAM
+// processor sharing, wave tails). If the analytic aggregates are sound,
+// the two must agree in ranking (Kendall tau) and within a modest factor
+// in magnitude across variants.
+#include "common.hpp"
+#include "gpusim/event_sim.hpp"
+
+int main() {
+  using namespace smart;
+  bench::print_banner("Cross-check — analytic model vs event simulation",
+                      "model-validation companion (paper Sec. II-A scheduler)");
+
+  const gpusim::KernelCostModel model;
+  const gpusim::BlockLevelSimulator event_sim;
+  util::Rng rng(77);
+
+  util::Table table({"stencil", "OC", "analytic(ms)", "event(ms)", "ratio",
+                     "waves", "avg resident"});
+  std::vector<double> analytic_all;
+  std::vector<double> event_all;
+  std::vector<double> ratios;
+  for (const auto& pattern : stencil::representative_gallery()) {
+    if (pattern.order() > 2) continue;  // keep the event loop cheap
+    const auto problem = gpusim::ProblemSize::paper_default(pattern.dims());
+    const auto& gpu = gpusim::gpu_by_name("V100");
+    for (const std::uint8_t bits : {0, 1, 1 | 8, 32}) {  // BASE, ST, ST_RT, TB
+      const auto oc = gpusim::OptCombination::from_bits(bits);
+      if (!oc.is_valid()) continue;
+      const gpusim::ParamSpace space(oc, pattern.dims());
+      const auto s = space.random_setting(rng);
+      const auto analytic = model.evaluate(pattern, problem, oc, s, gpu);
+      const auto event = event_sim.run(pattern, problem, oc, s, gpu);
+      if (!analytic.ok || !event.ok) continue;
+      const double ratio = event.time_ms / analytic.time_ms;
+      analytic_all.push_back(analytic.time_ms);
+      event_all.push_back(event.time_ms);
+      ratios.push_back(ratio);
+      table.row()
+          .add(pattern.name())
+          .add(oc.name())
+          .add(analytic.time_ms, 3)
+          .add(event.time_ms, 3)
+          .add(ratio, 3)
+          .add(event.waves)
+          .add(event.avg_resident, 0);
+    }
+  }
+  bench::emit(table, "eventsim_crosscheck");
+  std::cout << "variants compared: " << ratios.size()
+            << "  geomean ratio: " << util::format_double(util::geomean(ratios), 3)
+            << "  Kendall tau: "
+            << util::format_double(util::kendall_tau(analytic_all, event_all), 3)
+            << "\n";
+  return 0;
+}

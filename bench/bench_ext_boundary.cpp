@@ -1,0 +1,52 @@
+// Extension bench (paper future work, Sec. VII): boundary conditions.
+// Quantifies the modelled performance impact of periodic vs Dirichlet-zero
+// boundaries across the gallery, then shows that the regression model with
+// the boundary flag as input predicts mixed-boundary datasets accurately.
+#include "common.hpp"
+
+int main() {
+  using namespace smart;
+  bench::print_banner("Extension — boundary conditions",
+                      "paper Sec. VII (future work): parameterized boundaries");
+
+  // Impact of periodic wrap on the best tuned time (V100).
+  const gpusim::Simulator sim;
+  const gpusim::RandomSearchTuner tuner(sim, util::scaled(60, 8));
+  const auto& v100 = gpusim::gpu_by_name("V100");
+  util::Rng rng(15);
+  util::Table impact({"stencil", "dirichlet(ms)", "periodic(ms)", "slowdown"});
+  std::vector<double> slowdowns;
+  for (const auto& pattern : stencil::representative_gallery()) {
+    if (pattern.order() != 2) continue;  // one representative order per shape
+    auto dirichlet = gpusim::ProblemSize::paper_default(pattern.dims());
+    auto periodic = dirichlet;
+    periodic.boundary = stencil::Boundary::kPeriodic;
+    const auto rd = tuner.tune_all(pattern, dirichlet, v100, rng);
+    const auto rp = tuner.tune_all(pattern, periodic, v100, rng);
+    const int bd = gpusim::RandomSearchTuner::best_oc_index(rd);
+    const int bp = gpusim::RandomSearchTuner::best_oc_index(rp);
+    const double td = rd[static_cast<std::size_t>(bd)].best_time_ms;
+    const double tp = rp[static_cast<std::size_t>(bp)].best_time_ms;
+    impact.row().add(pattern.name()).add(td, 3).add(tp, 3).add(tp / td, 3);
+    slowdowns.push_back(tp / td);
+  }
+  bench::emit(impact, "ext_boundary_impact");
+  std::cout << "geomean periodic slowdown: "
+            << util::format_double(util::geomean(slowdowns), 3) << "x\n\n";
+
+  // Mixed-boundary dataset: the boundary flag is a regression input.
+  util::Table table({"dims", "mixed-boundary GBR MAPE (%)"});
+  for (int dims : {2, 3}) {
+    auto cfg = bench::scaled_profile_config(dims);
+    cfg.vary_boundary = true;
+    const auto ds = core::build_profile_dataset(cfg);
+    core::RegressionConfig rc;
+    rc.folds = 3;
+    rc.instance_cap = static_cast<std::size_t>(util::scaled(40000, 1500));
+    core::RegressionTask task(ds, rc);
+    const auto result = task.cross_validate(core::RegressorKind::kGbr);
+    table.row().add(std::to_string(dims) + "-D").add(result.mape_overall, 1);
+  }
+  bench::emit(table, "ext_boundary_regression");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Analysis bench: which Table II features drive the GBDT's decisions?
+// Gain-based importance for OC selection (classifier) and execution-time
+// prediction (regressor, over the full instance feature vector including
+// OC flags, parameters and hardware characteristics). Also reports the
+// per-group confusion of the classifier.
+#include "common.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/metrics.hpp"
+#include "stencil/features.hpp"
+
+int main() {
+  using namespace smart;
+  bench::print_banner("Analysis — GBDT feature importance & confusion",
+                      "companion analysis to Figs. 9 and 12");
+
+  for (int dims : {2, 3}) {
+    auto cfg = bench::scaled_profile_config(dims);
+    const auto ds = core::build_profile_dataset(cfg);
+    core::OcMerger merger;
+    merger.fit(ds);
+
+    // Classifier on V100 labels, trained on the full corpus for analysis.
+    const auto labels = core::true_groups(ds, merger, 1);
+    const auto x = core::stencil_feature_matrix(ds);
+    std::vector<std::size_t> rows;
+    std::vector<int> y;
+    for (std::size_t s = 0; s < labels.size(); ++s) {
+      if (labels[s] >= 0) {
+        rows.push_back(s);
+        y.push_back(labels[s]);
+      }
+    }
+    ml::GbdtClassifier clf;
+    clf.fit(x.gather_rows(rows), y, merger.num_groups());
+
+    const auto names = stencil::FeatureSet::names(cfg.max_order);
+    const auto importance = clf.feature_importance(names.size());
+    util::Table table({"feature", "importance"});
+    for (std::size_t f = 0; f < names.size(); ++f) {
+      table.row().add(names[f]).add(importance[f], 4);
+    }
+    std::cout << "--- " << dims << "-D OC-selection features (V100) ---\n";
+    bench::emit(table, "feature_importance_cls_" + std::to_string(dims) + "d");
+
+    // Confusion of the in-sample predictions per merged group.
+    const auto pred = clf.predict(x.gather_rows(rows));
+    const auto confusion = ml::confusion_matrix(y, pred, merger.num_groups());
+    std::vector<std::string> headers{"true\\pred"};
+    for (int g = 0; g < merger.num_groups(); ++g) {
+      headers.push_back(merger.group_name(g));
+    }
+    util::Table conf(std::move(headers));
+    for (int g = 0; g < merger.num_groups(); ++g) {
+      conf.row().add(merger.group_name(g));
+      for (int h = 0; h < merger.num_groups(); ++h) {
+        conf.add(static_cast<long long>(
+            confusion[static_cast<std::size_t>(g)][static_cast<std::size_t>(h)]));
+      }
+    }
+    bench::emit(conf, "confusion_" + std::to_string(dims) + "d");
+    const auto report = ml::classification_report(confusion);
+    std::cout << "macro-F1 (in-sample): "
+              << util::format_double(ml::macro_f1(report), 3) << "\n\n";
+  }
+  return 0;
+}

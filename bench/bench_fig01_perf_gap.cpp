@@ -1,0 +1,57 @@
+// Figure 1: best OC of each representative stencil normalized to its worst
+// OC on V100. Paper result: average speedup 9.95x; higher dimension/order
+// generally widens the gap; some OCs crash on complex stencils.
+#include "common.hpp"
+
+int main() {
+  using namespace smart;
+  bench::print_banner("Figure 1 — best vs worst OC on V100",
+                      "Sec. III-A, Fig. 1 (paper avg: 9.95x)");
+
+  const gpusim::Simulator sim;
+  const int samples = util::scaled(80, 8);  // per-OC random search budget
+  const gpusim::RandomSearchTuner tuner(sim, samples);
+  const auto& v100 = gpusim::gpu_by_name("V100");
+  util::Rng rng(1);
+
+  util::Table table({"stencil", "best OC", "best(ms)", "worst OC", "worst(ms)",
+                     "gap(x)", "crashed OCs"});
+  std::vector<double> gaps;
+  for (const auto& pattern : stencil::representative_gallery()) {
+    const auto problem = gpusim::ProblemSize::paper_default(pattern.dims());
+    const auto results = tuner.tune_all(pattern, problem, v100, rng);
+    double best = std::numeric_limits<double>::infinity();
+    double worst = 0.0;
+    std::string best_name;
+    std::string worst_name;
+    int crashes = 0;
+    for (const auto& r : results) {
+      if (!r.ok()) {
+        ++crashes;
+        continue;
+      }
+      if (r.best_time_ms < best) {
+        best = r.best_time_ms;
+        best_name = r.oc.name();
+      }
+      if (r.best_time_ms > worst) {
+        worst = r.best_time_ms;
+        worst_name = r.oc.name();
+      }
+    }
+    const double gap = worst / best;
+    gaps.push_back(gap);
+    table.row()
+        .add(pattern.name())
+        .add(best_name)
+        .add(best, 3)
+        .add(worst_name)
+        .add(worst, 3)
+        .add(gap, 2)
+        .add(crashes);
+  }
+  bench::emit(table, "fig01_perf_gap");
+  std::cout << "average best/worst gap: " << util::format_double(util::mean(gaps), 2)
+            << "x  (paper: 9.95x)\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 2: for how many stencils each OC achieves the best performance,
+// per GPU. Paper observations: streaming OCs win for most stencils; TB
+// without ST (TB, TB_BM, TB_CM) is never best; the distribution is
+// relatively even — no single OC fits all.
+#include <map>
+
+#include "common.hpp"
+
+int main() {
+  using namespace smart;
+  bench::print_banner("Figure 2 — distribution of best OCs per GPU",
+                      "Sec. III-B, Fig. 2");
+
+  const auto& ocs = gpusim::valid_combinations();
+  for (int dims : {2, 3}) {
+    auto cfg = bench::scaled_profile_config(dims);
+    const auto ds = core::build_profile_dataset(cfg);
+
+    util::Table table({"OC", "P100", "V100", "2080Ti", "A100"});
+    std::vector<std::map<std::string, int>> counts(4);
+    int st_best = 0;
+    int total = 0;
+    int unstreamed_tb_best = 0;
+    for (std::size_t s = 0; s < ds.stencils.size(); ++s) {
+      for (std::size_t g = 0; g < 4; ++g) {
+        const int best = ds.best_oc(s, g);
+        if (best < 0) continue;
+        ++counts[g][ocs[static_cast<std::size_t>(best)].name()];
+        ++total;
+        const auto& oc = ocs[static_cast<std::size_t>(best)];
+        if (oc.st) ++st_best;
+        if (oc.tb && !oc.st) ++unstreamed_tb_best;
+      }
+    }
+    for (const auto& oc : ocs) {
+      const std::string name = oc.name();
+      bool any = false;
+      for (const auto& c : counts) {
+        if (c.contains(name)) any = true;
+      }
+      if (!any) continue;  // missing bar, like the paper's figure
+      table.row().add(name);
+      for (auto& c : counts) {
+        table.add(static_cast<long long>(c.contains(name) ? c.at(name) : 0));
+      }
+    }
+    std::cout << "--- " << dims << "-D stencils (" << ds.stencils.size()
+              << " random stencils) ---\n";
+    bench::emit(table, "fig02_best_oc_dist_" + std::to_string(dims) + "d");
+    std::cout << "best OCs with streaming: "
+              << util::format_double(100.0 * st_best / total, 1)
+              << "%  |  TB-without-ST best: " << unstreamed_tb_best
+              << " cases (paper: 0)\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 3: value distribution of the top-100 Pearson correlation
+// coefficients achieved by pairwise OCs on each GPU, and the fraction of
+// pairs common to every GPU's top-100 list. Paper: distributions are close
+// across GPUs; the intersection accounts for ~28% of the total.
+#include "common.hpp"
+
+int main() {
+  using namespace smart;
+  bench::print_banner("Figure 3 — top-100 pairwise-OC PCC distribution",
+                      "Sec. III-C, Fig. 3 (paper intersection: 28%)");
+
+  for (int dims : {2, 3}) {
+    auto cfg = bench::scaled_profile_config(dims);
+    const auto ds = core::build_profile_dataset(cfg);
+    core::OcMerger merger;
+    merger.fit(ds);
+
+    util::Table table({"GPU", "min", "p25", "median", "p75", "max"});
+    const auto& tops = merger.top_pccs_per_gpu();
+    for (std::size_t g = 0; g < ds.num_gpus(); ++g) {
+      std::vector<double> pccs = tops[g];
+      table.row()
+          .add(ds.gpus[g].name)
+          .add(util::percentile(pccs, 0.0), 3)
+          .add(util::percentile(pccs, 25.0), 3)
+          .add(util::percentile(pccs, 50.0), 3)
+          .add(util::percentile(pccs, 75.0), 3)
+          .add(util::percentile(pccs, 100.0), 3);
+    }
+    std::cout << "--- " << dims << "-D stencils ---\n";
+    bench::emit(table, "fig03_pcc_" + std::to_string(dims) + "d");
+    std::cout << "cross-GPU intersection of top-100 pairs: "
+              << util::format_double(100.0 * merger.intersection_fraction(), 1)
+              << "%  (paper: 28%)\n";
+    std::cout << "merged prediction groups:";
+    for (int g = 0; g < merger.num_groups(); ++g) {
+      std::cout << ' ' << merger.group_name(g) << "(" << merger.members(g).size()
+                << ")";
+    }
+    std::cout << "\n\n";
+  }
+  return 0;
+}

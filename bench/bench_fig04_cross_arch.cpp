@@ -1,0 +1,46 @@
+// Figure 4: best performance of the representative stencils under each GPU
+// normalized to 2080 Ti. Paper observations: performance is not
+// proportional to core count; box3d3r/box3d4r peak on V100 rather than
+// A100; the most powerful GPU is not always best.
+#include "common.hpp"
+
+int main() {
+  using namespace smart;
+  bench::print_banner("Figure 4 — cross-architecture best performance",
+                      "Sec. III-D, Fig. 4 (normalized to 2080 Ti)");
+
+  const gpusim::Simulator sim;
+  const gpusim::RandomSearchTuner tuner(sim, util::scaled(80, 8));
+  util::Rng rng(4);
+
+  util::Table table({"stencil", "2080Ti(ms)", "P100(x)", "V100(x)", "A100(x)",
+                     "best GPU"});
+  int v100_beats_a100 = 0;
+  for (const auto& pattern : stencil::representative_gallery()) {
+    const auto problem = gpusim::ProblemSize::paper_default(pattern.dims());
+    std::vector<double> best(4, std::numeric_limits<double>::infinity());
+    for (std::size_t g = 0; g < 4; ++g) {
+      const auto results =
+          tuner.tune_all(pattern, problem, gpusim::evaluation_gpus()[g], rng);
+      const int idx = gpusim::RandomSearchTuner::best_oc_index(results);
+      if (idx >= 0) best[g] = results[static_cast<std::size_t>(idx)].best_time_ms;
+    }
+    const double turing = best[2];
+    std::size_t winner = 0;
+    for (std::size_t g = 1; g < 4; ++g) {
+      if (best[g] < best[winner]) winner = g;
+    }
+    if (best[1] < best[3]) ++v100_beats_a100;
+    table.row()
+        .add(pattern.name())
+        .add(turing, 3)
+        .add(turing / best[0], 2)
+        .add(turing / best[1], 2)
+        .add(turing / best[3], 2)
+        .add(gpusim::evaluation_gpus()[winner].name);
+  }
+  bench::emit(table, "fig04_cross_arch");
+  std::cout << "stencils where V100 beats A100: " << v100_beats_a100
+            << "/24  (paper: includes box3d3r, box3d4r)\n";
+  return 0;
+}

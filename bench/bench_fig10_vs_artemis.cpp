@@ -1,0 +1,15 @@
+// Figure 10: speedup of the StencilMART-selected OC (ConvNet / GBDT
+// classifiers) over the Artemis tuning policy, per GPU. Paper: ConvNet
+// averages 1.30x (2-D) and 1.32x (3-D) over Artemis.
+#include "speedup_util.hpp"
+
+int main() {
+  using namespace smart;
+  bench::print_speedup_figure(
+      "fig10", "Artemis",
+      [](const core::ProfileDataset& ds, std::size_t s, std::size_t g) {
+        return core::artemis_time(ds, s, g);
+      },
+      "Sec. V-B2, Fig. 10 (paper: ConvNet 1.30x/1.32x over Artemis)");
+  return 0;
+}

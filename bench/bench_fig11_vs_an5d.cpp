@@ -1,0 +1,15 @@
+// Figure 11: speedup of the StencilMART-selected OC (ConvNet / GBDT
+// classifiers) over the AN5D policy (streaming + high-degree temporal
+// blocking), per GPU. Paper: ConvNet averages 1.33x (2-D) / 1.09x (3-D).
+#include "speedup_util.hpp"
+
+int main() {
+  using namespace smart;
+  bench::print_speedup_figure(
+      "fig11", "AN5D",
+      [](const core::ProfileDataset& ds, std::size_t s, std::size_t g) {
+        return core::an5d_time(ds, s, g);
+      },
+      "Sec. V-B2, Fig. 11 (paper: ConvNet 1.33x/1.09x over AN5D)");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 12: 5-fold cross-validated test error (MAPE) of the execution-time
+// regressors (ConvMLP, MLP, GBRegressor) per GPU. Paper: MLP is best with
+// 6.2% (2-D) / 5.3% (3-D); GBRegressor 9.5% / 6.3%; ConvMLP 13.4% / 11.6%.
+#include "common.hpp"
+
+int main() {
+  using namespace smart;
+  bench::print_banner("Figure 12 — execution-time prediction error (MAPE)",
+                      "Sec. V-C1, Fig. 12 (paper: MLP 6.2%/5.3%)");
+
+  for (int dims : {2, 3}) {
+    auto cfg = bench::scaled_profile_config(dims);
+    const auto ds = core::build_profile_dataset(cfg);
+
+    core::RegressionConfig rc;
+    rc.instance_cap = static_cast<std::size_t>(util::scaled(120000, 1500));
+    core::RegressionTask task(ds, rc);
+
+    // ConvMLP trains 3-D convolutions per sample; keep its slice smaller.
+    core::RegressionConfig rc_conv = rc;
+    rc_conv.instance_cap = std::min<std::size_t>(rc.instance_cap, 2500);
+    rc_conv.epochs = 10;
+    core::RegressionTask conv_task(ds, rc_conv);
+
+    util::Table table({"GPU", "ConvMLP(%)", "MLP(%)", "GBRegressor(%)"});
+    const auto convmlp = conv_task.cross_validate(core::RegressorKind::kConvMlp);
+    const auto mlp = task.cross_validate(core::RegressorKind::kMlp);
+    const auto gbr = task.cross_validate(core::RegressorKind::kGbr);
+    for (std::size_t g = 0; g < ds.num_gpus(); ++g) {
+      table.row()
+          .add(ds.gpus[g].name)
+          .add(convmlp.mape_per_gpu[g], 1)
+          .add(mlp.mape_per_gpu[g], 1)
+          .add(gbr.mape_per_gpu[g], 1);
+    }
+    std::cout << "--- " << dims << "-D stencils (" << task.instances().size()
+              << " instances) ---\n";
+    bench::emit(table, "fig12_regression_" + std::to_string(dims) + "d");
+    std::cout << "overall: ConvMLP " << util::format_double(convmlp.mape_overall, 1)
+              << "%  MLP " << util::format_double(mlp.mape_overall, 1)
+              << "%  GBRegressor " << util::format_double(gbr.mape_overall, 1)
+              << "%\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 13: sensitivity of the MLP's test error to the number of hidden
+// layers and their size. Paper sweeps 4-10 layers x 2^4..2^10 units and
+// finds diminishing returns beyond seven layers; we sweep a scaled grid
+// (2-8 layers x 2^4..2^8) with the same protocol.
+#include "common.hpp"
+
+int main() {
+  using namespace smart;
+  bench::print_banner("Figure 13 — MLP design sensitivity",
+                      "Sec. V-C2, Fig. 13");
+
+  const std::vector<int> layer_counts{2, 4, 6, 8};
+  const std::vector<std::size_t> widths{16, 32, 64, 128, 256};
+
+  for (int dims : {2, 3}) {
+    auto cfg = bench::scaled_profile_config(dims);
+    const auto ds = core::build_profile_dataset(cfg);
+
+    std::vector<std::string> headers{"layers\\width"};
+    for (std::size_t w : widths) headers.push_back(std::to_string(w));
+    util::Table table(std::move(headers));
+    for (int layers : layer_counts) {
+      table.row().add(std::to_string(layers));
+      for (std::size_t width : widths) {
+        core::RegressionConfig rc;
+        rc.folds = 2;
+        rc.epochs = 15;
+        rc.instance_cap = std::min<std::size_t>(
+            3000, static_cast<std::size_t>(util::scaled(20000, 1200)));
+        rc.mlp_hidden_layers = layers;
+        rc.mlp_width = width;
+        core::RegressionTask task(ds, rc);
+        const auto result = task.cross_validate(core::RegressorKind::kMlp);
+        table.add(result.mape_overall, 1);
+      }
+    }
+    std::cout << "--- " << dims << "-D stencils (test MAPE %, 2-fold CV, "
+              << "15 epochs) ---\n";
+    bench::emit(table, "fig13_mlp_design_" + std::to_string(dims) + "d");
+  }
+  return 0;
+}

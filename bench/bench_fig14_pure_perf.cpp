@@ -1,0 +1,13 @@
+// Figure 14: ground truth on stencil instances considering pure
+// performance — the share of instances each GPU wins, with the
+// cross-architecture predictor's accuracy per GPU. Paper 2-D shares:
+// 2080Ti 20.2%, P100 17.8%, V100 40.2%, A100 21.8%; 3-D: 20.1%, 16.6%,
+// 26.4%, 36.9%; average prediction accuracy 96.7% / 97.3%.
+#include "advisor_util.hpp"
+
+int main() {
+  smart::bench::print_advisor_figure(
+      "fig14", /*cost_weighted=*/false,
+      "Sec. V-D1, Fig. 14 (paper: V100 wins most 2-D instances)");
+  return 0;
+}

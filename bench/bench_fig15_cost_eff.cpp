@@ -1,0 +1,12 @@
+// Figure 15: ground truth on stencil instances considering cost efficiency
+// (time x rental $/hr; the 2080 Ti is not rentable and is excluded).
+// Paper: the P100 is most cost-efficient for most instances (61.0% of 2-D,
+// 56.7% of 3-D); average prediction accuracy 97.3% / 96.1%.
+#include "advisor_util.hpp"
+
+int main() {
+  smart::bench::print_advisor_figure(
+      "fig15", /*cost_weighted=*/true,
+      "Sec. V-D2, Fig. 15 (paper: P100 most cost-efficient, 61.0%/56.7%)");
+  return 0;
+}

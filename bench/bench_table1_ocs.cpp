@@ -1,0 +1,37 @@
+// Table I: the six stencil optimizations, their constraints, and the set of
+// valid optimization combinations they induce.
+#include "common.hpp"
+
+int main() {
+  using namespace smart;
+  bench::print_banner("Table I — optimizations and constraints",
+                      "Sec. II-B, Table I");
+
+  util::Table opts({"No.", "Optimization", "Abbrev", "Constraint"});
+  opts.row().add(1).add("Streaming").add("ST").add("-");
+  opts.row().add(2).add("Block Merging").add("BM").add("Not valid when CM enabled");
+  opts.row().add(3).add("Cyclic Merging").add("CM").add("Not valid when BM enabled");
+  opts.row().add(4).add("Retiming").add("RT").add("Only valid when ST enabled");
+  opts.row().add(5).add("Prefetching").add("PR").add("Only valid when ST enabled");
+  opts.row().add(6).add("Temporal Blocking").add("TB").add("-");
+  bench::emit(opts, "table1_optimizations");
+
+  const auto& all = gpusim::valid_combinations();
+  util::Table combos({"idx", "combination", "ST", "BM", "CM", "RT", "PR", "TB"});
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const auto& oc = all[i];
+    combos.row()
+        .add(static_cast<long long>(i))
+        .add(oc.name())
+        .add(oc.st ? "x" : "")
+        .add(oc.bm ? "x" : "")
+        .add(oc.cm ? "x" : "")
+        .add(oc.rt ? "x" : "")
+        .add(oc.pr ? "x" : "")
+        .add(oc.tb ? "x" : "");
+  }
+  bench::emit(combos, "table1_valid_combinations");
+  std::cout << "valid combinations under Table I constraints: " << all.size()
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Table II: the candidate feature set of a stencil, instantiated for the
+// representative shape gallery.
+#include "stencil/features.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace smart;
+  bench::print_banner("Table II — candidate stencil features",
+                      "Sec. IV-C, Table II");
+
+  constexpr int kMaxOrder = 4;
+  const auto names = stencil::FeatureSet::names(kMaxOrder);
+  std::vector<std::string> headers{"stencil"};
+  headers.insert(headers.end(), names.begin(), names.end());
+  util::Table table(std::move(headers));
+  for (const auto& pattern : stencil::representative_gallery()) {
+    const auto features = stencil::extract_features(pattern, kMaxOrder);
+    table.row().add(pattern.name());
+    for (double v : features.to_vector()) table.add(v, 4);
+  }
+  bench::emit(table, "table2_features");
+  return 0;
+}

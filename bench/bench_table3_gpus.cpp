@@ -1,0 +1,42 @@
+// Table III: the evaluation GPUs — Table III columns plus the calibrated
+// microarchitectural model constants the simulator uses.
+#include "common.hpp"
+
+int main() {
+  using namespace smart;
+  bench::print_banner("Table III — evaluation GPUs", "Sec. V-A, Table III");
+
+  util::Table table({"GPU", "Generation", "Mem(GB)", "BW(GB/s)", "SMs",
+                     "FP64 TFLOPS", "Rental($/hr)"});
+  for (const auto& gpu : gpusim::evaluation_gpus()) {
+    table.row()
+        .add(gpu.name)
+        .add(gpu.generation)
+        .add(gpu.mem_gb, 0)
+        .add(gpu.mem_bw_gbs, 0)
+        .add(gpu.sms)
+        .add(gpu.fp64_tflops, 2)
+        .add(gpu.rental_usd_hr > 0 ? util::format_double(gpu.rental_usd_hr, 2)
+                                   : std::string("-"));
+  }
+  bench::emit(table, "table3_gpus");
+
+  util::Table model({"GPU", "L2(MB)", "smem/SM(KB)", "smem/blk(KB)",
+                     "thr/SM", "clk(GHz)", "ALU TOPS", "fp64 sust.",
+                     "peak BW frac", "BW/thread(GB/s)"});
+  for (const auto& gpu : gpusim::evaluation_gpus()) {
+    model.row()
+        .add(gpu.name)
+        .add(gpu.l2_mb, 1)
+        .add(gpu.smem_per_sm_kb, 0)
+        .add(gpu.smem_per_block_kb, 0)
+        .add(gpu.max_threads_per_sm)
+        .add(gpu.clock_ghz, 3)
+        .add(gpu.alu_tops, 1)
+        .add(gpu.sustained_fp64_frac, 2)
+        .add(gpu.peak_bw_frac, 2)
+        .add(gpu.bw_per_thread_gbs, 4);
+  }
+  bench::emit(model, "table3_model_constants");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Tuner-strategy comparison (paper Sec. II-C context: Garvey's exhaustive
+// grouped search vs csTuner's GA vs plain random sampling). For each
+// strategy: how close does it get to the exhaustive optimum, and at what
+// measurement budget?
+#include "common.hpp"
+#include "gpusim/tuner_strategies.hpp"
+
+int main() {
+  using namespace smart;
+  bench::print_banner("Tuner strategies — search quality vs budget",
+                      "context: Sec. II-C (Garvey, csTuner)");
+
+  const gpusim::Simulator sim;
+  const gpusim::ExhaustiveTuner exhaustive(sim);
+  gpusim::GeneticConfig ga_config;
+  ga_config.population = 10;
+  ga_config.generations = 6;
+  const gpusim::GeneticTuner ga(sim, ga_config);
+  const int random_budget = ga_config.population * ga_config.generations;
+  const gpusim::RandomSearchTuner random_small(sim, 8);
+  const gpusim::RandomSearchTuner random_equal(sim, random_budget);
+
+  gpusim::OptCombination oc;
+  oc.st = true;  // the richest parameter space
+
+  util::Table table({"stencil", "space size", "exhaustive(ms)",
+                     "random-8 gap", "random-" + std::to_string(random_budget) + " gap",
+                     "GA gap", "GA budget"});
+  std::vector<double> gaps_r8;
+  std::vector<double> gaps_req;
+  std::vector<double> gaps_ga;
+  for (const auto& pattern : stencil::representative_gallery()) {
+    if (pattern.order() % 2 != 0) continue;  // every other gallery entry
+    const auto problem = gpusim::ProblemSize::paper_default(pattern.dims());
+    const auto& gpu = gpusim::gpu_by_name("V100");
+    const auto opt = exhaustive.tune(pattern, problem, oc, gpu);
+    util::Rng r1(1);
+    util::Rng r2(1);
+    util::Rng r3(1);
+    const auto rand8 = random_small.tune(pattern, problem, oc, gpu, r1);
+    const auto randeq = random_equal.tune(pattern, problem, oc, gpu, r2);
+    const auto genetic = ga.tune(pattern, problem, oc, gpu, r3);
+    const double g8 = rand8.best_time_ms / opt.best_time_ms;
+    const double geq = randeq.best_time_ms / opt.best_time_ms;
+    const double gga = genetic.best_time_ms / opt.best_time_ms;
+    gaps_r8.push_back(g8);
+    gaps_req.push_back(geq);
+    gaps_ga.push_back(gga);
+    table.row()
+        .add(pattern.name())
+        .add(opt.samples_tried)
+        .add(opt.best_time_ms, 3)
+        .add(g8, 3)
+        .add(geq, 3)
+        .add(gga, 3)
+        .add(genetic.samples_tried);
+  }
+  bench::emit(table, "tuner_strategies");
+  std::cout << "geomean gap to exhaustive: random-8 "
+            << util::format_double(util::geomean(gaps_r8), 3) << "x, random-"
+            << random_budget << " "
+            << util::format_double(util::geomean(gaps_req), 3) << "x, GA "
+            << util::format_double(util::geomean(gaps_ga), 3) << "x\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper: it
+// prints the same rows/series the paper reports (plus our measured values)
+// and, when SMART_CSV_DIR is set, also writes the series as CSV. Dataset
+// sizes scale with SMART_SCALE (1.0 = paper scale, default 0.1; see
+// util/env.hpp).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/stencilmart.hpp"
+#include "util/env.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace smart::bench {
+
+/// Standard header every bench prints (figure id + scale note).
+inline void print_banner(const std::string& experiment,
+                         const std::string& paper_reference) {
+  std::cout << "== StencilMART reproduction: " << experiment << " ==\n"
+            << "   paper reference: " << paper_reference << "\n"
+            << "   SMART_SCALE=" << util::experiment_scale()
+            << " (1.0 reproduces paper-sized datasets)\n\n";
+}
+
+/// Emits the table to stdout and optionally to $SMART_CSV_DIR/<name>.csv.
+inline void emit(const util::Table& table, const std::string& name) {
+  table.print(std::cout);
+  std::cout << '\n';
+  if (const char* dir = std::getenv("SMART_CSV_DIR")) {
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    try {
+      table.write_csv(path);
+      std::cout << "   [csv] " << path << "\n\n";
+    } catch (const std::exception& e) {
+      std::cout << "   [csv] skipped: " << e.what() << "\n\n";
+    }
+  }
+}
+
+/// Profiling configuration scaled from the paper's 500 stencils per
+/// dimensionality and ~4 settings per OC per stencil.
+inline core::ProfileConfig scaled_profile_config(int dims,
+                                                 std::uint64_t seed = 20220530) {
+  core::ProfileConfig cfg;
+  cfg.dims = dims;
+  cfg.num_stencils = util::scaled(500, 30);
+  cfg.samples_per_oc = 4;
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline std::string gpu_list_string() {
+  std::string out;
+  for (const auto& gpu : gpusim::evaluation_gpus()) {
+    if (!out.empty()) out += ", ";
+    out += gpu.name;
+  }
+  return out;
+}
+
+}  // namespace smart::bench

@@ -1,0 +1,77 @@
+// Shared implementation for Figures 10 and 11: geometric-mean speedup of
+// the OC chosen by a trained classifier (tuning only the predicted group's
+// representative) over a baseline framework's policy, under the same
+// random-parameter-search budget.
+#pragma once
+
+#include <functional>
+
+#include "common.hpp"
+
+namespace smart::bench {
+
+using BaselinePolicy = std::function<double(const core::ProfileDataset&,
+                                            std::size_t, std::size_t)>;
+
+struct SpeedupResult {
+  std::vector<double> convnet_per_gpu;  // geomean speedups per GPU
+  std::vector<double> gbdt_per_gpu;
+};
+
+inline SpeedupResult speedups_over_baseline(const core::ProfileDataset& ds,
+                                            const core::OcMerger& merger,
+                                            const BaselinePolicy& baseline) {
+  const core::ClassificationConfig config;
+  SpeedupResult out;
+  for (const auto kind :
+       {core::ClassifierKind::kConvNet, core::ClassifierKind::kGbdt}) {
+    std::vector<double>& dest = kind == core::ClassifierKind::kConvNet
+                                    ? out.convnet_per_gpu
+                                    : out.gbdt_per_gpu;
+    for (std::size_t g = 0; g < ds.num_gpus(); ++g) {
+      const auto result = core::run_classification(ds, merger, g, kind, config);
+      std::vector<double> ratios;
+      for (std::size_t s = 0; s < ds.stencils.size(); ++s) {
+        const int group = result.predicted_group[s];
+        if (group < 0) continue;
+        const double model_time = core::group_time(ds, merger, s, g, group);
+        const double base_time = baseline(ds, s, g);
+        if (!std::isfinite(model_time) || !std::isfinite(base_time)) continue;
+        ratios.push_back(base_time / model_time);
+      }
+      dest.push_back(ratios.empty() ? 1.0 : util::geomean(ratios));
+    }
+  }
+  return out;
+}
+
+inline void print_speedup_figure(const std::string& figure,
+                                 const std::string& baseline_name,
+                                 const BaselinePolicy& baseline,
+                                 const std::string& paper_note) {
+  print_banner(figure + " — speedup over " + baseline_name, paper_note);
+  for (int dims : {2, 3}) {
+    auto cfg = scaled_profile_config(dims);
+    const auto ds = core::build_profile_dataset(cfg);
+    core::OcMerger merger;
+    merger.fit(ds);
+    const auto result = speedups_over_baseline(ds, merger, baseline);
+
+    util::Table table({"GPU", "ConvNet(x)", "GBDT(x)"});
+    for (std::size_t g = 0; g < ds.num_gpus(); ++g) {
+      table.row()
+          .add(ds.gpus[g].name)
+          .add(result.convnet_per_gpu[g], 2)
+          .add(result.gbdt_per_gpu[g], 2);
+    }
+    std::cout << "--- " << dims << "-D stencils ---\n";
+    emit(table, figure + "_" + std::to_string(dims) + "d");
+    std::cout << "average: ConvNet "
+              << util::format_double(util::mean(result.convnet_per_gpu), 2)
+              << "x  GBDT "
+              << util::format_double(util::mean(result.gbdt_per_gpu), 2)
+              << "x\n\n";
+  }
+}
+
+}  // namespace smart::bench

@@ -1,0 +1,226 @@
+#include "cli/cli.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "codegen/cuda_codegen.hpp"
+#include "core/mart.hpp"
+#include "core/serialize.hpp"
+#include "core/stencilmart.hpp"
+#include "stencil/features.hpp"
+#include "stencil/tensor_repr.hpp"
+#include "util/table.hpp"
+
+namespace smart::cli {
+
+namespace {
+
+stencil::StencilPattern shape_from_options(const CommandLine& cmd) {
+  const std::string shape = cmd.get("shape", "star");
+  const int dims = cmd.get_int("dims", 2);
+  const int order = cmd.get_int("order", 2);
+  if (shape == "box") return stencil::make_box(dims, order);
+  if (shape == "cross") return stencil::make_cross(dims, order);
+  if (shape == "star") return stencil::make_star(dims, order);
+  throw std::invalid_argument("unknown --shape '" + shape +
+                              "' (star|box|cross)");
+}
+
+int cmd_generate(const CommandLine& cmd, std::ostream& out) {
+  stencil::GeneratorConfig config;
+  config.dims = cmd.get_int("dims", 2);
+  config.order = cmd.get_int("order", 4);
+  const stencil::RandomStencilGenerator generator(config);
+  util::Rng rng(static_cast<std::uint64_t>(cmd.get_int("seed", 1)));
+  const int count = cmd.get_int("count", 3);
+  for (int i = 0; i < count; ++i) {
+    const auto pattern = generator.generate(rng);
+    out << pattern.name() << "  nnz=" << pattern.size() << "  offsets:";
+    for (const auto& p : pattern.offsets()) {
+      out << ' ' << p.to_string(pattern.dims());
+    }
+    out << '\n';
+  }
+  return 0;
+}
+
+int cmd_profile(const CommandLine& cmd, std::ostream& out) {
+  core::ProfileConfig config;
+  config.dims = cmd.get_int("dims", 2);
+  config.num_stencils = cmd.get_int("stencils", 40);
+  config.samples_per_oc = cmd.get_int("samples", 4);
+  config.seed = static_cast<std::uint64_t>(cmd.get_int("seed", 1234));
+  const auto dataset = core::build_profile_dataset(config);
+  out << "profiled " << dataset.stencils.size() << " stencils x "
+      << core::ProfileDataset::num_ocs() << " OCs x "
+      << dataset.num_gpus() << " GPUs (" << dataset.num_instances()
+      << " instances)\n";
+  if (cmd.has("out")) {
+    core::save_dataset(dataset, cmd.get("out", ""));
+    out << "saved to " << cmd.get("out", "") << '\n';
+  }
+  return 0;
+}
+
+int cmd_ocs(std::ostream& out) {
+  util::Table table({"idx", "combination"});
+  const auto& all = gpusim::valid_combinations();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    table.row().add(static_cast<long long>(i)).add(all[i].name());
+  }
+  table.print(out);
+  return 0;
+}
+
+int cmd_gpus(std::ostream& out) {
+  util::Table table({"GPU", "Mem(GB)", "BW(GB/s)", "SMs", "TFLOPS", "$/hr"});
+  for (const auto& gpu : gpusim::evaluation_gpus()) {
+    table.row()
+        .add(gpu.name)
+        .add(gpu.mem_gb, 0)
+        .add(gpu.mem_bw_gbs, 0)
+        .add(gpu.sms)
+        .add(gpu.fp64_tflops, 2)
+        .add(gpu.rental_usd_hr, 2);
+  }
+  table.print(out);
+  return 0;
+}
+
+int cmd_advise(const CommandLine& cmd, std::ostream& out) {
+  const auto pattern = shape_from_options(cmd);
+  core::MartConfig config;
+  config.profile.dims = pattern.dims();
+  config.profile.num_stencils = cmd.get_int("stencils", 40);
+  config.profile.seed = static_cast<std::uint64_t>(cmd.get_int("seed", 99));
+  config.regression.instance_cap = 3000;
+  core::StencilMart mart(config);
+
+  if (cmd.has("corpus")) {
+    // A pre-profiled corpus makes training reproducible across calls; the
+    // facade still trains the models itself.
+    const auto dataset = core::load_dataset(cmd.get("corpus", ""));
+    if (dataset.config.dims != pattern.dims()) {
+      throw std::invalid_argument("corpus dimensionality mismatch");
+    }
+    config.profile = dataset.config;
+    mart = core::StencilMart(config);
+  }
+  mart.train();
+
+  const std::string gpu = cmd.get("gpu", "V100");
+  const auto advice = mart.advise(pattern, gpu);
+  out << "stencil " << pattern.name() << " on " << gpu << ":\n"
+      << "  group        " << advice.group_name << '\n'
+      << "  OC           " << advice.oc.name() << '\n'
+      << "  setting      " << advice.setting.to_string() << '\n'
+      << "  tuned time   " << util::format_double(advice.expected_time_ms, 3)
+      << " ms (simulated)\n"
+      << "  model est.   " << util::format_double(advice.predicted_time_ms, 3)
+      << " ms\n";
+  const auto rec = mart.recommend_gpu(pattern);
+  out << "  fastest GPU  " << rec.fastest_gpu << "\n  best rental  "
+      << rec.cheapest_gpu << '\n';
+  return 0;
+}
+
+int cmd_codegen(const CommandLine& cmd, std::ostream& out) {
+  const auto pattern = shape_from_options(cmd);
+  const auto problem = gpusim::ProblemSize::paper_default(pattern.dims());
+
+  gpusim::OptCombination oc;
+  const std::string oc_name = cmd.get("oc", "ST");
+  bool found = false;
+  for (const auto& candidate : gpusim::valid_combinations()) {
+    if (candidate.name() == oc_name) {
+      oc = candidate;
+      found = true;
+      break;
+    }
+  }
+  if (!found) throw std::invalid_argument("unknown --oc '" + oc_name + "'");
+
+  const gpusim::ParamSpace space(oc, pattern.dims());
+  util::Rng rng(static_cast<std::uint64_t>(cmd.get_int("seed", 5)));
+  const auto setting = space.random_setting(rng);
+  const codegen::CudaKernelGenerator generator;
+  const auto kernel = generator.generate(pattern, oc, setting, problem);
+  out << kernel.source;
+  return 0;
+}
+
+int cmd_features(const CommandLine& cmd, std::ostream& out) {
+  const auto pattern = shape_from_options(cmd);
+  constexpr int kMaxOrder = 4;
+  const auto features = stencil::extract_features(pattern, kMaxOrder);
+  const auto names = stencil::FeatureSet::names(kMaxOrder);
+  const auto values = features.to_vector();
+  util::Table table({"feature", "value"});
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    table.row().add(names[i]).add(values[i], 4);
+  }
+  table.print(out);
+  return 0;
+}
+
+}  // namespace
+
+std::string CommandLine::get(const std::string& key,
+                             const std::string& fallback) const {
+  const auto it = options.find(key);
+  return it == options.end() ? fallback : it->second;
+}
+
+int CommandLine::get_int(const std::string& key, int fallback) const {
+  const auto it = options.find(key);
+  if (it == options.end()) return fallback;
+  return std::stoi(it->second);
+}
+
+CommandLine parse_command_line(const std::vector<std::string>& args) {
+  CommandLine cmd;
+  if (args.empty()) return cmd;
+  if (args[0].starts_with("--")) {
+    throw std::invalid_argument("expected a subcommand before options");
+  }
+  cmd.command = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (!args[i].starts_with("--")) {
+      throw std::invalid_argument("unexpected token '" + args[i] + "'");
+    }
+    const std::string key = args[i].substr(2);
+    if (i + 1 >= args.size() || args[i + 1].starts_with("--")) {
+      throw std::invalid_argument("option --" + key + " needs a value");
+    }
+    cmd.options[key] = args[++i];
+  }
+  return cmd;
+}
+
+std::string usage() {
+  return
+      "smartctl — StencilMART command line\n"
+      "  generate --dims D --order N --count K [--seed S]   random stencils\n"
+      "  profile  --dims D --stencils N [--out FILE]        build a corpus\n"
+      "  advise   --shape star|box|cross --dims D --order N\n"
+      "           [--gpu NAME] [--corpus FILE]              best-OC advice\n"
+      "  codegen  --shape ... --dims D --order N --oc NAME  emit CUDA\n"
+      "  features --shape ... --dims D --order N            Table II vector\n"
+      "  ocs                                                Table I OCs\n"
+      "  gpus                                               Table III GPUs\n";
+}
+
+int run_command(const CommandLine& cmd, std::ostream& out) {
+  if (cmd.command == "generate") return cmd_generate(cmd, out);
+  if (cmd.command == "profile") return cmd_profile(cmd, out);
+  if (cmd.command == "ocs") return cmd_ocs(out);
+  if (cmd.command == "gpus") return cmd_gpus(out);
+  if (cmd.command == "advise") return cmd_advise(cmd, out);
+  if (cmd.command == "codegen") return cmd_codegen(cmd, out);
+  if (cmd.command == "features") return cmd_features(cmd, out);
+  out << usage();
+  return cmd.command.empty() || cmd.command == "help" ? 0 : 2;
+}
+
+}  // namespace smart::cli

@@ -1,0 +1,43 @@
+// smartctl: command-line front end for the StencilMART pipeline.
+//
+//   smartctl generate --dims 2 --order 3 --count 5 [--seed N]
+//   smartctl profile  --dims 2 --stencils 40 --out corpus.txt
+//   smartctl ocs                          # list Table I combinations
+//   smartctl gpus                         # list Table III GPUs
+//   smartctl advise   --corpus corpus.txt --shape star --order 2 --gpu V100
+//   smartctl codegen  --shape box --dims 3 --order 2 --oc ST_RT [--out dir]
+//
+// The argument parser and command dispatch live in the library so they are
+// unit-testable; tools/smartctl.cpp is a thin main().
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace smart::cli {
+
+/// Parsed command line: one subcommand plus --key value options.
+struct CommandLine {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& key) const { return options.contains(key); }
+  std::string get(const std::string& key, const std::string& fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+};
+
+/// Parses argv into a CommandLine. Throws std::invalid_argument for
+/// malformed input (option without value, unknown leading token).
+CommandLine parse_command_line(const std::vector<std::string>& args);
+
+/// Executes a parsed command, writing human-readable output to `out`.
+/// Returns a process exit code (0 = success). Unknown commands print the
+/// usage text and return 2.
+int run_command(const CommandLine& cmd, std::ostream& out);
+
+/// The usage/help text.
+std::string usage();
+
+}  // namespace smart::cli

@@ -1,0 +1,100 @@
+#include "core/advisor.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace smart::core {
+
+AdvisorResult GpuAdvisor::pure_performance(std::size_t max_instances) const {
+  return run(false, max_instances);
+}
+
+AdvisorResult GpuAdvisor::cost_efficiency(std::size_t max_instances) const {
+  return run(true, max_instances);
+}
+
+AdvisorResult GpuAdvisor::run(bool cost_weighted,
+                              std::size_t max_instances) const {
+  const ProfileDataset& ds = task_->dataset();
+  std::vector<std::size_t> gpu_pool;
+  for (std::size_t g = 0; g < ds.num_gpus(); ++g) {
+    if (!cost_weighted || ds.gpus[g].rental_usd_hr > 0.0) gpu_pool.push_back(g);
+  }
+
+  AdvisorResult result;
+  std::vector<std::size_t> truth_counts(ds.num_gpus(), 0);
+  std::vector<std::size_t> hit_counts(ds.num_gpus(), 0);
+  std::size_t overall_hits = 0;
+
+  // Walk distinct (stencil, oc, setting) triples: instances_ contains one
+  // entry per GPU the triple ran on, ordered by GPU within a triple, so a
+  // triple's first occurrence marks it.
+  std::size_t examined = 0;
+  const auto& instances = task_->instances();
+  for (std::size_t idx = 0; idx < instances.size(); ++idx) {
+    const RegressionInstance& ins = instances[idx];
+    if (idx > 0) {
+      const RegressionInstance& prev = instances[idx - 1];
+      if (prev.stencil == ins.stencil && prev.oc == ins.oc &&
+          prev.setting == ins.setting) {
+        continue;  // same triple, later GPU
+      }
+    }
+    if (max_instances > 0 && examined >= max_instances) break;
+
+    // Ground truth and prediction over the GPUs where the variant ran
+    // (a crash on one architecture, e.g. P100's 48 KB smem/block limit,
+    // makes the others the only viable rentals — exactly the decision the
+    // case study informs). Requires at least two viable GPUs.
+    std::size_t truth_best = 0;
+    std::size_t pred_best = 0;
+    double truth_score = std::numeric_limits<double>::infinity();
+    double pred_score = std::numeric_limits<double>::infinity();
+    int viable = 0;
+    for (std::size_t g : gpu_pool) {
+      const double measured = task_->measured(idx, g);
+      if (std::isnan(measured)) continue;
+      ++viable;
+      const double weight = cost_weighted ? ds.gpus[g].rental_usd_hr : 1.0;
+      const double t_score = measured * weight;
+      const double p_score = task_->predict(idx, g) * weight;
+      if (t_score < truth_score) {
+        truth_score = t_score;
+        truth_best = g;
+      }
+      if (p_score < pred_score) {
+        pred_score = p_score;
+        pred_best = g;
+      }
+    }
+    if (viable < 2) continue;
+    ++examined;
+    ++truth_counts[truth_best];
+    if (pred_best == truth_best) {
+      ++hit_counts[truth_best];
+      ++overall_hits;
+    }
+  }
+
+  result.instances = examined;
+  result.overall_accuracy =
+      examined == 0 ? 0.0
+                    : static_cast<double>(overall_hits) /
+                          static_cast<double>(examined);
+  for (std::size_t g : gpu_pool) {
+    AdvisorShare share;
+    share.gpu = g;
+    share.truth_count = truth_counts[g];
+    share.truth_share = examined == 0 ? 0.0
+                                      : static_cast<double>(truth_counts[g]) /
+                                            static_cast<double>(examined);
+    share.accuracy = truth_counts[g] == 0
+                         ? 0.0
+                         : static_cast<double>(hit_counts[g]) /
+                               static_cast<double>(truth_counts[g]);
+    result.shares.push_back(share);
+  }
+  return result;
+}
+
+}  // namespace smart::core

@@ -1,0 +1,45 @@
+// GPU-selection case study (paper Sec. V-D, Figs. 14-15): given a stencil
+// instance, which GPU runs it fastest (pure performance), and which rental
+// GPU minimizes cost (time x $/hr)? Ground truth comes from the measured
+// instance times; predictions come from a fitted cross-architecture
+// regression model.
+#pragma once
+
+#include <vector>
+
+#include "core/regression.hpp"
+
+namespace smart::core {
+
+struct AdvisorShare {
+  std::size_t gpu = 0;       // index into dataset.gpus
+  double truth_share = 0.0;  // fraction of instances where this GPU is best
+  double accuracy = 0.0;     // of those, fraction predicted correctly
+  std::size_t truth_count = 0;
+};
+
+struct AdvisorResult {
+  std::vector<AdvisorShare> shares;  // one per participating GPU
+  double overall_accuracy = 0.0;     // predicted-best == true-best
+  std::size_t instances = 0;
+};
+
+class GpuAdvisor {
+ public:
+  /// `task` must have fit_full() already.
+  explicit GpuAdvisor(const RegressionTask& task) : task_(&task) {}
+
+  /// Pure performance: all GPUs participate (Fig. 14).
+  AdvisorResult pure_performance(std::size_t max_instances = 0) const;
+
+  /// Cost efficiency: only GPUs with a rental price participate; the
+  /// objective is time_ms x $/hr (Fig. 15).
+  AdvisorResult cost_efficiency(std::size_t max_instances = 0) const;
+
+ private:
+  AdvisorResult run(bool cost_weighted, std::size_t max_instances) const;
+
+  const RegressionTask* task_;
+};
+
+}  // namespace smart::core

@@ -1,0 +1,76 @@
+#include "core/baselines.hpp"
+
+#include <limits>
+
+namespace smart::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double oc_time(const ProfileDataset& dataset, std::size_t stencil,
+               std::size_t gpu, const gpusim::OptCombination& oc) {
+  const int idx = gpusim::oc_index(oc);
+  return dataset.oc_best_time(stencil, gpu, static_cast<std::size_t>(idx));
+}
+
+}  // namespace
+
+double an5d_time(const ProfileDataset& dataset, std::size_t stencil,
+                 std::size_t gpu) {
+  gpusim::OptCombination st_tb;
+  st_tb.st = true;
+  st_tb.tb = true;
+  const double with_tb = oc_time(dataset, stencil, gpu, st_tb);
+  if (with_tb < kInf) return with_tb;
+  gpusim::OptCombination st;
+  st.st = true;
+  return oc_time(dataset, stencil, gpu, st);
+}
+
+double artemis_time(const ProfileDataset& dataset, std::size_t stencil,
+                    std::size_t gpu) {
+  // Stage 1: the streaming family (high-impact optimizations first).
+  const bool rt_choices[] = {false, true};
+  const bool pr_choices[] = {false, true};
+  gpusim::OptCombination winner;
+  double best = kInf;
+  for (bool rt : rt_choices) {
+    for (bool pr : pr_choices) {
+      gpusim::OptCombination oc;
+      oc.st = true;
+      oc.rt = rt;
+      oc.pr = pr;
+      const double t = oc_time(dataset, stencil, gpu, oc);
+      if (t < best) {
+        best = t;
+        winner = oc;
+      }
+    }
+  }
+  if (best == kInf) return kInf;
+  // Stage 2: refine the winner with merging candidates.
+  for (int merge = 0; merge < 2; ++merge) {
+    gpusim::OptCombination oc = winner;
+    oc.bm = merge == 0;
+    oc.cm = merge == 1;
+    best = std::min(best, oc_time(dataset, stencil, gpu, oc));
+  }
+  return best;
+}
+
+double group_time(const ProfileDataset& dataset, const OcMerger& merger,
+                  std::size_t stencil, std::size_t gpu, int group) {
+  const int rep = merger.representative(group);
+  const double rep_time =
+      dataset.oc_best_time(stencil, gpu, static_cast<std::size_t>(rep));
+  if (rep_time < kInf) return rep_time;
+  double best = kInf;
+  for (int member : merger.members(group)) {
+    best = std::min(best, dataset.oc_best_time(stencil, gpu,
+                                               static_cast<std::size_t>(member)));
+  }
+  return best;
+}
+
+}  // namespace smart::core

@@ -1,0 +1,35 @@
+// Baseline OC-selection policies (paper Sec. V-B2, Figs. 10-11).
+//
+// The comparison in the paper holds the random-parameter-search budget
+// constant and varies only *which OC(s)* each framework tunes:
+//  * AN5D [Matsumura et al., CGO'20] generates streaming + high-degree
+//    temporal-blocking code: policy = tune ST_TB, falling back to plain ST
+//    when the TB variant cannot run.
+//  * Artemis [Rawat et al., IPDPS'19] tunes high-impact optimizations
+//    first and then retains a few high-performance candidates: policy =
+//    stage 1 tunes the streaming family (ST, ST_RT, ST_PR, ST_RT_PR), then
+//    stage 2 refines the stage-1 winner with the merging variants.
+//  * StencilMART tunes only the OC group its classifier predicts.
+#pragma once
+
+#include "core/oc_merger.hpp"
+#include "core/profile_dataset.hpp"
+
+namespace smart::core {
+
+/// Time achieved by AN5D's policy for one profiled stencil (uses the
+/// dataset's stored measurements; +inf when nothing runs).
+double an5d_time(const ProfileDataset& dataset, std::size_t stencil,
+                 std::size_t gpu);
+
+/// Time achieved by Artemis' policy (same measurement budget).
+double artemis_time(const ProfileDataset& dataset, std::size_t stencil,
+                    std::size_t gpu);
+
+/// Time achieved by tuning the representative OC of `group` — what
+/// StencilMART obtains after its classifier picks a group. Falls back to
+/// the group's best-running member when the representative crashed.
+double group_time(const ProfileDataset& dataset, const OcMerger& merger,
+                  std::size_t stencil, std::size_t gpu, int group);
+
+}  // namespace smart::core

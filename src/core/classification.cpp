@@ -1,0 +1,133 @@
+#include "core/classification.hpp"
+
+#include <stdexcept>
+
+#include "ml/dataset.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/models.hpp"
+#include "stencil/features.hpp"
+#include "stencil/tensor_repr.hpp"
+#include "util/stats.hpp"
+
+namespace smart::core {
+
+std::string to_string(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kConvNet: return "ConvNet";
+    case ClassifierKind::kFcNet: return "FcNet";
+    case ClassifierKind::kGbdt: return "GBDT";
+  }
+  return "?";
+}
+
+ml::Matrix stencil_feature_matrix(const ProfileDataset& dataset) {
+  std::vector<std::vector<float>> rows;
+  rows.reserve(dataset.stencils.size());
+  for (const auto& pattern : dataset.stencils) {
+    const auto f =
+        stencil::extract_features(pattern, dataset.config.max_order).to_vector();
+    rows.emplace_back(f.begin(), f.end());
+  }
+  return ml::Matrix::from_rows(rows);
+}
+
+ml::Matrix stencil_tensor_matrix(const ProfileDataset& dataset) {
+  std::vector<std::vector<float>> rows;
+  rows.reserve(dataset.stencils.size());
+  for (const auto& pattern : dataset.stencils) {
+    rows.push_back(
+        stencil::PatternTensor(pattern, dataset.config.max_order).to_floats());
+  }
+  return ml::Matrix::from_rows(rows);
+}
+
+std::vector<int> true_groups(const ProfileDataset& dataset,
+                             const OcMerger& merger, std::size_t gpu) {
+  std::vector<int> labels(dataset.stencils.size(), -1);
+  for (std::size_t s = 0; s < dataset.stencils.size(); ++s) {
+    const int best = dataset.best_oc(s, gpu);
+    if (best >= 0) labels[s] = merger.group_of(best);
+  }
+  return labels;
+}
+
+ClassificationResult run_classification(const ProfileDataset& dataset,
+                                        const OcMerger& merger,
+                                        std::size_t gpu, ClassifierKind kind,
+                                        const ClassificationConfig& config) {
+  ClassificationResult result;
+  result.true_group = true_groups(dataset, merger, gpu);
+  result.predicted_group.assign(dataset.stencils.size(), -1);
+
+  // Only stencils with a label participate in CV.
+  std::vector<std::size_t> usable;
+  for (std::size_t s = 0; s < result.true_group.size(); ++s) {
+    if (result.true_group[s] >= 0) usable.push_back(s);
+  }
+  if (usable.size() < static_cast<std::size_t>(config.folds)) {
+    throw std::invalid_argument("run_classification: too few labelled stencils");
+  }
+
+  const ml::Matrix features = stencil_feature_matrix(dataset);
+  const ml::Matrix tensors = stencil_tensor_matrix(dataset);
+  const ml::Matrix& x_full =
+      kind == ClassifierKind::kGbdt ? features : tensors;
+  const int num_classes = merger.num_groups();
+
+  util::Rng rng(config.seed + gpu * 17 + static_cast<std::uint64_t>(kind));
+  const auto folds = ml::kfold_splits(usable.size(), config.folds, rng);
+
+  for (const auto& fold : folds) {
+    std::vector<std::size_t> train_rows;
+    std::vector<int> train_labels;
+    for (std::size_t i : fold.train_indices) {
+      train_rows.push_back(usable[i]);
+      train_labels.push_back(result.true_group[usable[i]]);
+    }
+    std::vector<std::size_t> test_rows;
+    for (std::size_t i : fold.test_indices) test_rows.push_back(usable[i]);
+
+    const ml::Matrix x_train = x_full.gather_rows(train_rows);
+    const ml::Matrix x_test = x_full.gather_rows(test_rows);
+
+    std::vector<int> predicted;
+    if (kind == ClassifierKind::kGbdt) {
+      ml::GbdtParams params;
+      params.seed = config.seed;
+      ml::GbdtClassifier clf(params);
+      clf.fit(x_train, train_labels, num_classes);
+      predicted = clf.predict(x_test);
+    } else {
+      util::Rng net_rng(config.seed * 31 + gpu);
+      ml::Sequential net =
+          kind == ClassifierKind::kConvNet
+              ? ml::make_convnet(dataset.config.dims, dataset.config.max_order,
+                                 num_classes, net_rng)
+              : ml::make_fcnet(x_full.cols(), num_classes,
+                               config.fcnet_layers, config.fcnet_width,
+                               net_rng);
+      ml::TrainConfig tc;
+      tc.epochs = config.epochs;
+      tc.batch_size = config.batch_size;
+      tc.learning_rate = config.learning_rate;
+      tc.seed = config.seed;
+      ml::NnClassifier clf(std::move(net), tc);
+      clf.fit(x_train, train_labels);
+      predicted = clf.predict(x_test);
+    }
+    for (std::size_t i = 0; i < test_rows.size(); ++i) {
+      result.predicted_group[test_rows[i]] = predicted[i];
+    }
+  }
+
+  std::vector<int> truth;
+  std::vector<int> pred;
+  for (std::size_t s : usable) {
+    truth.push_back(result.true_group[s]);
+    pred.push_back(result.predicted_group[s]);
+  }
+  result.accuracy = util::accuracy(truth, pred);
+  return result;
+}
+
+}  // namespace smart::core

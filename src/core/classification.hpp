@@ -1,0 +1,56 @@
+// OC-selection classification (paper Sec. IV-D, evaluated in Figs. 9-11):
+// given a stencil's representation, predict which merged OC group contains
+// the best optimization combination on a target GPU. Three mechanisms:
+// ConvNet (binary tensor input), FcNet (tensor + features), GBDT (features).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/oc_merger.hpp"
+#include "core/profile_dataset.hpp"
+#include "ml/matrix.hpp"
+
+namespace smart::core {
+
+enum class ClassifierKind { kConvNet, kFcNet, kGbdt };
+
+std::string to_string(ClassifierKind kind);
+
+struct ClassificationConfig {
+  int folds = 5;           // paper: 5-fold cross validation
+  int epochs = 50;         // NN epochs per fold
+  int batch_size = 50;     // paper: 50 for ConvNet/FcNet
+  double learning_rate = 1e-3;
+  int fcnet_layers = 3;
+  std::size_t fcnet_width = 128;
+  std::uint64_t seed = 99;
+};
+
+struct ClassificationResult {
+  double accuracy = 0.0;
+  /// Predicted group per stencil (each stencil is predicted exactly once,
+  /// by the fold whose test set contains it). -1 for skipped stencils.
+  std::vector<int> predicted_group;
+  /// Ground-truth group per stencil (-1 when every OC crashed).
+  std::vector<int> true_group;
+};
+
+/// Trains and evaluates one classifier on one GPU of a profiled dataset
+/// with k-fold cross-validation.
+ClassificationResult run_classification(const ProfileDataset& dataset,
+                                        const OcMerger& merger,
+                                        std::size_t gpu, ClassifierKind kind,
+                                        const ClassificationConfig& config);
+
+/// Feature matrix (Table II vectors) for every stencil in the dataset.
+ml::Matrix stencil_feature_matrix(const ProfileDataset& dataset);
+
+/// Flattened binary tensors for every stencil in the dataset.
+ml::Matrix stencil_tensor_matrix(const ProfileDataset& dataset);
+
+/// Ground-truth merged-group label per stencil on `gpu` (-1 = no label).
+std::vector<int> true_groups(const ProfileDataset& dataset,
+                             const OcMerger& merger, std::size_t gpu);
+
+}  // namespace smart::core

@@ -1,0 +1,123 @@
+#include "core/mart.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "gpusim/tuner.hpp"
+#include "stencil/features.hpp"
+
+namespace smart::core {
+
+StencilMart::StencilMart(MartConfig config) : config_(std::move(config)) {}
+
+void StencilMart::train() {
+  dataset_ = std::make_unique<ProfileDataset>(
+      build_profile_dataset(config_.profile));
+  merger_.fit(*dataset_);
+
+  // One classifier per GPU (the paper trains per target architecture).
+  const ml::Matrix features = stencil_feature_matrix(*dataset_);
+  classifiers_.clear();
+  for (std::size_t g = 0; g < dataset_->num_gpus(); ++g) {
+    const auto labels = true_groups(*dataset_, merger_, g);
+    std::vector<std::size_t> rows;
+    std::vector<int> y;
+    for (std::size_t s = 0; s < labels.size(); ++s) {
+      if (labels[s] >= 0) {
+        rows.push_back(s);
+        y.push_back(labels[s]);
+      }
+    }
+    ml::GbdtClassifier clf;
+    clf.fit(features.gather_rows(rows), y, merger_.num_groups());
+    classifiers_.push_back(std::move(clf));
+  }
+
+  regression_ = std::make_unique<RegressionTask>(*dataset_, config_.regression);
+  regression_->fit_full(config_.regressor);
+  trained_ = true;
+}
+
+std::size_t StencilMart::gpu_index(const std::string& name) const {
+  for (std::size_t g = 0; g < dataset_->num_gpus(); ++g) {
+    if (dataset_->gpus[g].name == name) return g;
+  }
+  throw std::out_of_range("StencilMart: unknown GPU " + name);
+}
+
+OcAdvice StencilMart::advise(const stencil::StencilPattern& pattern,
+                             const std::string& gpu_name) const {
+  if (!trained_) throw std::logic_error("StencilMart::advise before train()");
+  if (pattern.dims() != config_.profile.dims) {
+    throw std::invalid_argument(
+        "StencilMart::advise: pattern dimensionality differs from the "
+        "training corpus");
+  }
+  const std::size_t g = gpu_index(gpu_name);
+
+  const auto fv = stencil::extract_features(pattern, config_.profile.max_order)
+                      .to_vector();
+  const std::vector<float> row(fv.begin(), fv.end());
+  OcAdvice advice;
+  advice.group = classifiers_[g].predict_row(row);
+  advice.group_name = merger_.group_name(advice.group);
+  const int rep = merger_.representative(advice.group);
+  advice.oc = gpusim::valid_combinations()[static_cast<std::size_t>(rep)];
+
+  // Tune the advised OC only (this is the whole point: 1/30 of the cost).
+  const gpusim::Simulator sim(config_.profile.sim);
+  const gpusim::RandomSearchTuner tuner(sim, config_.tuning_samples);
+  util::Rng rng(util::hash_combine(pattern.hash(), g));
+  const auto problem = gpusim::ProblemSize::paper_default(pattern.dims());
+  auto result = tuner.tune(pattern, problem, advice.oc, dataset_->gpus[g], rng);
+  if (!result.ok()) {
+    // The representative crashed everywhere: fall back to the group's
+    // members in win order.
+    for (int member : merger_.members(advice.group)) {
+      const auto& oc = gpusim::valid_combinations()[static_cast<std::size_t>(member)];
+      result = tuner.tune(pattern, problem, oc, dataset_->gpus[g], rng);
+      if (result.ok()) {
+        advice.oc = oc;
+        break;
+      }
+    }
+  }
+  if (!result.ok()) {
+    throw std::runtime_error("StencilMart::advise: no runnable variant in group " +
+                             advice.group_name);
+  }
+  advice.setting = *result.best_setting;
+  advice.expected_time_ms = result.best_time_ms;
+  advice.predicted_time_ms = regression_->predict_variant(
+      pattern, problem, static_cast<std::size_t>(gpusim::oc_index(advice.oc)),
+      advice.setting, g);
+  return advice;
+}
+
+GpuRecommendation StencilMart::recommend_gpu(
+    const stencil::StencilPattern& pattern) const {
+  if (!trained_) throw std::logic_error("StencilMart::recommend_gpu before train()");
+  GpuRecommendation rec;
+  double best_time = std::numeric_limits<double>::infinity();
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t g = 0; g < dataset_->num_gpus(); ++g) {
+    const auto advice = advise(pattern, dataset_->gpus[g].name);
+    if (advice.predicted_time_ms < best_time) {
+      best_time = advice.predicted_time_ms;
+      rec.fastest_gpu = dataset_->gpus[g].name;
+      rec.fastest_time_ms = advice.predicted_time_ms;
+    }
+    const double price = dataset_->gpus[g].rental_usd_hr;
+    if (price > 0.0) {
+      const double score = advice.predicted_time_ms * price;
+      if (score < best_cost) {
+        best_cost = score;
+        rec.cheapest_gpu = dataset_->gpus[g].name;
+        rec.cheapest_cost_score = score;
+      }
+    }
+  }
+  return rec;
+}
+
+}  // namespace smart::core

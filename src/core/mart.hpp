@@ -1,0 +1,80 @@
+// StencilMart: the end-user facade of the framework (paper Fig. 5, used the
+// way the paper's scenarios describe).
+//
+//   smart::core::StencilMart mart(config);
+//   mart.train();                               // profile + fit all models
+//   auto advice = mart.advise(my_pattern, "V100");
+//   // -> which merged OC group to tune, its representative OC, a concrete
+//   //    parameter setting, and the predicted execution time
+//   auto rental = mart.recommend_gpu(my_pattern);
+//   // -> best-performance GPU and most cost-efficient rental
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/classification.hpp"
+#include "core/oc_merger.hpp"
+#include "core/profile_dataset.hpp"
+#include "core/regression.hpp"
+#include "ml/gbdt.hpp"
+
+namespace smart::core {
+
+struct MartConfig {
+  ProfileConfig profile{};
+  RegressionConfig regression{};
+  RegressorKind regressor = RegressorKind::kGbr;  // fastest to train
+  int tuning_samples = 24;  // random-search budget used by advise()
+};
+
+struct OcAdvice {
+  int group = -1;
+  std::string group_name;
+  gpusim::OptCombination oc;             // the group's representative
+  gpusim::ParamSetting setting;          // tuned under the simulator
+  double expected_time_ms = 0.0;         // simulated time of that setting
+  double predicted_time_ms = 0.0;        // the regression model's estimate
+};
+
+struct GpuRecommendation {
+  std::string fastest_gpu;
+  double fastest_time_ms = 0.0;
+  std::string cheapest_gpu;              // time x rental $/hr minimizer
+  double cheapest_cost_score = 0.0;
+};
+
+class StencilMart {
+ public:
+  explicit StencilMart(MartConfig config);
+
+  /// Profiles the training corpus and fits the OC merger, one per-GPU
+  /// GBDT classifier, and the cross-architecture regressor.
+  void train();
+  bool trained() const noexcept { return trained_; }
+
+  /// Best-OC advice for a (possibly unseen) stencil on a named GPU.
+  OcAdvice advise(const stencil::StencilPattern& pattern,
+                  const std::string& gpu_name) const;
+
+  /// Cross-architecture rental recommendation for a stencil: per GPU, the
+  /// model predicts the time of the advised variant; cost efficiency
+  /// weighs it by rental price (GPUs without a price are skipped there).
+  GpuRecommendation recommend_gpu(const stencil::StencilPattern& pattern) const;
+
+  const ProfileDataset& dataset() const { return *dataset_; }
+  const OcMerger& merger() const { return merger_; }
+
+ private:
+  std::size_t gpu_index(const std::string& name) const;
+
+  MartConfig config_;
+  bool trained_ = false;
+  std::unique_ptr<ProfileDataset> dataset_;
+  OcMerger merger_;
+  std::vector<ml::GbdtClassifier> classifiers_;  // one per GPU
+  std::unique_ptr<RegressionTask> regression_;
+};
+
+}  // namespace smart::core

@@ -1,0 +1,175 @@
+#include "core/profile_dataset.hpp"
+
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "gpusim/opt.hpp"
+#include "stencil/generator.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace smart::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::size_t ProfileDataset::num_ocs() {
+  return gpusim::valid_combinations().size();
+}
+
+bool ProfileDataset::oc_ok(std::size_t stencil, std::size_t gpu,
+                           std::size_t oc) const {
+  for (double t : times[stencil][gpu][oc]) {
+    if (!std::isnan(t)) return true;
+  }
+  return false;
+}
+
+double ProfileDataset::oc_best_time(std::size_t stencil, std::size_t gpu,
+                                    std::size_t oc) const {
+  double best = kInf;
+  for (double t : times[stencil][gpu][oc]) {
+    if (!std::isnan(t)) best = std::min(best, t);
+  }
+  return best;
+}
+
+int ProfileDataset::oc_best_setting(std::size_t stencil, std::size_t gpu,
+                                    std::size_t oc) const {
+  int best = -1;
+  double best_time_ms = kInf;
+  const auto& ts = times[stencil][gpu][oc];
+  for (std::size_t k = 0; k < ts.size(); ++k) {
+    if (!std::isnan(ts[k]) && ts[k] < best_time_ms) {
+      best_time_ms = ts[k];
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+int ProfileDataset::best_oc(std::size_t stencil, std::size_t gpu) const {
+  int best = -1;
+  double best_time_ms = kInf;
+  for (std::size_t oc = 0; oc < num_ocs(); ++oc) {
+    const double t = oc_best_time(stencil, gpu, oc);
+    if (t < best_time_ms) {
+      best_time_ms = t;
+      best = static_cast<int>(oc);
+    }
+  }
+  return best;
+}
+
+double ProfileDataset::best_time(std::size_t stencil, std::size_t gpu) const {
+  double best = kInf;
+  for (std::size_t oc = 0; oc < num_ocs(); ++oc) {
+    best = std::min(best, oc_best_time(stencil, gpu, oc));
+  }
+  return best;
+}
+
+double ProfileDataset::worst_time(std::size_t stencil, std::size_t gpu) const {
+  double worst = 0.0;
+  for (std::size_t oc = 0; oc < num_ocs(); ++oc) {
+    const double t = oc_best_time(stencil, gpu, oc);
+    if (t < kInf) worst = std::max(worst, t);
+  }
+  return worst;
+}
+
+std::size_t ProfileDataset::num_instances() const {
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < stencils.size(); ++s) {
+    for (std::size_t oc = 0; oc < num_ocs(); ++oc) {
+      for (std::size_t k = 0; k < settings[s][oc].size(); ++k) {
+        for (std::size_t g = 0; g < gpus.size(); ++g) {
+          if (!std::isnan(times[s][g][oc][k])) {
+            ++count;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return count;
+}
+
+ProfileDataset build_profile_dataset(const ProfileConfig& config) {
+  ProfileDataset ds;
+  ds.config = config;
+  ds.problem = gpusim::ProblemSize::paper_default(config.dims);
+  ds.gpus = gpusim::evaluation_gpus();
+
+  // --- Stencil generation: orders mixed over 1..max_order --------------
+  util::Rng rng(config.seed);
+  std::unordered_set<std::uint64_t> seen;
+  ds.stencils.reserve(static_cast<std::size_t>(config.num_stencils));
+  while (static_cast<int>(ds.stencils.size()) < config.num_stencils) {
+    stencil::GeneratorConfig gc;
+    gc.dims = config.dims;
+    gc.order = 1 + static_cast<int>(rng.uniform_int(0, config.max_order - 1));
+    const stencil::RandomStencilGenerator gen(gc);
+    stencil::StencilPattern p = gen.generate(rng);
+    if (seen.insert(p.hash()).second) ds.stencils.push_back(std::move(p));
+  }
+
+  // Per-stencil problem: paper default, optionally varied in size and
+  // boundary condition (the future-work extensions).
+  const auto candidates = gpusim::ProblemSize::size_candidates(config.dims);
+  ds.problems.reserve(ds.stencils.size());
+  for (const auto& pattern : ds.stencils) {
+    util::Rng prng(util::hash_combine(config.seed * 31, pattern.hash()));
+    gpusim::ProblemSize prob = ds.problem;
+    if (config.vary_problem_size) prob = prng.pick(candidates);
+    if (config.vary_boundary && prng.bernoulli(0.5)) {
+      prob.boundary = stencil::Boundary::kPeriodic;
+    }
+    ds.problems.push_back(prob);
+  }
+
+  // --- Parameter settings: sampled once per (stencil, OC) ---------------
+  const auto& ocs = gpusim::valid_combinations();
+  const std::size_t n = ds.stencils.size();
+  ds.settings.assign(n, {});
+  for (std::size_t s = 0; s < n; ++s) {
+    util::Rng srng(util::hash_combine(config.seed, ds.stencils[s].hash()));
+    ds.settings[s].resize(ocs.size());
+    for (std::size_t o = 0; o < ocs.size(); ++o) {
+      const gpusim::ParamSpace space(ocs[o], config.dims);
+      std::unordered_set<std::uint64_t> setting_seen;
+      auto& list = ds.settings[s][o];
+      for (int k = 0; k < config.samples_per_oc; ++k) {
+        const gpusim::ParamSetting setting = space.random_setting(srng);
+        if (setting_seen.insert(setting.hash()).second) {
+          list.push_back(setting);
+        }
+      }
+    }
+  }
+
+  // --- Measurements: every setting on every GPU -------------------------
+  const gpusim::Simulator sim(config.sim);
+  const std::size_t g = ds.gpus.size();
+  ds.times.assign(n, std::vector<std::vector<std::vector<double>>>(g));
+  util::parallel_for(n, [&](std::size_t s) {
+    for (std::size_t gi = 0; gi < g; ++gi) {
+      auto& per_oc = ds.times[s][gi];
+      per_oc.resize(ocs.size());
+      for (std::size_t o = 0; o < ocs.size(); ++o) {
+        per_oc[o].reserve(ds.settings[s][o].size());
+        for (const gpusim::ParamSetting& setting : ds.settings[s][o]) {
+          const gpusim::KernelProfile prof = sim.measure(
+              ds.stencils[s], ds.problems[s], ocs[o], setting, ds.gpus[gi]);
+          per_oc[o].push_back(prof.ok ? prof.time_ms
+                                      : std::numeric_limits<double>::quiet_NaN());
+        }
+      }
+    }
+  });
+  return ds;
+}
+
+}  // namespace smart::core

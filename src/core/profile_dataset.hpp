@@ -1,0 +1,79 @@
+// Profiled stencil dataset (paper Sec. IV-A / V-A2): random stencils are
+// profiled under every valid OC with randomly sampled parameter settings on
+// every GPU. The same settings are measured on all GPUs ("we randomly
+// select parameter settings from OCs and make measurements on four
+// different GPUs"), so each (stencil, OC, setting) instance has a time per
+// architecture — which is what cross-architecture regression and the
+// GPU-selection case study (Figs. 12, 14, 15) consume. Per-OC best times
+// drive OC selection (classification, Figs. 1-2, 9-11).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/gpu_spec.hpp"
+#include "gpusim/problem.hpp"
+#include "gpusim/simulator.hpp"
+#include "stencil/pattern.hpp"
+
+namespace smart::core {
+
+struct ProfileConfig {
+  int dims = 2;
+  int max_order = 4;        // paper: maximum stencil order 4
+  int num_stencils = 60;    // paper: 500 per dimensionality
+  int samples_per_oc = 4;   // random parameter settings measured per OC
+  std::uint64_t seed = 1234;
+  gpusim::Simulator::Options sim{};
+  // --- future-work extensions (off by default = the paper's setting) ---
+  bool vary_problem_size = false;  // sample per-stencil grid sizes
+  bool vary_boundary = false;      // mix Dirichlet-zero and periodic kernels
+};
+
+struct ProfileDataset {
+  ProfileConfig config;
+  gpusim::ProblemSize problem;  // the base (paper-default) problem
+  std::vector<gpusim::GpuSpec> gpus;
+  std::vector<stencil::StencilPattern> stencils;
+  /// Per-stencil problem (grid size + boundary); equals `problem` for every
+  /// stencil unless the vary_* extensions are enabled.
+  std::vector<gpusim::ProblemSize> problems;
+  /// settings[stencil][oc][k] — sampled once per (stencil, OC), shared by
+  /// every GPU. oc indexed as in gpusim::valid_combinations().
+  std::vector<std::vector<std::vector<gpusim::ParamSetting>>> settings;
+  /// times[stencil][gpu][oc][k] in ms, aligned with `settings`;
+  /// NaN marks a crashed variant.
+  std::vector<std::vector<std::vector<std::vector<double>>>> times;
+
+  std::size_t num_gpus() const noexcept { return gpus.size(); }
+  static std::size_t num_ocs();
+
+  /// True if at least one sampled setting of (stencil, oc) ran on `gpu`.
+  bool oc_ok(std::size_t stencil, std::size_t gpu, std::size_t oc) const;
+
+  /// Best time over the sampled settings of one OC (+inf if all crashed).
+  double oc_best_time(std::size_t stencil, std::size_t gpu,
+                      std::size_t oc) const;
+
+  /// Index of the best setting for (stencil, gpu, oc), or -1.
+  int oc_best_setting(std::size_t stencil, std::size_t gpu,
+                      std::size_t oc) const;
+
+  /// Best OC index for a stencil on a GPU, or -1 when everything crashed.
+  int best_oc(std::size_t stencil, std::size_t gpu) const;
+
+  /// Best tuned time over all OCs (Figs. 1 and 4); +inf if all crashed.
+  double best_time(std::size_t stencil, std::size_t gpu) const;
+
+  /// Worst per-OC tuned time among OCs that ran (Fig. 1 denominator).
+  double worst_time(std::size_t stencil, std::size_t gpu) const;
+
+  /// Total number of (stencil, oc, setting) instances that ran successfully
+  /// on at least one GPU.
+  std::size_t num_instances() const;
+};
+
+/// Generates the stencils and profiles them (deterministic given config).
+ProfileDataset build_profile_dataset(const ProfileConfig& config);
+
+}  // namespace smart::core

@@ -1,0 +1,277 @@
+#include "core/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "gpusim/opt.hpp"
+#include "ml/dataset.hpp"
+#include "stencil/features.hpp"
+#include "stencil/tensor_repr.hpp"
+#include "util/stats.hpp"
+
+namespace smart::core {
+
+std::string to_string(RegressorKind kind) {
+  switch (kind) {
+    case RegressorKind::kMlp: return "MLP";
+    case RegressorKind::kConvMlp: return "ConvMLP";
+    case RegressorKind::kGbr: return "GBRegressor";
+  }
+  return "?";
+}
+
+RegressionTask::RegressionTask(const ProfileDataset& dataset,
+                               RegressionConfig config)
+    : dataset_(&dataset), config_(config) {
+  for (std::size_t s = 0; s < dataset.stencils.size(); ++s) {
+    for (std::size_t oc = 0; oc < ProfileDataset::num_ocs(); ++oc) {
+      for (std::size_t k = 0; k < dataset.settings[s][oc].size(); ++k) {
+        for (std::size_t g = 0; g < dataset.num_gpus(); ++g) {
+          const double t = dataset.times[s][g][oc][k];
+          if (std::isnan(t)) continue;
+          instances_.push_back({s, oc, k, g, t});
+        }
+      }
+    }
+  }
+  if (instances_.size() > config_.instance_cap) {
+    util::Rng rng(config_.seed);
+    auto keep =
+        rng.sample_without_replacement(instances_.size(), config_.instance_cap);
+    std::sort(keep.begin(), keep.end());  // keep triple-major ordering
+    std::vector<RegressionInstance> subset;
+    subset.reserve(keep.size());
+    for (std::size_t i : keep) subset.push_back(instances_[i]);
+    instances_ = std::move(subset);
+  }
+}
+
+double RegressionTask::measured(std::size_t idx, std::size_t gpu) const {
+  const RegressionInstance& ins = instances_[idx];
+  return dataset_->times[ins.stencil][gpu][ins.oc][ins.setting];
+}
+
+std::vector<float> RegressionTask::feature_row(
+    const stencil::StencilPattern& pattern, const gpusim::ProblemSize& problem,
+    std::size_t oc_idx, const gpusim::ParamSetting& setting, std::size_t gpu,
+    bool include_stencil_features) const {
+  const auto& ocs = gpusim::valid_combinations();
+  std::vector<float> f;
+  if (include_stencil_features) {
+    const auto sf =
+        stencil::extract_features(pattern, dataset_->config.max_order)
+            .to_vector();
+    f.insert(f.end(), sf.begin(), sf.end());
+  }
+  const gpusim::OptCombination& oc = ocs[oc_idx];
+  for (int b = 0; b < gpusim::kNumOpts; ++b) {
+    f.push_back(oc.has(static_cast<gpusim::Opt>(b)) ? 1.0f : 0.0f);
+  }
+  const auto pf = setting.to_feature_vector();
+  f.insert(f.end(), pf.begin(), pf.end());
+  const auto gf = dataset_->gpus[gpu].feature_vector();
+  f.insert(f.end(), gf.begin(), gf.end());
+  // Grid-size + boundary model inputs (future-work extension; constant
+  // columns when the dataset does not vary them, which MaxAbs scaling and
+  // tree splits both tolerate).
+  const auto prob_f = problem.feature_vector();
+  f.insert(f.end(), prob_f.begin(), prob_f.end());
+  return f;
+}
+
+ml::Matrix RegressionTask::build_aux_features(
+    const std::vector<RegressionInstance>& rows,
+    bool include_stencil_features) const {
+  std::vector<std::vector<float>> out;
+  out.reserve(rows.size());
+  for (const RegressionInstance& ins : rows) {
+    out.push_back(feature_row(dataset_->stencils[ins.stencil],
+                              dataset_->problems[ins.stencil], ins.oc,
+                              dataset_->settings[ins.stencil][ins.oc][ins.setting],
+                              ins.gpu, include_stencil_features));
+  }
+  return ml::Matrix::from_rows(out);
+}
+
+double RegressionTask::predict_variant(const stencil::StencilPattern& pattern,
+                                       const gpusim::ProblemSize& problem,
+                                       std::size_t oc,
+                                       const gpusim::ParamSetting& setting,
+                                       std::size_t gpu) const {
+  if (!fitted_) throw std::logic_error("predict_variant before fit_full");
+  double pred_log = 0.0;
+  if (fitted_kind_ == RegressorKind::kGbr) {
+    const auto row = feature_row(pattern, problem, oc, setting, gpu, true);
+    pred_log = gbr_->predict_row(row);
+  } else if (fitted_kind_ == RegressorKind::kMlp) {
+    const ml::Matrix x = aux_scaler_.transform(
+        ml::Matrix::from_rows({feature_row(pattern, problem, oc, setting, gpu, true)}));
+    pred_log = mlp_->predict(x)[0];
+  } else {
+    const ml::Matrix aux = aux_scaler_.transform(
+        ml::Matrix::from_rows({feature_row(pattern, problem, oc, setting, gpu, false)}));
+    const ml::Matrix tensors = ml::Matrix::from_rows(
+        {stencil::PatternTensor(pattern, dataset_->config.max_order).to_floats()});
+    pred_log = convmlp_->predict(tensors, aux)[0];
+  }
+  return std::exp2(pred_log);
+}
+
+ml::Matrix RegressionTask::build_tensor_features(
+    const std::vector<RegressionInstance>& rows) const {
+  std::vector<std::vector<float>> out;
+  out.reserve(rows.size());
+  for (const RegressionInstance& ins : rows) {
+    out.push_back(stencil::PatternTensor(dataset_->stencils[ins.stencil],
+                                         dataset_->config.max_order)
+                      .to_floats());
+  }
+  return ml::Matrix::from_rows(out);
+}
+
+std::vector<float> RegressionTask::build_targets(
+    const std::vector<RegressionInstance>& rows) const {
+  std::vector<float> out;
+  out.reserve(rows.size());
+  for (const RegressionInstance& ins : rows) {
+    out.push_back(static_cast<float>(std::log2(ins.time_ms)));
+  }
+  return out;
+}
+
+RegressionCvResult RegressionTask::cross_validate(RegressorKind kind) {
+  if (instances_.size() < static_cast<std::size_t>(config_.folds)) {
+    throw std::invalid_argument("RegressionTask: too few instances");
+  }
+  util::Rng rng(config_.seed + static_cast<std::uint64_t>(kind));
+  const auto folds = ml::kfold_splits(instances_.size(), config_.folds, rng);
+
+  std::vector<std::vector<double>> truth_per_gpu(dataset_->num_gpus());
+  std::vector<std::vector<double>> pred_per_gpu(dataset_->num_gpus());
+  std::vector<double> truth_all;
+  std::vector<double> pred_all;
+
+  for (const auto& fold : folds) {
+    std::vector<RegressionInstance> train_rows;
+    std::vector<RegressionInstance> test_rows;
+    for (std::size_t i : fold.train_indices) train_rows.push_back(instances_[i]);
+    for (std::size_t i : fold.test_indices) test_rows.push_back(instances_[i]);
+
+    const std::vector<float> y_train = build_targets(train_rows);
+    std::vector<double> preds_log;
+
+    if (kind == RegressorKind::kGbr) {
+      const ml::Matrix x_train = build_aux_features(train_rows, true);
+      const ml::Matrix x_test = build_aux_features(test_rows, true);
+      ml::GbdtParams params;
+      params.seed = config_.seed;
+      ml::GbdtRegressor model(params);
+      model.fit(x_train, y_train);
+      preds_log = model.predict(x_test);
+    } else if (kind == RegressorKind::kMlp) {
+      ml::MaxAbsScaler scaler;
+      const ml::Matrix x_train =
+          scaler.fit_transform(build_aux_features(train_rows, true));
+      const ml::Matrix x_test =
+          scaler.transform(build_aux_features(test_rows, true));
+      util::Rng net_rng(config_.seed * 13 + 1);
+      ml::TrainConfig tc{config_.epochs, config_.batch_size,
+                         config_.learning_rate, config_.seed};
+      ml::NnRegressor model(
+          ml::make_mlp(x_train.cols(), config_.mlp_hidden_layers,
+                       config_.mlp_width, net_rng),
+          tc);
+      model.fit(x_train, y_train);
+      preds_log = model.predict(x_test);
+    } else {
+      ml::MaxAbsScaler scaler;
+      const ml::Matrix aux_train =
+          scaler.fit_transform(build_aux_features(train_rows, false));
+      const ml::Matrix aux_test =
+          scaler.transform(build_aux_features(test_rows, false));
+      const ml::Matrix t_train = build_tensor_features(train_rows);
+      const ml::Matrix t_test = build_tensor_features(test_rows);
+      ml::TrainConfig tc{config_.epochs, config_.batch_size,
+                         config_.learning_rate, config_.seed};
+      ml::ConvMlpRegressor model(dataset_->config.dims,
+                                 dataset_->config.max_order, aux_train.cols(),
+                                 tc);
+      model.fit(t_train, aux_train, y_train);
+      preds_log = model.predict(t_test, aux_test);
+    }
+
+    for (std::size_t i = 0; i < test_rows.size(); ++i) {
+      const double truth = test_rows[i].time_ms;
+      const double pred = std::exp2(preds_log[i]);
+      truth_all.push_back(truth);
+      pred_all.push_back(pred);
+      truth_per_gpu[test_rows[i].gpu].push_back(truth);
+      pred_per_gpu[test_rows[i].gpu].push_back(pred);
+    }
+  }
+
+  RegressionCvResult result;
+  result.mape_overall = util::mape(truth_all, pred_all);
+  result.mape_per_gpu.resize(dataset_->num_gpus());
+  for (std::size_t g = 0; g < dataset_->num_gpus(); ++g) {
+    result.mape_per_gpu[g] = util::mape(truth_per_gpu[g], pred_per_gpu[g]);
+  }
+  return result;
+}
+
+void RegressionTask::fit_full(RegressorKind kind) {
+  const std::vector<float> y = build_targets(instances_);
+  fitted_kind_ = kind;
+  if (kind == RegressorKind::kGbr) {
+    const ml::Matrix x = build_aux_features(instances_, true);
+    ml::GbdtParams params;
+    params.seed = config_.seed;
+    gbr_ = std::make_unique<ml::GbdtRegressor>(params);
+    gbr_->fit(x, y);
+  } else if (kind == RegressorKind::kMlp) {
+    const ml::Matrix x =
+        aux_scaler_.fit_transform(build_aux_features(instances_, true));
+    util::Rng net_rng(config_.seed * 13 + 1);
+    ml::TrainConfig tc{config_.epochs, config_.batch_size,
+                       config_.learning_rate, config_.seed};
+    mlp_ = std::make_unique<ml::NnRegressor>(
+        ml::make_mlp(x.cols(), config_.mlp_hidden_layers, config_.mlp_width,
+                     net_rng),
+        tc);
+    mlp_->fit(x, y);
+  } else {
+    const ml::Matrix aux =
+        aux_scaler_.fit_transform(build_aux_features(instances_, false));
+    const ml::Matrix tensors = build_tensor_features(instances_);
+    ml::TrainConfig tc{config_.epochs, config_.batch_size,
+                       config_.learning_rate, config_.seed};
+    convmlp_ = std::make_unique<ml::ConvMlpRegressor>(
+        dataset_->config.dims, dataset_->config.max_order, aux.cols(), tc);
+    convmlp_->fit(tensors, aux, y);
+  }
+  fitted_ = true;
+}
+
+double RegressionTask::predict(std::size_t idx, std::size_t gpu) const {
+  if (!fitted_) throw std::logic_error("RegressionTask::predict before fit_full");
+  RegressionInstance probe = instances_[idx];
+  probe.gpu = gpu;
+  const std::vector<RegressionInstance> rows{probe};
+  double pred_log = 0.0;
+  if (fitted_kind_ == RegressorKind::kGbr) {
+    const ml::Matrix x = build_aux_features(rows, true);
+    pred_log = gbr_->predict_row(x.row(0));
+  } else if (fitted_kind_ == RegressorKind::kMlp) {
+    const ml::Matrix x = aux_scaler_.transform(build_aux_features(rows, true));
+    pred_log = mlp_->predict(x)[0];
+  } else {
+    const ml::Matrix aux =
+        aux_scaler_.transform(build_aux_features(rows, false));
+    const ml::Matrix tensors = build_tensor_features(rows);
+    pred_log = convmlp_->predict(tensors, aux)[0];
+  }
+  return std::exp2(pred_log);
+}
+
+}  // namespace smart::core

@@ -1,0 +1,111 @@
+// Cross-architecture performance prediction (paper Sec. IV-E, Figs. 12-15).
+//
+// Each regression instance is one (stencil, OC, parameter setting) pair on
+// one GPU; the input features concatenate the stencil's Table II feature
+// vector (or its binary tensor for ConvMLP), the OC flags, the log2-scaled
+// parameter setting, and the GPU hardware characteristics (memory,
+// bandwidth, SMs, TFLOPS). The target is log2(time_ms), turned back into
+// milliseconds for MAPE so errors are relative, like the paper's metric.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/profile_dataset.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/matrix.hpp"
+#include "ml/models.hpp"
+
+namespace smart::core {
+
+enum class RegressorKind { kMlp, kConvMlp, kGbr };
+
+std::string to_string(RegressorKind kind);
+
+struct RegressionConfig {
+  int folds = 5;
+  int epochs = 30;
+  int batch_size = 128;        // paper: 256; smaller batches converge faster
+                               // at our reduced dataset scale
+  double learning_rate = 1e-3; // paper: 0.0005 at 100 epochs
+  int mlp_hidden_layers = 5;
+  std::size_t mlp_width = 128;
+  /// Hard cap on instances used for training/evaluation (subsampled
+  /// deterministically) so the NN benches stay fast at small scale.
+  std::size_t instance_cap = 20000;
+  std::uint64_t seed = 4242;
+};
+
+/// One measured (stencil, OC, setting, GPU) sample.
+struct RegressionInstance {
+  std::size_t stencil = 0;
+  std::size_t oc = 0;
+  std::size_t setting = 0;
+  std::size_t gpu = 0;
+  double time_ms = 0.0;
+};
+
+struct RegressionCvResult {
+  double mape_overall = 0.0;
+  std::vector<double> mape_per_gpu;  // aligned with dataset.gpus
+};
+
+class RegressionTask {
+ public:
+  RegressionTask(const ProfileDataset& dataset, RegressionConfig config);
+
+  /// k-fold cross-validated test MAPE (Fig. 12).
+  RegressionCvResult cross_validate(RegressorKind kind);
+
+  /// Trains on every instance (for the GPU advisor / case study).
+  void fit_full(RegressorKind kind);
+
+  /// Predicted time (ms) of instance `idx`'s (stencil, OC, setting) on an
+  /// arbitrary GPU of the dataset. Requires fit_full() first.
+  double predict(std::size_t idx, std::size_t gpu) const;
+
+  const std::vector<RegressionInstance>& instances() const noexcept {
+    return instances_;
+  }
+  const ProfileDataset& dataset() const noexcept { return *dataset_; }
+
+  /// Measured time of instance idx's triple on `gpu` (NaN if crashed).
+  double measured(std::size_t idx, std::size_t gpu) const;
+
+  /// Predicted time (ms) for an arbitrary variant that need not be in the
+  /// dataset — the entry point the StencilMart facade uses for unseen
+  /// stencils. Requires fit_full().
+  double predict_variant(const stencil::StencilPattern& pattern,
+                         const gpusim::ProblemSize& problem, std::size_t oc,
+                         const gpusim::ParamSetting& setting,
+                         std::size_t gpu) const;
+
+ private:
+  std::vector<float> feature_row(const stencil::StencilPattern& pattern,
+                                 const gpusim::ProblemSize& problem,
+                                 std::size_t oc,
+                                 const gpusim::ParamSetting& setting,
+                                 std::size_t gpu,
+                                 bool include_stencil_features) const;
+  ml::Matrix build_aux_features(const std::vector<RegressionInstance>& rows,
+                                bool include_stencil_features) const;
+  ml::Matrix build_tensor_features(
+      const std::vector<RegressionInstance>& rows) const;
+  std::vector<float> build_targets(
+      const std::vector<RegressionInstance>& rows) const;
+
+  const ProfileDataset* dataset_;
+  RegressionConfig config_;
+  std::vector<RegressionInstance> instances_;
+
+  // Fitted state (fit_full).
+  RegressorKind fitted_kind_ = RegressorKind::kMlp;
+  bool fitted_ = false;
+  std::unique_ptr<ml::GbdtRegressor> gbr_;
+  std::unique_ptr<ml::NnRegressor> mlp_;
+  std::unique_ptr<ml::ConvMlpRegressor> convmlp_;
+  ml::MaxAbsScaler aux_scaler_;
+};
+
+}  // namespace smart::core

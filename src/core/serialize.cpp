@@ -1,0 +1,190 @@
+#include "core/serialize.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace smart::core {
+
+namespace {
+
+constexpr const char* kMagic = "stencilmart-dataset-v1";
+
+std::string encode_offsets(const stencil::StencilPattern& pattern) {
+  std::ostringstream os;
+  bool first = true;
+  for (const stencil::Point& p : pattern.offsets()) {
+    if (!first) os << ';';
+    first = false;
+    os << static_cast<int>(p[0]) << ':' << static_cast<int>(p[1]) << ':'
+       << static_cast<int>(p[2]);
+  }
+  return os.str();
+}
+
+stencil::StencilPattern decode_offsets(int dims, const std::string& text) {
+  std::vector<stencil::Point> points;
+  std::istringstream stream(text);
+  std::string token;
+  while (std::getline(stream, token, ';')) {
+    int x = 0;
+    int y = 0;
+    int z = 0;
+    if (std::sscanf(token.c_str(), "%d:%d:%d", &x, &y, &z) != 3) {
+      throw std::runtime_error("load_dataset: bad offset token '" + token + "'");
+    }
+    points.push_back(stencil::Point{x, y, z});
+  }
+  return stencil::StencilPattern(dims, std::move(points));
+}
+
+void encode_setting(std::ostream& out, const gpusim::ParamSetting& s) {
+  out << s.block_x << ' ' << s.block_y << ' ' << s.merge_factor << ' '
+      << s.merge_dim << ' ' << s.unroll << ' ' << s.stream_tile << ' '
+      << s.stream_dim << ' ' << (s.use_smem ? 1 : 0) << ' ' << s.tb_depth;
+}
+
+gpusim::ParamSetting decode_setting(std::istream& in) {
+  gpusim::ParamSetting s;
+  int use_smem = 0;
+  in >> s.block_x >> s.block_y >> s.merge_factor >> s.merge_dim >> s.unroll >>
+      s.stream_tile >> s.stream_dim >> use_smem >> s.tb_depth;
+  s.use_smem = use_smem != 0;
+  return s;
+}
+
+void expect(bool condition, const std::string& what) {
+  if (!condition) throw std::runtime_error("load_dataset: " + what);
+}
+
+}  // namespace
+
+void save_dataset(const ProfileDataset& ds, std::ostream& out) {
+  out << kMagic << '\n';
+  out << std::setprecision(17);
+  out << ds.config.dims << ' ' << ds.config.max_order << ' '
+      << ds.stencils.size() << ' ' << ds.config.samples_per_oc << ' '
+      << ds.config.seed << ' ' << ds.config.sim.noise_sigma << ' '
+      << (ds.config.vary_problem_size ? 1 : 0) << ' '
+      << (ds.config.vary_boundary ? 1 : 0) << '\n';
+
+  for (std::size_t s = 0; s < ds.stencils.size(); ++s) {
+    const auto& prob = ds.problems[s];
+    out << "stencil " << prob.nx << ' ' << prob.ny << ' ' << prob.nz << ' '
+        << (prob.boundary == stencil::Boundary::kPeriodic ? 1 : 0) << ' '
+        << encode_offsets(ds.stencils[s]) << '\n';
+  }
+  for (std::size_t s = 0; s < ds.stencils.size(); ++s) {
+    for (std::size_t oc = 0; oc < ProfileDataset::num_ocs(); ++oc) {
+      for (const auto& setting : ds.settings[s][oc]) {
+        out << "setting " << s << ' ' << oc << ' ';
+        encode_setting(out, setting);
+        out << '\n';
+      }
+    }
+  }
+  for (std::size_t s = 0; s < ds.stencils.size(); ++s) {
+    for (std::size_t g = 0; g < ds.num_gpus(); ++g) {
+      for (std::size_t oc = 0; oc < ProfileDataset::num_ocs(); ++oc) {
+        const auto& ts = ds.times[s][g][oc];
+        for (std::size_t k = 0; k < ts.size(); ++k) {
+          out << "time " << s << ' ' << g << ' ' << oc << ' ' << k << ' ';
+          if (std::isnan(ts[k])) {
+            out << "crash";
+          } else {
+            out << std::hexfloat << ts[k] << std::defaultfloat;
+          }
+          out << '\n';
+        }
+      }
+    }
+  }
+  if (!out) throw std::runtime_error("save_dataset: stream write failed");
+}
+
+void save_dataset(const ProfileDataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_dataset: cannot open " + path);
+  save_dataset(dataset, out);
+}
+
+ProfileDataset load_dataset(std::istream& in) {
+  std::string magic;
+  std::getline(in, magic);
+  expect(magic == kMagic, "bad magic '" + magic + "'");
+
+  ProfileDataset ds;
+  std::size_t num_stencils = 0;
+  int vary_size = 0;
+  int vary_boundary = 0;
+  in >> ds.config.dims >> ds.config.max_order >> num_stencils >>
+      ds.config.samples_per_oc >> ds.config.seed >>
+      ds.config.sim.noise_sigma >> vary_size >> vary_boundary;
+  expect(static_cast<bool>(in), "bad header");
+  ds.config.num_stencils = static_cast<int>(num_stencils);
+  ds.config.vary_problem_size = vary_size != 0;
+  ds.config.vary_boundary = vary_boundary != 0;
+  ds.problem = gpusim::ProblemSize::paper_default(ds.config.dims);
+  ds.gpus = gpusim::evaluation_gpus();
+
+  const std::size_t num_ocs = ProfileDataset::num_ocs();
+  ds.settings.assign(num_stencils,
+                     std::vector<std::vector<gpusim::ParamSetting>>(num_ocs));
+  ds.times.assign(num_stencils,
+                  std::vector<std::vector<std::vector<double>>>(
+                      ds.gpus.size(),
+                      std::vector<std::vector<double>>(num_ocs)));
+
+  std::string tag;
+  while (in >> tag) {
+    if (tag == "stencil") {
+      gpusim::ProblemSize prob;
+      int periodic = 0;
+      std::string offsets;
+      in >> prob.nx >> prob.ny >> prob.nz >> periodic >> offsets;
+      expect(static_cast<bool>(in), "bad stencil record");
+      prob.boundary = periodic != 0 ? stencil::Boundary::kPeriodic
+                                    : stencil::Boundary::kDirichletZero;
+      ds.problems.push_back(prob);
+      ds.stencils.push_back(decode_offsets(ds.config.dims, offsets));
+    } else if (tag == "setting") {
+      std::size_t s = 0;
+      std::size_t oc = 0;
+      in >> s >> oc;
+      expect(s < num_stencils && oc < num_ocs, "setting index out of range");
+      ds.settings[s][oc].push_back(decode_setting(in));
+      expect(static_cast<bool>(in), "bad setting record");
+    } else if (tag == "time") {
+      std::size_t s = 0;
+      std::size_t g = 0;
+      std::size_t oc = 0;
+      std::size_t k = 0;
+      std::string value;
+      in >> s >> g >> oc >> k >> value;
+      expect(static_cast<bool>(in), "bad time record");
+      expect(s < num_stencils && g < ds.gpus.size() && oc < num_ocs,
+             "time index out of range");
+      auto& ts = ds.times[s][g][oc];
+      expect(k == ts.size(), "time records out of order");
+      if (value == "crash") {
+        ts.push_back(std::numeric_limits<double>::quiet_NaN());
+      } else {
+        ts.push_back(std::strtod(value.c_str(), nullptr));
+      }
+    } else {
+      throw std::runtime_error("load_dataset: unknown tag '" + tag + "'");
+    }
+  }
+  expect(ds.stencils.size() == num_stencils, "stencil count mismatch");
+  return ds;
+}
+
+ProfileDataset load_dataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_dataset: cannot open " + path);
+  return load_dataset(in);
+}
+
+}  // namespace smart::core

@@ -1,0 +1,29 @@
+// Dataset (de)serialization: profiling is the expensive step of the
+// pipeline on real hardware (hours of kernel measurements), so StencilMART
+// persists profiled corpora to a plain-text format that is stable across
+// runs and diff-friendly. The format is sectioned:
+//
+//   [header]   dims max_order num_stencils samples_per_oc seed noise_sigma
+//   [stencil]  dims nx ny nz boundary offsets(x:y:z;...)
+//   [settings] stencil_idx oc_idx block_x block_y ... tb_depth
+//   [times]    stencil_idx gpu_idx oc_idx setting_idx time_ms|crash
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/profile_dataset.hpp"
+
+namespace smart::core {
+
+/// Writes `dataset` to the stream / file. Throws std::runtime_error on I/O
+/// failure.
+void save_dataset(const ProfileDataset& dataset, std::ostream& out);
+void save_dataset(const ProfileDataset& dataset, const std::string& path);
+
+/// Reads a dataset back. Throws std::runtime_error on parse errors; the
+/// result is bit-identical to the saved dataset (validated by tests).
+ProfileDataset load_dataset(std::istream& in);
+ProfileDataset load_dataset(const std::string& path);
+
+}  // namespace smart::core

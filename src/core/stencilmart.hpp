@@ -1,0 +1,30 @@
+// StencilMART public facade: one include for the whole pipeline
+// (paper Fig. 5): random stencil generation -> representation -> profiling
+// (simulated GPUs) -> OC merging -> classification (best-OC selection) and
+// regression (cross-architecture performance prediction) -> GPU advisor.
+//
+// Typical use (see examples/):
+//
+//   smart::core::ProfileConfig cfg;            // dims, #stencils, seed...
+//   auto dataset = smart::core::build_profile_dataset(cfg);
+//   smart::core::OcMerger merger;
+//   merger.fit(dataset);                       // 30 OCs -> 5 groups
+//   auto clf = smart::core::run_classification(
+//       dataset, merger, /*gpu=*/1, smart::core::ClassifierKind::kGbdt, {});
+//   smart::core::RegressionTask reg(dataset, {});
+//   reg.fit_full(smart::core::RegressorKind::kMlp);
+//   smart::core::GpuAdvisor advisor(reg);
+//   auto fig14 = advisor.pure_performance();
+#pragma once
+
+#include "core/advisor.hpp"          // IWYU pragma: export
+#include "core/baselines.hpp"       // IWYU pragma: export
+#include "core/classification.hpp"  // IWYU pragma: export
+#include "core/mart.hpp"            // IWYU pragma: export
+#include "core/oc_merger.hpp"       // IWYU pragma: export
+#include "core/profile_dataset.hpp" // IWYU pragma: export
+#include "core/regression.hpp"      // IWYU pragma: export
+#include "gpusim/simulator.hpp"     // IWYU pragma: export
+#include "gpusim/tuner.hpp"         // IWYU pragma: export
+#include "stencil/generator.hpp"    // IWYU pragma: export
+#include "stencil/reference.hpp"    // IWYU pragma: export

@@ -1,0 +1,108 @@
+// Analytic GPU kernel cost model for stencil variants.
+//
+// This is the substitute for the paper's physical GPUs + CUDA kernels (see
+// DESIGN.md "Substitutions"). Given a stencil pattern, a problem size, an
+// optimization combination, a parameter setting, and a GPU spec, it
+// estimates the execution time of one stencil sweep as
+//
+//     T = overlap(T_mem, T_compute) + T_sync + T_launch
+//
+// where
+//  * T_mem models DRAM traffic (cold reads + cache-limited neighbour
+//    redundancy + tile halos + spills) over occupancy-dependent sustained
+//    bandwidth with a latency-bound floor,
+//  * T_compute models FLOPs plus per-point instruction overhead over the
+//    sustained FP64 rate, scaled by SM utilization,
+//  * T_sync models the per-plane block barrier of streaming kernels (hidden
+//    partially by prefetching),
+//  * register and shared-memory pressure feed an occupancy model, and
+//    exceeding hard limits makes the variant *crash* (paper Sec. III-A
+//    observes such crashes, e.g. TB without ST on 3-D order-4 stencils).
+//
+// The model is deterministic; measurement noise is added by the Simulator.
+#pragma once
+
+#include <string>
+
+#include "gpusim/gpu_spec.hpp"
+#include "gpusim/occupancy.hpp"
+#include "gpusim/opt.hpp"
+#include "gpusim/params.hpp"
+#include "gpusim/problem.hpp"
+#include "stencil/pattern.hpp"
+
+namespace smart::gpusim {
+
+struct KernelProfile {
+  bool ok = false;
+  std::string crash_reason;  // non-empty iff !ok
+
+  double time_ms = 0.0;      // modelled execution time of one sweep
+
+  // Diagnostics (also useful for tests and the examples' explain output).
+  double regs_per_thread = 0.0;
+  double smem_per_block_bytes = 0.0;
+  double occupancy = 0.0;
+  long long total_blocks = 0;
+  double dram_traffic_bytes = 0.0;
+  double flops = 0.0;
+  double t_mem_ms = 0.0;
+  double t_comp_ms = 0.0;
+  double t_sync_ms = 0.0;
+};
+
+/// Tunable model constants (calibrated once; exposed for ablation benches).
+struct CostConstants {
+  double regs_base = 26.0;          // addressing + loop state
+  double regs_per_dim = 1.5;
+  double regs_stream_per_plane = 2.2;
+  double retime_reg_scale = 0.45;   // RT homogenizes stream registers
+  double retime_reg_overhead = 6.0;
+  double prefetch_regs = 6.0;
+  double merge_reg_growth = 0.27;   // per extra merged point
+  double unroll_reg_growth = 0.08;
+  double spill_threshold = 255.0;   // regs/thread before spilling
+  double crash_regs = 440.0;        // beyond this the build fails
+  double spill_bytes_per_reg = 4.0; // DRAM bytes per point per spilled reg
+
+  double l2_row_reuse_extra = 0.15;   // 2-D cached cross-row redundancy
+  double uncached_plane_cost = 0.85;  // 3-D re-read fraction per spilled plane
+  double nosmem_halo_penalty = 1.6;   // halo via cache instead of smem
+  double nosmem_traffic_scale = 1.08;
+  double bm_coalesce_penalty = 0.35;  // per merged point along x
+  double cm_traffic_scale = 1.02;
+  double merge_reuse_gain = 0.04;     // per log2(merge) off the x axis
+
+  double flops_per_point_factor = 2.0;  // one FMA pair per tap
+  double instr_overhead_ops = 16.0;     // per point, amortized by merging
+  double retime_compute_overhead = 0.05;
+  double compute_sat_occupancy = 0.25;
+
+  double periodic_wrap_ops = 6.0;    // extra index arithmetic per point
+  double periodic_halo_scale = 1.04; // wrapped halo lines coalesce worse
+
+  double prefetch_sync_hide = 0.30;  // fraction of sync cost left with PR
+  double tb_sync_growth = 0.30;      // extra sync per fused step
+  double mlp_loads_per_thread = 4.0; // in-flight loads (latency floor)
+  double overlap_fraction = 0.35;    // min(Tmem,Tcomp) not hidden
+};
+
+class KernelCostModel {
+ public:
+  explicit KernelCostModel(CostConstants constants = {})
+      : c_(constants) {}
+
+  /// Evaluates one variant. Never throws for resource overflows — those are
+  /// reported as crashes in the profile (exactly how a failed CUDA launch
+  /// shows up to an autotuner).
+  KernelProfile evaluate(const stencil::StencilPattern& pattern,
+                         const ProblemSize& problem, const OptCombination& oc,
+                         const ParamSetting& setting, const GpuSpec& gpu) const;
+
+  const CostConstants& constants() const noexcept { return c_; }
+
+ private:
+  CostConstants c_;
+};
+
+}  // namespace smart::gpusim

@@ -1,0 +1,125 @@
+#include "gpusim/gpu_spec.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace smart::gpusim {
+
+std::vector<double> GpuSpec::feature_vector() const {
+  return {mem_gb, mem_bw_gbs, static_cast<double>(sms), fp64_tflops};
+}
+
+std::uint64_t GpuSpec::hash() const noexcept {
+  std::uint64_t h = 0xc0ffee;
+  for (char c : name) {
+    h = util::hash_combine(h, static_cast<std::uint64_t>(c));
+  }
+  return h;
+}
+
+const std::vector<GpuSpec>& evaluation_gpus() {
+  static const std::vector<GpuSpec> gpus = [] {
+    std::vector<GpuSpec> v;
+
+    GpuSpec p100;
+    p100.name = "P100";
+    p100.generation = "Pascal";
+    p100.mem_gb = 16.0;
+    p100.mem_bw_gbs = 720.0;
+    p100.sms = 56;
+    p100.fp64_tflops = 5.3;
+    p100.rental_usd_hr = 1.46;
+    p100.l2_mb = 4.0;
+    p100.smem_per_sm_kb = 64.0;
+    p100.smem_per_block_kb = 48.0;
+    p100.max_threads_per_sm = 2048;
+    p100.max_blocks_per_sm = 32;
+    p100.clock_ghz = 1.48;
+    p100.alu_tops = 10.6;
+    p100.sustained_fp64_frac = 0.78;
+    p100.peak_bw_frac = 0.88;
+    p100.bw_per_thread_gbs = 0.013;  // short queues on GP100 LSUs
+    p100.dram_latency_ns = 540.0;
+    p100.sync_cycles = 220.0;
+    v.push_back(p100);
+
+    GpuSpec v100;
+    v100.name = "V100";
+    v100.generation = "Volta";
+    v100.mem_gb = 32.0;
+    v100.mem_bw_gbs = 900.0;
+    v100.sms = 80;
+    v100.fp64_tflops = 7.8;
+    v100.rental_usd_hr = 2.48;
+    v100.l2_mb = 6.0;
+    v100.smem_per_sm_kb = 96.0;
+    v100.smem_per_block_kb = 96.0;
+    v100.max_threads_per_sm = 2048;
+    v100.max_blocks_per_sm = 32;
+    v100.clock_ghz = 1.53;
+    v100.alu_tops = 15.7;
+    v100.sustained_fp64_frac = 0.95;
+    v100.peak_bw_frac = 0.82;
+    v100.bw_per_thread_gbs = 0.0078;
+    v100.dram_latency_ns = 440.0;
+    v100.sync_cycles = 160.0;
+    v.push_back(v100);
+
+    GpuSpec turing;
+    turing.name = "2080Ti";
+    turing.generation = "Turing";
+    turing.mem_gb = 11.0;
+    turing.mem_bw_gbs = 616.0;
+    turing.sms = 68;
+    turing.fp64_tflops = 0.41;   // 1/32 FP64 rate on consumer Turing
+    turing.rental_usd_hr = 0.0;  // not offered by Google Cloud
+    turing.l2_mb = 5.5;
+    turing.smem_per_sm_kb = 64.0;
+    turing.smem_per_block_kb = 64.0;
+    turing.max_threads_per_sm = 1024;  // Turing halves the resident limit
+    turing.max_blocks_per_sm = 16;
+    turing.clock_ghz = 1.545;
+    turing.alu_tops = 13.4;
+    turing.sustained_fp64_frac = 0.95;
+    turing.peak_bw_frac = 0.97;
+    turing.bw_per_thread_gbs = 0.016;  // GDDR6: lowest load-to-use latency
+    turing.dram_latency_ns = 480.0;
+    turing.sync_cycles = 140.0;
+    v.push_back(turing);
+
+    GpuSpec a100;
+    a100.name = "A100";
+    a100.generation = "Ampere";
+    a100.mem_gb = 40.0;
+    a100.mem_bw_gbs = 1555.0;
+    a100.sms = 108;
+    a100.fp64_tflops = 9.7;
+    a100.rental_usd_hr = 2.93;
+    a100.l2_mb = 40.0;
+    a100.smem_per_sm_kb = 164.0;
+    a100.smem_per_block_kb = 163.0;
+    a100.max_threads_per_sm = 2048;
+    a100.max_blocks_per_sm = 32;
+    a100.clock_ghz = 1.41;
+    a100.alu_tops = 19.5;
+    a100.sustained_fp64_frac = 0.70;  // accumulation chains under-fill FP64 pipe
+    a100.peak_bw_frac = 0.66;  // HBM2e row-activation inefficiency on stencil strides
+    a100.bw_per_thread_gbs = 0.0050;  // HBM2e: deepest queues, most MLP needed
+    a100.dram_latency_ns = 470.0;
+    a100.sync_cycles = 200.0;
+    v.push_back(a100);
+
+    return v;
+  }();
+  return gpus;
+}
+
+const GpuSpec& gpu_by_name(const std::string& name) {
+  for (const GpuSpec& g : evaluation_gpus()) {
+    if (g.name == name) return g;
+  }
+  throw std::out_of_range("gpu_by_name: unknown GPU " + name);
+}
+
+}  // namespace smart::gpusim

@@ -1,0 +1,71 @@
+// GPU hardware descriptions (paper Table III) plus the microarchitectural
+// constants the analytic cost model needs. The Table III columns (memory,
+// bandwidth, SMs, TFLOPS, rental price) are exactly the hardware features
+// the paper feeds to its cross-architecture regression models (Sec. IV-E).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smart::gpusim {
+
+struct GpuSpec {
+  std::string name;        // e.g. "V100"
+  std::string generation;  // e.g. "Volta"
+
+  // --- Table III columns (also the regression-model hardware features) ---
+  double mem_gb = 0.0;        // device memory capacity
+  double mem_bw_gbs = 0.0;    // peak DRAM bandwidth, GB/s
+  int sms = 0;                // number of streaming multiprocessors
+  double fp64_tflops = 0.0;   // peak double-precision TFLOPS
+  double rental_usd_hr = 0.0; // Google Cloud us-central1, Oct 2021; 0 = n/a
+
+  // --- Microarchitectural constants (vendor whitepapers) ---
+  double l2_mb = 0.0;             // L2 cache capacity
+  double smem_per_sm_kb = 0.0;    // shared memory per SM
+  double smem_per_block_kb = 0.0; // max shared memory per thread block
+  int regs_per_sm = 65536;        // 32-bit registers per SM
+  int max_threads_per_sm = 2048;  // resident-thread limit per SM
+  int max_blocks_per_sm = 32;     // resident-block limit per SM
+  double clock_ghz = 0.0;         // sustained SM clock
+  // Aggregate non-FP64 issue throughput (INT32 address arithmetic, control,
+  // FP32) in TOPS — the pipe that per-point loop overhead runs on.
+  double alu_tops = 0.0;
+
+  // --- Calibrated model parameters ---
+  // Fraction of peak FP64 sustained on stencil FMA/accumulate chains
+  // (register dependencies and issue limits keep it below 1.0; Ampere's
+  // FP64 pipe sustains a lower fraction on accumulation-heavy kernels).
+  double sustained_fp64_frac = 0.9;
+  // Fraction of peak DRAM bandwidth achievable at full occupancy.
+  double peak_bw_frac = 0.92;
+  // Achievable DRAM bandwidth per resident thread (GB/s): the
+  // latency/MLP-limited regime below the saturation knee. Derived from
+  // load latency and per-thread outstanding misses; roughly comparable
+  // across architectures, so low-occupancy kernels run at similar speed
+  // everywhere while peak bandwidth only matters near full occupancy.
+  double bw_per_thread_gbs = 0.0075;
+  // Average DRAM load latency in ns (reported for diagnostics).
+  double dram_latency_ns = 450.0;
+  // Cost of one block-wide __syncthreads() + shared-memory shift, in SM
+  // cycles (converted via clock_ghz); streaming kernels pay this per plane.
+  double sync_cycles = 180.0;
+  // Fixed kernel-launch overhead in microseconds.
+  double launch_us = 4.0;
+
+  /// Hardware feature vector for the regression models: memory capacity,
+  /// bandwidth, #SMs, peak TFLOPS (paper Sec. IV-E), plus rental price 0.
+  std::vector<double> feature_vector() const;
+
+  /// Stable hash for measurement-noise seeding.
+  std::uint64_t hash() const noexcept;
+};
+
+/// The four evaluation GPUs (paper Table III): P100, V100, 2080 Ti, A100.
+const std::vector<GpuSpec>& evaluation_gpus();
+
+/// Lookup by name; throws std::out_of_range for unknown names.
+const GpuSpec& gpu_by_name(const std::string& name);
+
+}  // namespace smart::gpusim

@@ -1,0 +1,54 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smart::gpusim {
+
+OccupancyResult compute_occupancy(const GpuSpec& gpu, int threads_per_block,
+                                  double regs_per_thread,
+                                  double smem_per_block_bytes) {
+  if (threads_per_block <= 0) {
+    throw std::invalid_argument("compute_occupancy: threads_per_block <= 0");
+  }
+  OccupancyResult r;
+
+  int limit = gpu.max_blocks_per_sm;
+  r.limiter = "block-slots";
+
+  const int by_threads = gpu.max_threads_per_sm / threads_per_block;
+  if (by_threads < limit) {
+    limit = by_threads;
+    r.limiter = "thread-slots";
+  }
+
+  const int regs = std::max(1, static_cast<int>(std::ceil(regs_per_thread)));
+  const long long regs_per_block =
+      static_cast<long long>(regs) * threads_per_block;
+  const int by_regs =
+      static_cast<int>(static_cast<long long>(gpu.regs_per_sm) / regs_per_block);
+  if (by_regs < limit) {
+    limit = by_regs;
+    r.limiter = "registers";
+  }
+
+  if (smem_per_block_bytes > 0.0) {
+    const double smem_per_sm = gpu.smem_per_sm_kb * 1024.0;
+    const int by_smem =
+        static_cast<int>(std::floor(smem_per_sm / smem_per_block_bytes));
+    if (by_smem < limit) {
+      limit = by_smem;
+      r.limiter = "shared-memory";
+    }
+  }
+
+  r.blocks_per_sm = std::max(0, limit);
+  r.threads_per_sm =
+      std::min(r.blocks_per_sm * threads_per_block, gpu.max_threads_per_sm);
+  r.occupancy = static_cast<double>(r.threads_per_sm) /
+                static_cast<double>(gpu.max_threads_per_sm);
+  return r;
+}
+
+}  // namespace smart::gpusim

@@ -1,0 +1,24 @@
+// SM occupancy calculation: how many blocks of a kernel can be resident on
+// one SM given its register, shared-memory, thread-slot and block-slot
+// limits. Mirrors the CUDA occupancy calculator at the granularity the cost
+// model needs.
+#pragma once
+
+#include "gpusim/gpu_spec.hpp"
+
+namespace smart::gpusim {
+
+struct OccupancyResult {
+  int blocks_per_sm = 0;       // resident blocks per SM (0 = unlaunchable)
+  int threads_per_sm = 0;      // resident threads per SM
+  double occupancy = 0.0;      // threads_per_sm / max_threads_per_sm
+  const char* limiter = "";    // which resource capped the block count
+};
+
+/// regs_per_thread is the (possibly fractional) model estimate; it is
+/// rounded up. smem_per_block_bytes == 0 means no shared memory is used.
+OccupancyResult compute_occupancy(const GpuSpec& gpu, int threads_per_block,
+                                  double regs_per_thread,
+                                  double smem_per_block_bytes);
+
+}  // namespace smart::gpusim

@@ -1,0 +1,89 @@
+#include "gpusim/opt.hpp"
+
+#include <stdexcept>
+
+namespace smart::gpusim {
+
+std::string to_string(Opt opt) {
+  switch (opt) {
+    case Opt::kSt: return "ST";
+    case Opt::kBm: return "BM";
+    case Opt::kCm: return "CM";
+    case Opt::kRt: return "RT";
+    case Opt::kPr: return "PR";
+    case Opt::kTb: return "TB";
+  }
+  return "?";
+}
+
+bool OptCombination::has(Opt opt) const noexcept {
+  switch (opt) {
+    case Opt::kSt: return st;
+    case Opt::kBm: return bm;
+    case Opt::kCm: return cm;
+    case Opt::kRt: return rt;
+    case Opt::kPr: return pr;
+    case Opt::kTb: return tb;
+  }
+  return false;
+}
+
+std::uint8_t OptCombination::bits() const noexcept {
+  std::uint8_t b = 0;
+  if (st) b |= 1u << 0;
+  if (bm) b |= 1u << 1;
+  if (cm) b |= 1u << 2;
+  if (rt) b |= 1u << 3;
+  if (pr) b |= 1u << 4;
+  if (tb) b |= 1u << 5;
+  return b;
+}
+
+OptCombination OptCombination::from_bits(std::uint8_t bits) noexcept {
+  OptCombination oc;
+  oc.st = (bits & (1u << 0)) != 0;
+  oc.bm = (bits & (1u << 1)) != 0;
+  oc.cm = (bits & (1u << 2)) != 0;
+  oc.rt = (bits & (1u << 3)) != 0;
+  oc.pr = (bits & (1u << 4)) != 0;
+  oc.tb = (bits & (1u << 5)) != 0;
+  return oc;
+}
+
+std::string OptCombination::name() const {
+  std::string out;
+  auto append = [&out](bool enabled, const char* abbrev) {
+    if (!enabled) return;
+    if (!out.empty()) out += '_';
+    out += abbrev;
+  };
+  append(st, "ST");
+  append(bm, "BM");
+  append(cm, "CM");
+  append(rt, "RT");
+  append(pr, "PR");
+  append(tb, "TB");
+  return out.empty() ? "BASE" : out;
+}
+
+const std::vector<OptCombination>& valid_combinations() {
+  static const std::vector<OptCombination> all = [] {
+    std::vector<OptCombination> v;
+    for (std::uint8_t bits = 0; bits < (1u << kNumOpts); ++bits) {
+      const OptCombination oc = OptCombination::from_bits(bits);
+      if (oc.is_valid()) v.push_back(oc);
+    }
+    return v;
+  }();
+  return all;
+}
+
+int oc_index(const OptCombination& oc) {
+  const auto& all = valid_combinations();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == oc) return static_cast<int>(i);
+  }
+  throw std::out_of_range("oc_index: invalid combination " + oc.name());
+}
+
+}  // namespace smart::gpusim

@@ -1,0 +1,63 @@
+// Optimization combinations (paper Table I).
+//
+// Six stencil optimizations with validity constraints:
+//   ST  streaming            (2.5-D spatial blocking over one dimension)
+//   BM  block merging        (invalid together with CM)
+//   CM  cyclic merging       (invalid together with BM)
+//   RT  retiming             (valid only with ST)
+//   PR  prefetching          (valid only with ST)
+//   TB  temporal blocking
+// Under these constraints there are exactly 30 valid combinations
+// (merging in {none, BM, CM} x TB x [ST x RT x PR | no-ST]).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smart::gpusim {
+
+enum class Opt : std::uint8_t { kSt = 0, kBm, kCm, kRt, kPr, kTb };
+
+inline constexpr int kNumOpts = 6;
+
+std::string to_string(Opt opt);
+
+struct OptCombination {
+  bool st = false;
+  bool bm = false;
+  bool cm = false;
+  bool rt = false;
+  bool pr = false;
+  bool tb = false;
+
+  /// Checks the Table I constraints: !(bm && cm), rt => st, pr => st.
+  bool is_valid() const noexcept {
+    if (bm && cm) return false;
+    if (rt && !st) return false;
+    if (pr && !st) return false;
+    return true;
+  }
+
+  bool has(Opt opt) const noexcept;
+
+  /// Compact bitmask (bit i = optimization i enabled), stable across runs.
+  std::uint8_t bits() const noexcept;
+  static OptCombination from_bits(std::uint8_t bits) noexcept;
+
+  /// "BASE" for the empty combination, else underscore-joined abbreviations
+  /// in Table I order, e.g. "ST_RT_PR" or "TB_CM".
+  std::string name() const;
+
+  friend bool operator==(const OptCombination&, const OptCombination&) = default;
+  friend auto operator<=>(const OptCombination&, const OptCombination&) = default;
+};
+
+/// All valid combinations in a deterministic order (sorted by bits()).
+const std::vector<OptCombination>& valid_combinations();
+
+/// Index of `oc` within valid_combinations(); throws std::out_of_range if
+/// the combination is invalid.
+int oc_index(const OptCombination& oc);
+
+}  // namespace smart::gpusim

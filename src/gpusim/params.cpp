@@ -1,0 +1,201 @@
+#include "gpusim/params.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace smart::gpusim {
+
+namespace {
+
+constexpr int kMinThreads = 128;
+constexpr int kMaxThreads = 1024;
+
+const std::vector<int> kBlockX{16, 32, 64, 128};
+const std::vector<int> kBlockY{4, 8, 16, 32};
+const std::vector<int> kMerge{2, 4, 8};
+const std::vector<int> kUnroll{1, 2, 4};
+const std::vector<int> kStreamTile{64, 128, 256, 512};
+const std::vector<int> kTbDepth{2, 4};
+
+bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+double log2d(int x) { return std::log2(static_cast<double>(x)); }
+
+bool contains(const std::vector<int>& xs, int v) {
+  for (int x : xs) {
+    if (x == v) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<double> ParamSetting::to_feature_vector() const {
+  return {log2d(block_x),
+          log2d(block_y),
+          log2d(merge_factor),
+          static_cast<double>(merge_dim + 1),
+          log2d(unroll),
+          std::log2(static_cast<double>(stream_tile) + 1.0),
+          static_cast<double>(stream_dim + 1),
+          use_smem ? 1.0 : 0.0,
+          log2d(tb_depth)};
+}
+
+std::vector<std::string> ParamSetting::feature_names() {
+  return {"log2_block_x",  "log2_block_y", "log2_merge", "merge_dim",
+          "log2_unroll",   "log2_stream_tile", "stream_dim", "use_smem",
+          "log2_tb_depth"};
+}
+
+std::uint64_t ParamSetting::hash() const noexcept {
+  std::uint64_t h = 0xabcd;
+  auto mix = [&h](long long v) {
+    h = util::hash_combine(h, static_cast<std::uint64_t>(v));
+  };
+  mix(block_x);
+  mix(block_y);
+  mix(merge_factor);
+  mix(merge_dim);
+  mix(unroll);
+  mix(stream_tile);
+  mix(stream_dim);
+  mix(use_smem ? 1 : 0);
+  mix(tb_depth);
+  return h;
+}
+
+std::string ParamSetting::to_string() const {
+  std::ostringstream os;
+  os << "b" << block_x << "x" << block_y;
+  if (merge_factor > 1) os << " m" << merge_factor << "@d" << merge_dim;
+  if (unroll > 1) os << " u" << unroll;
+  if (stream_tile > 0) os << " st" << stream_tile << "@d" << stream_dim;
+  os << (use_smem ? " smem" : " nosmem");
+  if (tb_depth > 1) os << " tb" << tb_depth;
+  return os.str();
+}
+
+ParamSpace::ParamSpace(OptCombination oc, int dims) : oc_(oc), dims_(dims) {
+  if (!oc_.is_valid()) throw std::invalid_argument("ParamSpace: invalid OC");
+  if (dims_ < 2 || dims_ > 3) throw std::invalid_argument("ParamSpace: dims");
+}
+
+bool ParamSpace::is_valid(const ParamSetting& s) const {
+  if (!contains(kBlockX, s.block_x) || !contains(kBlockY, s.block_y)) {
+    return false;
+  }
+  const int threads = s.threads_per_block();
+  if (threads < kMinThreads || threads > kMaxThreads) return false;
+  if (!is_pow2(s.merge_factor) || !is_pow2(s.unroll) || !is_pow2(s.tb_depth)) {
+    return false;
+  }
+
+  const bool merging = oc_.bm || oc_.cm;
+  if (merging) {
+    if (!contains(kMerge, s.merge_factor)) return false;
+    if (s.merge_dim < 0 || s.merge_dim >= dims_) return false;
+  } else {
+    if (s.merge_factor != 1 || s.merge_dim != -1) return false;
+  }
+
+  if (oc_.st) {
+    // 2-D streams along y; 3-D may stream along y or z.
+    if (dims_ == 2 && s.stream_dim != 1) return false;
+    if (dims_ == 3 && s.stream_dim != 1 && s.stream_dim != 2) return false;
+    if (!contains(kStreamTile, s.stream_tile)) return false;
+    if (!contains(kUnroll, s.unroll)) return false;
+    if (merging && s.merge_dim == s.stream_dim) return false;
+  } else {
+    if (s.stream_dim != -1 || s.stream_tile != 0 || s.unroll != 1) {
+      return false;
+    }
+  }
+
+  if (oc_.tb) {
+    if (!contains(kTbDepth, s.tb_depth)) return false;
+  } else {
+    if (s.tb_depth != 1) return false;
+  }
+  return true;
+}
+
+ParamSetting ParamSpace::random_setting(util::Rng& rng) const {
+  const bool merging = oc_.bm || oc_.cm;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    ParamSetting s;
+    s.block_x = rng.pick(kBlockX);
+    s.block_y = rng.pick(kBlockY);
+    s.use_smem = rng.bernoulli(0.5);
+    if (merging) {
+      s.merge_factor = rng.pick(kMerge);
+      s.merge_dim = static_cast<int>(rng.uniform_int(0, dims_ - 1));
+    }
+    if (oc_.st) {
+      s.stream_dim = dims_ == 2
+                         ? 1
+                         : static_cast<int>(rng.uniform_int(1, 2));
+      s.stream_tile = rng.pick(kStreamTile);
+      s.unroll = rng.pick(kUnroll);
+    }
+    if (oc_.tb) s.tb_depth = rng.pick(kTbDepth);
+    if (is_valid(s)) return s;
+  }
+  throw std::runtime_error("ParamSpace::random_setting: no valid setting found");
+}
+
+std::vector<ParamSetting> ParamSpace::enumerate() const {
+  const bool merging = oc_.bm || oc_.cm;
+  const std::vector<int> merges = merging ? kMerge : std::vector<int>{1};
+  std::vector<int> merge_dims;
+  if (merging) {
+    for (int d = 0; d < dims_; ++d) merge_dims.push_back(d);
+  } else {
+    merge_dims.push_back(-1);
+  }
+  const std::vector<int> unrolls = oc_.st ? kUnroll : std::vector<int>{1};
+  const std::vector<int> tiles = oc_.st ? kStreamTile : std::vector<int>{0};
+  std::vector<int> stream_dims;
+  if (oc_.st) {
+    stream_dims.push_back(1);
+    if (dims_ == 3) stream_dims.push_back(2);
+  } else {
+    stream_dims.push_back(-1);
+  }
+  const std::vector<int> tbs = oc_.tb ? kTbDepth : std::vector<int>{1};
+
+  std::vector<ParamSetting> out;
+  for (int bx : kBlockX) {
+    for (int by : kBlockY) {
+      for (int m : merges) {
+        for (int md : merge_dims) {
+          for (int u : unrolls) {
+            for (int tile : tiles) {
+              for (int sd : stream_dims) {
+                for (int tb : tbs) {
+                  for (int smem = 0; smem < 2; ++smem) {
+                    ParamSetting s;
+                    s.block_x = bx;
+                    s.block_y = by;
+                    s.merge_factor = m;
+                    s.merge_dim = md;
+                    s.unroll = u;
+                    s.stream_tile = tile;
+                    s.stream_dim = sd;
+                    s.use_smem = smem != 0;
+                    s.tb_depth = tb;
+                    if (is_valid(s)) out.push_back(s);
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace smart::gpusim

@@ -1,0 +1,69 @@
+// Per-OC tuning-parameter space (paper Sec. IV-E): numeric parameters are
+// powers of two, Boolean parameters are {0,1}, enumeration parameters are
+// numbered from 1. When converted to model features, numeric parameters are
+// log2-scaled for training stability, exactly as the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/opt.hpp"
+#include "util/rng.hpp"
+
+namespace smart::gpusim {
+
+/// One concrete parameter setting. Fields not applicable under the OC hold
+/// their neutral values (merge_factor 1, stream_tile 0, tb_depth 1, ...).
+struct ParamSetting {
+  int block_x = 32;     // threads along the contiguous dimension (pow2)
+  int block_y = 8;      // threads along the second dimension (pow2)
+  int merge_factor = 1; // points merged per thread (pow2; >1 iff BM or CM)
+  int merge_dim = -1;   // 0-based axis of merging; -1 when not merging
+  int unroll = 1;       // streaming-loop unroll factor (pow2; ST only)
+  int stream_tile = 0;  // planes per block along the stream dim (ST only)
+  int stream_dim = -1;  // 0-based streaming axis; -1 without ST
+  bool use_smem = true; // stage tiles through shared memory
+  int tb_depth = 1;     // fused time steps (>1 iff TB)
+
+  int threads_per_block() const noexcept { return block_x * block_y; }
+
+  /// Fixed-length feature layout shared by every OC (absent params stay at
+  /// neutral values): [log2 bx, log2 by, log2 merge, merge_dim+1,
+  /// log2 unroll, log2(stream_tile+1), stream_dim+1, use_smem, log2 tb].
+  static constexpr int kNumFeatures = 9;
+  std::vector<double> to_feature_vector() const;
+  static std::vector<std::string> feature_names();
+
+  std::uint64_t hash() const noexcept;
+  std::string to_string() const;
+
+  friend bool operator==(const ParamSetting&, const ParamSetting&) = default;
+};
+
+/// Generates valid settings for an OC on a d-dimensional problem.
+class ParamSpace {
+ public:
+  ParamSpace(OptCombination oc, int dims);
+
+  const OptCombination& oc() const noexcept { return oc_; }
+  int dims() const noexcept { return dims_; }
+
+  /// Uniformly samples one valid setting.
+  ParamSetting random_setting(util::Rng& rng) const;
+
+  /// Enumerates the complete valid cross product (used by exhaustive tests
+  /// and the motivation study; a few hundred to a few thousand settings).
+  std::vector<ParamSetting> enumerate() const;
+
+  /// True if `s` satisfies all structural rules for this OC/dims:
+  /// pow2 fields, thread-count bounds, merge/stream axis exclusion, and
+  /// neutral values for inapplicable parameters.
+  bool is_valid(const ParamSetting& s) const;
+
+ private:
+  OptCombination oc_;
+  int dims_;
+};
+
+}  // namespace smart::gpusim

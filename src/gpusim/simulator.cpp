@@ -1,0 +1,26 @@
+#include "gpusim/simulator.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace smart::gpusim {
+
+KernelProfile Simulator::measure(const stencil::StencilPattern& pattern,
+                                 const ProblemSize& problem,
+                                 const OptCombination& oc,
+                                 const ParamSetting& setting,
+                                 const GpuSpec& gpu) const {
+  KernelProfile p = model_.evaluate(pattern, problem, oc, setting, gpu);
+  if (!p.ok) return p;
+  std::uint64_t seed = opts_.seed;
+  seed = util::hash_combine(seed, pattern.hash());
+  seed = util::hash_combine(seed, oc.bits());
+  seed = util::hash_combine(seed, setting.hash());
+  seed = util::hash_combine(seed, gpu.hash());
+  util::Rng rng(seed);
+  p.time_ms *= std::exp(opts_.noise_sigma * rng.normal());
+  return p;
+}
+
+}  // namespace smart::gpusim

@@ -1,0 +1,56 @@
+#include "gpusim/tuner.hpp"
+
+#include <unordered_set>
+
+namespace smart::gpusim {
+
+TunedResult RandomSearchTuner::tune(const stencil::StencilPattern& pattern,
+                                    const ProblemSize& problem,
+                                    const OptCombination& oc,
+                                    const GpuSpec& gpu,
+                                    util::Rng& rng) const {
+  TunedResult result;
+  result.oc = oc;
+  const ParamSpace space(oc, pattern.dims());
+  std::unordered_set<std::uint64_t> seen;
+  for (int i = 0; i < samples_per_oc_; ++i) {
+    const ParamSetting s = space.random_setting(rng);
+    if (!seen.insert(s.hash()).second) continue;  // duplicate draw
+    ++result.samples_tried;
+    const KernelProfile prof = sim_->measure(pattern, problem, oc, s, gpu);
+    if (!prof.ok) {
+      ++result.samples_crashed;
+      continue;
+    }
+    result.measurements.emplace_back(s, prof.time_ms);
+    if (!result.best_setting || prof.time_ms < result.best_time_ms) {
+      result.best_setting = s;
+      result.best_time_ms = prof.time_ms;
+    }
+  }
+  return result;
+}
+
+std::vector<TunedResult> RandomSearchTuner::tune_all(
+    const stencil::StencilPattern& pattern, const ProblemSize& problem,
+    const GpuSpec& gpu, util::Rng& rng) const {
+  std::vector<TunedResult> out;
+  out.reserve(valid_combinations().size());
+  for (const OptCombination& oc : valid_combinations()) {
+    out.push_back(tune(pattern, problem, oc, gpu, rng));
+  }
+  return out;
+}
+
+int RandomSearchTuner::best_oc_index(const std::vector<TunedResult>& results) {
+  int best = -1;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) continue;
+    if (best < 0 || results[i].best_time_ms < results[static_cast<std::size_t>(best)].best_time_ms) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace smart::gpusim

@@ -1,0 +1,51 @@
+// Random-search parameter tuning per OC — the measurement protocol of the
+// paper's dataset collection (Sec. IV-A: "randomly searches the parameter
+// settings under each OC and selects the shortest execution time").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gpusim/simulator.hpp"
+
+namespace smart::gpusim {
+
+struct TunedResult {
+  OptCombination oc;
+  std::optional<ParamSetting> best_setting;  // empty if every sample crashed
+  double best_time_ms = 0.0;
+  int samples_tried = 0;
+  int samples_crashed = 0;
+  /// Every (setting, measured time) pair that ran successfully, in sample
+  /// order — these become the regression-training instances.
+  std::vector<std::pair<ParamSetting, double>> measurements;
+
+  bool ok() const noexcept { return best_setting.has_value(); }
+};
+
+class RandomSearchTuner {
+ public:
+  RandomSearchTuner(const Simulator& sim, int samples_per_oc)
+      : sim_(&sim), samples_per_oc_(samples_per_oc) {}
+
+  /// Tunes one OC: draws `samples_per_oc` random settings (deduplicated)
+  /// and keeps the fastest successful one.
+  TunedResult tune(const stencil::StencilPattern& pattern,
+                   const ProblemSize& problem, const OptCombination& oc,
+                   const GpuSpec& gpu, util::Rng& rng) const;
+
+  /// Tunes every valid OC; results are in valid_combinations() order.
+  std::vector<TunedResult> tune_all(const stencil::StencilPattern& pattern,
+                                    const ProblemSize& problem,
+                                    const GpuSpec& gpu, util::Rng& rng) const;
+
+  /// Index (into valid_combinations()) of the best OC in `results`, or -1
+  /// if every OC crashed on every sample.
+  static int best_oc_index(const std::vector<TunedResult>& results);
+
+ private:
+  const Simulator* sim_;
+  int samples_per_oc_;
+};
+
+}  // namespace smart::gpusim

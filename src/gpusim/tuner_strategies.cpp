@@ -1,0 +1,153 @@
+#include "gpusim/tuner_strategies.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace smart::gpusim {
+
+TunedResult ExhaustiveTuner::tune(const stencil::StencilPattern& pattern,
+                                  const ProblemSize& problem,
+                                  const OptCombination& oc,
+                                  const GpuSpec& gpu) const {
+  TunedResult result;
+  result.oc = oc;
+  const ParamSpace space(oc, pattern.dims());
+  for (const ParamSetting& s : space.enumerate()) {
+    ++result.samples_tried;
+    const KernelProfile prof = sim_->measure(pattern, problem, oc, s, gpu);
+    if (!prof.ok) {
+      ++result.samples_crashed;
+      continue;
+    }
+    result.measurements.emplace_back(s, prof.time_ms);
+    if (!result.best_setting || prof.time_ms < result.best_time_ms) {
+      result.best_setting = s;
+      result.best_time_ms = prof.time_ms;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Uniform per-field crossover between two valid settings; falls back to a
+/// parent when the child violates the space's structural rules.
+ParamSetting crossover(const ParamSetting& a, const ParamSetting& b,
+                       const ParamSpace& space, util::Rng& rng) {
+  ParamSetting child = a;
+  if (rng.bernoulli(0.5)) child.block_x = b.block_x;
+  if (rng.bernoulli(0.5)) child.block_y = b.block_y;
+  if (rng.bernoulli(0.5)) {
+    child.merge_factor = b.merge_factor;
+    child.merge_dim = b.merge_dim;
+  }
+  if (rng.bernoulli(0.5)) child.unroll = b.unroll;
+  if (rng.bernoulli(0.5)) {
+    child.stream_tile = b.stream_tile;
+    child.stream_dim = b.stream_dim;
+  }
+  if (rng.bernoulli(0.5)) child.use_smem = b.use_smem;
+  if (rng.bernoulli(0.5)) child.tb_depth = b.tb_depth;
+  return space.is_valid(child) ? child : (rng.bernoulli(0.5) ? a : b);
+}
+
+/// Mutation: with probability p per field, resample that field by drawing a
+/// fresh valid setting and copying the field over (keeps validity simple).
+ParamSetting mutate(const ParamSetting& s, const ParamSpace& space,
+                    double prob, util::Rng& rng) {
+  const ParamSetting fresh = space.random_setting(rng);
+  ParamSetting out = s;
+  if (rng.bernoulli(prob)) out.block_x = fresh.block_x;
+  if (rng.bernoulli(prob)) out.block_y = fresh.block_y;
+  if (rng.bernoulli(prob)) {
+    out.merge_factor = fresh.merge_factor;
+    out.merge_dim = fresh.merge_dim;
+  }
+  if (rng.bernoulli(prob)) out.unroll = fresh.unroll;
+  if (rng.bernoulli(prob)) {
+    out.stream_tile = fresh.stream_tile;
+    out.stream_dim = fresh.stream_dim;
+  }
+  if (rng.bernoulli(prob)) out.use_smem = fresh.use_smem;
+  if (rng.bernoulli(prob)) out.tb_depth = fresh.tb_depth;
+  return space.is_valid(out) ? out : fresh;
+}
+
+}  // namespace
+
+TunedResult GeneticTuner::tune(const stencil::StencilPattern& pattern,
+                               const ProblemSize& problem,
+                               const OptCombination& oc, const GpuSpec& gpu,
+                               util::Rng& rng) const {
+  TunedResult result;
+  result.oc = oc;
+  const ParamSpace space(oc, pattern.dims());
+
+  struct Individual {
+    ParamSetting setting;
+    double time_ms = std::numeric_limits<double>::infinity();  // inf = crash
+  };
+
+  // Memoize fitness so re-evaluated individuals do not consume budget —
+  // the same trick csTuner uses to keep the GA's measurement count low.
+  std::unordered_map<std::uint64_t, double> cache;
+  auto evaluate = [&](const ParamSetting& s) {
+    const auto [it, inserted] = cache.try_emplace(s.hash(), 0.0);
+    if (inserted) {
+      ++result.samples_tried;
+      const KernelProfile prof = sim_->measure(pattern, problem, oc, s, gpu);
+      if (!prof.ok) {
+        ++result.samples_crashed;
+        it->second = std::numeric_limits<double>::infinity();
+      } else {
+        it->second = prof.time_ms;
+        result.measurements.emplace_back(s, prof.time_ms);
+        if (!result.best_setting || prof.time_ms < result.best_time_ms) {
+          result.best_setting = s;
+          result.best_time_ms = prof.time_ms;
+        }
+      }
+    }
+    return it->second;
+  };
+
+  std::vector<Individual> population(static_cast<std::size_t>(config_.population));
+  for (auto& ind : population) {
+    ind.setting = space.random_setting(rng);
+    ind.time_ms = evaluate(ind.setting);
+  }
+
+  auto tournament_pick = [&]() -> const Individual& {
+    const Individual* best = nullptr;
+    for (int i = 0; i < config_.tournament; ++i) {
+      const auto& candidate = population[static_cast<std::size_t>(
+          rng.uniform_int(0, config_.population - 1))];
+      if (best == nullptr || candidate.time_ms < best->time_ms) {
+        best = &candidate;
+      }
+    }
+    return *best;
+  };
+
+  for (int generation = 1; generation < config_.generations; ++generation) {
+    std::sort(population.begin(), population.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.time_ms < b.time_ms;
+              });
+    std::vector<Individual> next(population.begin(),
+                                 population.begin() + config_.elite);
+    while (static_cast<int>(next.size()) < config_.population) {
+      ParamSetting child = rng.bernoulli(config_.crossover_prob)
+                               ? crossover(tournament_pick().setting,
+                                           tournament_pick().setting, space, rng)
+                               : tournament_pick().setting;
+      child = mutate(child, space, config_.mutation_prob, rng);
+      next.push_back({child, evaluate(child)});
+    }
+    population = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace smart::gpusim

@@ -1,0 +1,61 @@
+// Alternative parameter-search strategies beyond plain random search.
+//
+// The paper's measurement protocol uses random sampling (Sec. IV-A), and
+// cites two smarter tuners: Garvey's grouped exhaustive search and
+// csTuner's statistics-assisted genetic algorithm [25]. This module
+// implements comparable strategies on top of the same Simulator so the
+// bench harness can contrast search quality vs measurement budget:
+//  * ExhaustiveTuner    — sweeps the entire valid parameter space;
+//  * GeneticTuner       — csTuner-style GA: tournament selection,
+//                         per-field uniform crossover, resampling mutation,
+//                         elitism, crash-aware fitness.
+#pragma once
+
+#include "gpusim/simulator.hpp"
+#include "gpusim/tuner.hpp"
+
+namespace smart::gpusim {
+
+/// Evaluates every setting in ParamSpace::enumerate(). The budget is
+/// implicit (the space size); samples_tried reports it.
+class ExhaustiveTuner {
+ public:
+  explicit ExhaustiveTuner(const Simulator& sim) : sim_(&sim) {}
+
+  TunedResult tune(const stencil::StencilPattern& pattern,
+                   const ProblemSize& problem, const OptCombination& oc,
+                   const GpuSpec& gpu) const;
+
+ private:
+  const Simulator* sim_;
+};
+
+struct GeneticConfig {
+  int population = 12;
+  int generations = 6;
+  double crossover_prob = 0.7;
+  double mutation_prob = 0.15;  // per field
+  int tournament = 3;
+  int elite = 2;
+};
+
+/// GA over parameter settings of one OC. The measurement budget is
+/// population x generations (matching a random search of the same size for
+/// fair comparison). Crashing settings get -inf fitness.
+class GeneticTuner {
+ public:
+  GeneticTuner(const Simulator& sim, GeneticConfig config = GeneticConfig{})
+      : sim_(&sim), config_(config) {}
+
+  TunedResult tune(const stencil::StencilPattern& pattern,
+                   const ProblemSize& problem, const OptCombination& oc,
+                   const GpuSpec& gpu, util::Rng& rng) const;
+
+  const GeneticConfig& config() const noexcept { return config_; }
+
+ private:
+  const Simulator* sim_;
+  GeneticConfig config_;
+};
+
+}  // namespace smart::gpusim

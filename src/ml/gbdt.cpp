@@ -1,0 +1,193 @@
+#include "ml/gbdt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smart::ml {
+
+namespace {
+
+std::vector<double> importance_from_trees(
+    const std::vector<RegressionTree>& trees, std::size_t num_features) {
+  std::vector<double> gains(num_features, 0.0);
+  double total = 0.0;
+  for (const RegressionTree& tree : trees) {
+    for (const auto& [feature, gain] : tree.split_gains()) {
+      if (feature >= 0 && static_cast<std::size_t>(feature) < num_features) {
+        gains[static_cast<std::size_t>(feature)] += gain;
+        total += gain;
+      }
+    }
+  }
+  if (total > 0.0) {
+    for (double& g : gains) g /= total;
+  }
+  return gains;
+}
+
+std::vector<std::size_t> subsample_rows(std::size_t n, double fraction,
+                                        util::Rng& rng) {
+  const auto k = static_cast<std::size_t>(
+      std::max(1.0, std::floor(fraction * static_cast<double>(n))));
+  if (k >= n) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  return rng.sample_without_replacement(n, k);
+}
+
+}  // namespace
+
+void GbdtRegressor::fit(const Matrix& x, std::span<const float> y) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    throw std::invalid_argument("GbdtRegressor::fit: bad shapes");
+  }
+  trees_.clear();
+  binner_.fit(x);
+  const std::vector<std::uint8_t> binned = binner_.bin_matrix(x);
+  util::Rng rng(params_.seed);
+
+  base_ = 0.0;
+  for (float v : y) base_ += v;
+  base_ /= static_cast<double>(y.size());
+
+  std::vector<double> pred(x.rows(), base_);
+  std::vector<double> g(x.rows());
+  const std::vector<double> h(x.rows(), 1.0);
+  for (int round = 0; round < params_.rounds; ++round) {
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      g[r] = pred[r] - static_cast<double>(y[r]);  // d/dp 0.5*(p-y)^2
+    }
+    const auto rows = subsample_rows(x.rows(), params_.subsample, rng);
+    RegressionTree tree;
+    tree.fit(x, binned, binner_, g, h, rows, params_.tree);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      pred[r] += params_.learning_rate * tree.predict_row(x.row(r));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GbdtRegressor::predict_row(std::span<const float> features) const {
+  double acc = base_;
+  for (const RegressionTree& t : trees_) {
+    acc += params_.learning_rate * t.predict_row(features);
+  }
+  return acc;
+}
+
+std::vector<double> GbdtRegressor::predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_row(x.row(r));
+  return out;
+}
+
+void GbdtClassifier::fit(const Matrix& x, std::span<const int> labels,
+                         int num_classes) {
+  if (x.rows() != labels.size() || x.rows() == 0 || num_classes < 2) {
+    throw std::invalid_argument("GbdtClassifier::fit: bad shapes");
+  }
+  for (int label : labels) {
+    if (label < 0 || label >= num_classes) {
+      throw std::invalid_argument("GbdtClassifier::fit: label out of range");
+    }
+  }
+  num_classes_ = num_classes;
+  trees_.clear();
+  binner_.fit(x);
+  const std::vector<std::uint8_t> binned = binner_.bin_matrix(x);
+  util::Rng rng(params_.seed);
+
+  // Start from log priors so rare classes are not drowned out early.
+  std::vector<double> counts(static_cast<std::size_t>(num_classes), 1.0);
+  for (int label : labels) ++counts[static_cast<std::size_t>(label)];
+  base_scores_.resize(static_cast<std::size_t>(num_classes));
+  for (int k = 0; k < num_classes; ++k) {
+    base_scores_[static_cast<std::size_t>(k)] =
+        std::log(counts[static_cast<std::size_t>(k)] /
+                 static_cast<double>(labels.size() + num_classes));
+  }
+
+  const std::size_t n = x.rows();
+  std::vector<double> scores(n * static_cast<std::size_t>(num_classes));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (int k = 0; k < num_classes; ++k) {
+      scores[r * static_cast<std::size_t>(num_classes) + static_cast<std::size_t>(k)] =
+          base_scores_[static_cast<std::size_t>(k)];
+    }
+  }
+
+  std::vector<double> g(n);
+  std::vector<double> h(n);
+  std::vector<double> probs(static_cast<std::size_t>(num_classes));
+  for (int round = 0; round < params_.rounds; ++round) {
+    const auto rows = subsample_rows(n, params_.subsample, rng);
+    for (int k = 0; k < num_classes; ++k) {
+      for (std::size_t r = 0; r < n; ++r) {
+        const double* srow = &scores[r * static_cast<std::size_t>(num_classes)];
+        double max_score = srow[0];
+        for (int j = 1; j < num_classes; ++j) max_score = std::max(max_score, srow[j]);
+        double denom = 0.0;
+        for (int j = 0; j < num_classes; ++j) {
+          probs[static_cast<std::size_t>(j)] = std::exp(srow[j] - max_score);
+          denom += probs[static_cast<std::size_t>(j)];
+        }
+        const double pk = probs[static_cast<std::size_t>(k)] / denom;
+        g[r] = pk - (labels[r] == k ? 1.0 : 0.0);
+        h[r] = std::max(1e-6, pk * (1.0 - pk));
+      }
+      RegressionTree tree;
+      tree.fit(x, binned, binner_, g, h, rows, params_.tree);
+      for (std::size_t r = 0; r < n; ++r) {
+        scores[r * static_cast<std::size_t>(num_classes) + static_cast<std::size_t>(k)] +=
+            params_.learning_rate * tree.predict_row(x.row(r));
+      }
+      trees_.push_back(std::move(tree));
+    }
+  }
+}
+
+std::vector<double> GbdtClassifier::predict_proba_row(
+    std::span<const float> features) const {
+  std::vector<double> scores = base_scores_;
+  for (std::size_t i = 0; i < trees_.size(); ++i) {
+    const int k = static_cast<int>(i % static_cast<std::size_t>(num_classes_));
+    scores[static_cast<std::size_t>(k)] +=
+        params_.learning_rate * trees_[i].predict_row(features);
+  }
+  double max_score = scores[0];
+  for (double s : scores) max_score = std::max(max_score, s);
+  double denom = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - max_score);
+    denom += s;
+  }
+  for (double& s : scores) s /= denom;
+  return scores;
+}
+
+int GbdtClassifier::predict_row(std::span<const float> features) const {
+  const std::vector<double> p = predict_proba_row(features);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+std::vector<int> GbdtClassifier::predict(const Matrix& x) const {
+  std::vector<int> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_row(x.row(r));
+  return out;
+}
+
+std::vector<double> GbdtRegressor::feature_importance(
+    std::size_t num_features) const {
+  return importance_from_trees(trees_, num_features);
+}
+
+std::vector<double> GbdtClassifier::feature_importance(
+    std::size_t num_features) const {
+  return importance_from_trees(trees_, num_features);
+}
+
+}  // namespace smart::ml
+

@@ -1,0 +1,72 @@
+// Gradient-boosted decision trees: GbdtClassifier (softmax objective, one
+// tree per class per round — the paper's GBDT for OC selection, Sec. IV-D)
+// and GbdtRegressor (squared loss — the paper's GBRegressor for execution-
+// time prediction, Sec. IV-E).
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/tree.hpp"
+#include "util/rng.hpp"
+
+namespace smart::ml {
+
+struct GbdtParams {
+  int rounds = 120;
+  double learning_rate = 0.12;
+  double subsample = 0.85;   // row subsampling per tree
+  TreeParams tree{};
+  std::uint64_t seed = 42;
+};
+
+class GbdtRegressor {
+ public:
+  explicit GbdtRegressor(GbdtParams params = GbdtParams{}) : params_(params) {}
+
+  void fit(const Matrix& x, std::span<const float> y);
+  double predict_row(std::span<const float> features) const;
+  std::vector<double> predict(const Matrix& x) const;
+
+  std::size_t num_trees() const noexcept { return trees_.size(); }
+
+  /// Gain-based importance per input feature, normalized to sum to 1
+  /// (all-zero if no split was ever made).
+  std::vector<double> feature_importance(std::size_t num_features) const;
+
+ private:
+  GbdtParams params_;
+  FeatureBinner binner_;
+  std::vector<RegressionTree> trees_;
+  double base_ = 0.0;
+};
+
+class GbdtClassifier {
+ public:
+  explicit GbdtClassifier(GbdtParams params = GbdtParams{}) : params_(params) {}
+
+  void fit(const Matrix& x, std::span<const int> labels, int num_classes);
+
+  /// Class probabilities (softmax over per-class ensemble scores).
+  std::vector<double> predict_proba_row(std::span<const float> features) const;
+  int predict_row(std::span<const float> features) const;
+  std::vector<int> predict(const Matrix& x) const;
+
+  int num_classes() const noexcept { return num_classes_; }
+
+  /// Gain-based importance per input feature, normalized to sum to 1.
+  std::vector<double> feature_importance(std::size_t num_features) const;
+
+  std::size_t num_rounds() const noexcept {
+    return num_classes_ == 0 ? 0 : trees_.size() / static_cast<std::size_t>(num_classes_);
+  }
+
+ private:
+  GbdtParams params_;
+  FeatureBinner binner_;
+  std::vector<RegressionTree> trees_;  // rounds x classes, row-major
+  int num_classes_ = 0;
+  std::vector<double> base_scores_;    // log class priors
+};
+
+}  // namespace smart::ml

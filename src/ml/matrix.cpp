@@ -1,0 +1,87 @@
+#include "ml/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smart::ml {
+
+Matrix Matrix::from_rows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return {};
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols_) {
+      throw std::invalid_argument("Matrix::from_rows: ragged rows");
+    }
+    std::copy(rows[r].begin(), rows[r].end(), m.data_.begin() + static_cast<std::ptrdiff_t>(r * m.cols_));
+  }
+  return m;
+}
+
+void Matrix::init_he(util::Rng& rng) {
+  const double bound = std::sqrt(6.0 / static_cast<double>(std::max<std::size_t>(1, rows_)));
+  for (float& w : data_) {
+    w = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+Matrix Matrix::gather_rows(std::span<const std::size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto src = row(indices[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    float* crow = c.row(i).data();
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a.at(i, k);
+      if (aik == 0.0f) continue;
+      const float* brow = b.row(k).data();
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_bt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) throw std::invalid_argument("matmul_bt: shape mismatch");
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i).data();
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.row(j).data();
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("matmul_at: shape mismatch");
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t n = 0; n < a.rows(); ++n) {
+    const float* arow = a.row(n).data();
+    const float* brow = b.row(n).data();
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const float ai = arow[i];
+      if (ai == 0.0f) continue;
+      float* crow = c.row(i).data();
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        crow[j] += ai * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace smart::ml

@@ -1,0 +1,65 @@
+// Minimal dense row-major float matrix for the neural-network stack.
+// Sized for StencilMART's workloads (batch x feature matrices up to a few
+// thousand elements per row); the matmul uses an i-k-j loop order that
+// vectorizes well and is cache-friendly at these sizes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace smart::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix from_rows(const std::vector<std::vector<float>>& rows);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+
+  std::span<const float> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<float> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  const float* data() const noexcept { return data_.data(); }
+  float* data() noexcept { return data_.data(); }
+
+  void fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// He-uniform initialization for layer weights (fan_in = rows()).
+  void init_he(util::Rng& rng);
+
+  /// Gathers a subset of rows (for minibatching / k-fold splits).
+  Matrix gather_rows(std::span<const std::size_t> indices) const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B. Shapes must agree ((n x k) * (k x m)).
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T ((n x k) * (m x k) -> n x m).
+Matrix matmul_bt(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B ((n x k), (n x m) -> k x m).
+Matrix matmul_at(const Matrix& a, const Matrix& b);
+
+}  // namespace smart::ml

@@ -1,0 +1,68 @@
+#include "ml/metrics.hpp"
+
+#include <stdexcept>
+
+namespace smart::ml {
+
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    std::span<const int> truth, std::span<const int> predicted,
+    int num_classes) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("confusion_matrix: size mismatch");
+  }
+  if (num_classes < 1) {
+    throw std::invalid_argument("confusion_matrix: num_classes < 1");
+  }
+  std::vector<std::vector<std::size_t>> m(
+      static_cast<std::size_t>(num_classes),
+      std::vector<std::size_t>(static_cast<std::size_t>(num_classes), 0));
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < 0 || truth[i] >= num_classes) continue;
+    if (predicted[i] < 0 || predicted[i] >= num_classes) continue;
+    ++m[static_cast<std::size_t>(truth[i])][static_cast<std::size_t>(predicted[i])];
+  }
+  return m;
+}
+
+std::vector<ClassReport> classification_report(
+    const std::vector<std::vector<std::size_t>>& confusion) {
+  const std::size_t k = confusion.size();
+  std::vector<ClassReport> out(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::size_t tp = confusion[c][c];
+    std::size_t fn = 0;
+    std::size_t fp = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j != c) {
+        fn += confusion[c][j];
+        fp += confusion[j][c];
+      }
+    }
+    out[c].support = tp + fn;
+    out[c].precision = tp + fp == 0 ? 0.0
+                                    : static_cast<double>(tp) /
+                                          static_cast<double>(tp + fp);
+    out[c].recall = tp + fn == 0 ? 0.0
+                                 : static_cast<double>(tp) /
+                                       static_cast<double>(tp + fn);
+    out[c].f1 = out[c].precision + out[c].recall == 0.0
+                    ? 0.0
+                    : 2.0 * out[c].precision * out[c].recall /
+                          (out[c].precision + out[c].recall);
+  }
+  return out;
+}
+
+double macro_f1(const std::vector<ClassReport>& report) {
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (const ClassReport& r : report) {
+    if (r.support > 0) {
+      sum += r.f1;
+      ++counted;
+    }
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+}  // namespace smart::ml

@@ -1,0 +1,32 @@
+// Classification quality metrics beyond plain accuracy: confusion matrix
+// and per-class precision/recall/F1 — used by the evaluation reports to
+// understand *which* OC groups the classifiers confuse.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace smart::ml {
+
+/// Row = true class, column = predicted class. Entries with labels outside
+/// [0, num_classes) are ignored.
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    std::span<const int> truth, std::span<const int> predicted,
+    int num_classes);
+
+struct ClassReport {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t support = 0;  // number of true instances of the class
+};
+
+/// Per-class precision/recall/F1 from a confusion matrix.
+std::vector<ClassReport> classification_report(
+    const std::vector<std::vector<std::size_t>>& confusion);
+
+/// Macro-averaged F1 (mean of per-class F1 over classes with support).
+double macro_f1(const std::vector<ClassReport>& report);
+
+}  // namespace smart::ml

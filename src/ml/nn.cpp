@@ -1,0 +1,425 @@
+#include "ml/nn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smart::ml {
+
+// ----- Dense ---------------------------------------------------------------
+
+Dense::Dense(std::size_t in, std::size_t out, util::Rng& rng)
+    : w_(in, out), b_(1, out), dw_(in, out), db_(1, out) {
+  w_.init_he(rng);
+}
+
+Matrix Dense::forward(const Matrix& x) {
+  input_ = x;
+  Matrix y = matmul(x, w_);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    for (std::size_t c = 0; c < y.cols(); ++c) y.at(r, c) += b_.at(0, c);
+  }
+  return y;
+}
+
+Matrix Dense::backward(const Matrix& grad_out) {
+  const Matrix dw = matmul_at(input_, grad_out);
+  for (std::size_t i = 0; i < dw.rows(); ++i) {
+    for (std::size_t j = 0; j < dw.cols(); ++j) {
+      dw_.at(i, j) += dw.at(i, j);
+    }
+  }
+  for (std::size_t r = 0; r < grad_out.rows(); ++r) {
+    for (std::size_t c = 0; c < grad_out.cols(); ++c) {
+      db_.at(0, c) += grad_out.at(r, c);
+    }
+  }
+  return matmul_bt(grad_out, w_);
+}
+
+void Dense::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({&w_, &dw_});
+  out.push_back({&b_, &db_});
+}
+
+// ----- ReLU ------------------------------------------------------------------
+
+Matrix ReLU::forward(const Matrix& x) {
+  mask_ = Matrix(x.rows(), x.cols());
+  Matrix y = x;
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    for (std::size_t c = 0; c < y.cols(); ++c) {
+      if (y.at(r, c) > 0.0f) {
+        mask_.at(r, c) = 1.0f;
+      } else {
+        y.at(r, c) = 0.0f;
+      }
+    }
+  }
+  return y;
+}
+
+Matrix ReLU::backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    for (std::size_t c = 0; c < g.cols(); ++c) g.at(r, c) *= mask_.at(r, c);
+  }
+  return g;
+}
+
+// ----- Dropout -----------------------------------------------------------------
+
+Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+Matrix Dropout::forward(const Matrix& x) {
+  if (!training_ || rate_ == 0.0) {
+    mask_ = Matrix();
+    return x;
+  }
+  mask_ = Matrix(x.rows(), x.cols());
+  Matrix y = x;
+  const float scale = static_cast<float>(1.0 / (1.0 - rate_));
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    for (std::size_t col = 0; col < y.cols(); ++col) {
+      if (rng_.bernoulli(rate_)) {
+        y.at(r, col) = 0.0f;
+      } else {
+        mask_.at(r, col) = scale;
+        y.at(r, col) *= scale;
+      }
+    }
+  }
+  return y;
+}
+
+Matrix Dropout::backward(const Matrix& grad_out) {
+  if (mask_.empty()) return grad_out;
+  Matrix g = grad_out;
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    for (std::size_t col = 0; col < g.cols(); ++col) {
+      g.at(r, col) *= mask_.at(r, col);
+    }
+  }
+  return g;
+}
+
+// ----- Conv2D ----------------------------------------------------------------
+
+Conv2D::Conv2D(int in_c, int out_c, int h, int w, int k, util::Rng& rng)
+    : in_c_(in_c), out_c_(out_c), h_(h), w_(w), k_(k),
+      weights_(static_cast<std::size_t>(out_c),
+         static_cast<std::size_t>(in_c) * static_cast<std::size_t>(k) *
+             static_cast<std::size_t>(k)),
+      bias_(1, static_cast<std::size_t>(out_c)),
+      dweights_(weights_.rows(), weights_.cols()), dbias_(1, bias_.cols()) {
+  if (h < k || w < k) throw std::invalid_argument("Conv2D: input smaller than kernel");
+  weights_.init_he(rng);
+}
+
+Matrix Conv2D::forward(const Matrix& x) {
+  input_ = x;
+  const std::size_t OH = oh();
+  const std::size_t OW = ow();
+  Matrix y(x.rows(), static_cast<std::size_t>(out_c_) * OH * OW);
+  for (std::size_t n = 0; n < x.rows(); ++n) {
+    const float* in = x.row(n).data();
+    float* out = y.row(n).data();
+    for (int oc = 0; oc < out_c_; ++oc) {
+      const float* wrow = weights_.row(static_cast<std::size_t>(oc)).data();
+      const float bias = bias_.at(0, static_cast<std::size_t>(oc));
+      for (std::size_t i = 0; i < OH; ++i) {
+        for (std::size_t j = 0; j < OW; ++j) {
+          float acc = bias;
+          std::size_t widx = 0;
+          for (int ic = 0; ic < in_c_; ++ic) {
+            const float* plane =
+                in + static_cast<std::size_t>(ic) *
+                         static_cast<std::size_t>(h_) * static_cast<std::size_t>(w_);
+            for (int kh = 0; kh < k_; ++kh) {
+              const float* src =
+                  plane + (i + static_cast<std::size_t>(kh)) *
+                              static_cast<std::size_t>(w_) + j;
+              for (int kw = 0; kw < k_; ++kw) {
+                acc += wrow[widx++] * src[kw];
+              }
+            }
+          }
+          out[(static_cast<std::size_t>(oc) * OH + i) * OW + j] = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Matrix Conv2D::backward(const Matrix& grad_out) {
+  const std::size_t OH = oh();
+  const std::size_t OW = ow();
+  Matrix grad_in(input_.rows(), input_.cols());
+  for (std::size_t n = 0; n < input_.rows(); ++n) {
+    const float* in = input_.row(n).data();
+    const float* gout = grad_out.row(n).data();
+    float* gin = grad_in.row(n).data();
+    for (int oc = 0; oc < out_c_; ++oc) {
+      const float* wrow = weights_.row(static_cast<std::size_t>(oc)).data();
+      float* dwrow = dweights_.row(static_cast<std::size_t>(oc)).data();
+      float db_acc = 0.0f;
+      for (std::size_t i = 0; i < OH; ++i) {
+        for (std::size_t j = 0; j < OW; ++j) {
+          const float g = gout[(static_cast<std::size_t>(oc) * OH + i) * OW + j];
+          if (g == 0.0f) continue;
+          db_acc += g;
+          std::size_t widx = 0;
+          for (int ic = 0; ic < in_c_; ++ic) {
+            const std::size_t plane_off =
+                static_cast<std::size_t>(ic) * static_cast<std::size_t>(h_) *
+                static_cast<std::size_t>(w_);
+            for (int kh = 0; kh < k_; ++kh) {
+              const std::size_t row_off =
+                  plane_off + (i + static_cast<std::size_t>(kh)) *
+                                  static_cast<std::size_t>(w_) + j;
+              for (int kw = 0; kw < k_; ++kw) {
+                dwrow[widx] += g * in[row_off + static_cast<std::size_t>(kw)];
+                gin[row_off + static_cast<std::size_t>(kw)] += g * wrow[widx];
+                ++widx;
+              }
+            }
+          }
+        }
+      }
+      dbias_.at(0, static_cast<std::size_t>(oc)) += db_acc;
+    }
+  }
+  return grad_in;
+}
+
+void Conv2D::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({&weights_, &dweights_});
+  out.push_back({&bias_, &dbias_});
+}
+
+// ----- Conv3D ----------------------------------------------------------------
+
+Conv3D::Conv3D(int in_c, int out_c, int d, int h, int w, int k, util::Rng& rng)
+    : in_c_(in_c), out_c_(out_c), d_(d), h_(h), w_(w), k_(k),
+      weights_(static_cast<std::size_t>(out_c),
+         static_cast<std::size_t>(in_c) * static_cast<std::size_t>(k) *
+             static_cast<std::size_t>(k) * static_cast<std::size_t>(k)),
+      bias_(1, static_cast<std::size_t>(out_c)),
+      dweights_(weights_.rows(), weights_.cols()), dbias_(1, bias_.cols()) {
+  if (d < k || h < k || w < k) {
+    throw std::invalid_argument("Conv3D: input smaller than kernel");
+  }
+  weights_.init_he(rng);
+}
+
+Matrix Conv3D::forward(const Matrix& x) {
+  input_ = x;
+  const std::size_t OD = od();
+  const std::size_t OH = oh();
+  const std::size_t OW = ow();
+  const std::size_t HW = static_cast<std::size_t>(h_) * static_cast<std::size_t>(w_);
+  Matrix y(x.rows(), static_cast<std::size_t>(out_c_) * OD * OH * OW);
+  for (std::size_t n = 0; n < x.rows(); ++n) {
+    const float* in = x.row(n).data();
+    float* out = y.row(n).data();
+    for (int oc = 0; oc < out_c_; ++oc) {
+      const float* wrow = weights_.row(static_cast<std::size_t>(oc)).data();
+      const float bias = bias_.at(0, static_cast<std::size_t>(oc));
+      for (std::size_t a = 0; a < OD; ++a) {
+        for (std::size_t i = 0; i < OH; ++i) {
+          for (std::size_t j = 0; j < OW; ++j) {
+            float acc = bias;
+            std::size_t widx = 0;
+            for (int ic = 0; ic < in_c_; ++ic) {
+              const float* vol = in + static_cast<std::size_t>(ic) *
+                                          static_cast<std::size_t>(d_) * HW;
+              for (int kd = 0; kd < k_; ++kd) {
+                const float* plane = vol + (a + static_cast<std::size_t>(kd)) * HW;
+                for (int kh = 0; kh < k_; ++kh) {
+                  const float* src = plane + (i + static_cast<std::size_t>(kh)) *
+                                                 static_cast<std::size_t>(w_) + j;
+                  for (int kw = 0; kw < k_; ++kw) {
+                    acc += wrow[widx++] * src[kw];
+                  }
+                }
+              }
+            }
+            out[((static_cast<std::size_t>(oc) * OD + a) * OH + i) * OW + j] = acc;
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Matrix Conv3D::backward(const Matrix& grad_out) {
+  const std::size_t OD = od();
+  const std::size_t OH = oh();
+  const std::size_t OW = ow();
+  const std::size_t HW = static_cast<std::size_t>(h_) * static_cast<std::size_t>(w_);
+  Matrix grad_in(input_.rows(), input_.cols());
+  for (std::size_t n = 0; n < input_.rows(); ++n) {
+    const float* in = input_.row(n).data();
+    const float* gout = grad_out.row(n).data();
+    float* gin = grad_in.row(n).data();
+    for (int oc = 0; oc < out_c_; ++oc) {
+      const float* wrow = weights_.row(static_cast<std::size_t>(oc)).data();
+      float* dwrow = dweights_.row(static_cast<std::size_t>(oc)).data();
+      float db_acc = 0.0f;
+      for (std::size_t a = 0; a < OD; ++a) {
+        for (std::size_t i = 0; i < OH; ++i) {
+          for (std::size_t j = 0; j < OW; ++j) {
+            const float g =
+                gout[((static_cast<std::size_t>(oc) * OD + a) * OH + i) * OW + j];
+            if (g == 0.0f) continue;
+            db_acc += g;
+            std::size_t widx = 0;
+            for (int ic = 0; ic < in_c_; ++ic) {
+              const std::size_t vol_off =
+                  static_cast<std::size_t>(ic) * static_cast<std::size_t>(d_) * HW;
+              for (int kd = 0; kd < k_; ++kd) {
+                const std::size_t plane_off =
+                    vol_off + (a + static_cast<std::size_t>(kd)) * HW;
+                for (int kh = 0; kh < k_; ++kh) {
+                  const std::size_t row_off =
+                      plane_off + (i + static_cast<std::size_t>(kh)) *
+                                      static_cast<std::size_t>(w_) + j;
+                  for (int kw = 0; kw < k_; ++kw) {
+                    dwrow[widx] += g * in[row_off + static_cast<std::size_t>(kw)];
+                    gin[row_off + static_cast<std::size_t>(kw)] += g * wrow[widx];
+                    ++widx;
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+      dbias_.at(0, static_cast<std::size_t>(oc)) += db_acc;
+    }
+  }
+  return grad_in;
+}
+
+void Conv3D::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({&weights_, &dweights_});
+  out.push_back({&bias_, &dbias_});
+}
+
+// ----- Sequential -------------------------------------------------------------
+
+Matrix Sequential::forward(const Matrix& x) {
+  Matrix cur = x;
+  for (auto& layer : layers_) cur = layer->forward(cur);
+  return cur;
+}
+
+Matrix Sequential::backward(const Matrix& grad_out) {
+  Matrix cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    cur = (*it)->backward(cur);
+  }
+  return cur;
+}
+
+std::vector<ParamRef> Sequential::params() {
+  std::vector<ParamRef> out;
+  for (auto& layer : layers_) layer->collect_params(out);
+  return out;
+}
+
+void Sequential::set_training(bool training) {
+  for (auto& layer : layers_) layer->set_training(training);
+}
+
+// ----- Losses -------------------------------------------------------------------
+
+double softmax_ce_loss(const Matrix& logits, std::span<const int> labels,
+                       Matrix& grad) {
+  if (logits.rows() != labels.size()) {
+    throw std::invalid_argument("softmax_ce_loss: batch mismatch");
+  }
+  grad = Matrix(logits.rows(), logits.cols());
+  double loss = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const auto row = logits.row(r);
+    float max_logit = row[0];
+    for (float v : row) max_logit = std::max(max_logit, v);
+    double denom = 0.0;
+    for (float v : row) denom += std::exp(static_cast<double>(v - max_logit));
+    const int label = labels[r];
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      const double p = std::exp(static_cast<double>(row[c] - max_logit)) / denom;
+      grad.at(r, c) = static_cast<float>(
+          (p - (static_cast<int>(c) == label ? 1.0 : 0.0)) * inv_n);
+      if (static_cast<int>(c) == label) loss -= std::log(std::max(p, 1e-12));
+    }
+  }
+  return loss * inv_n;
+}
+
+std::vector<int> argmax_rows(const Matrix& logits) {
+  std::vector<int> out(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const auto row = logits.row(r);
+    out[r] = static_cast<int>(std::max_element(row.begin(), row.end()) -
+                              row.begin());
+  }
+  return out;
+}
+
+double mse_loss(const Matrix& preds, std::span<const float> targets,
+                Matrix& grad) {
+  if (preds.rows() != targets.size() || preds.cols() != 1) {
+    throw std::invalid_argument("mse_loss: shape mismatch");
+  }
+  grad = Matrix(preds.rows(), 1);
+  double loss = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(preds.rows());
+  for (std::size_t r = 0; r < preds.rows(); ++r) {
+    const double diff = static_cast<double>(preds.at(r, 0)) - targets[r];
+    loss += diff * diff;
+    grad.at(r, 0) = static_cast<float>(2.0 * diff * inv_n);
+  }
+  return loss * inv_n;
+}
+
+// ----- Adam ------------------------------------------------------------------
+
+void Adam::step(std::vector<ParamRef>& params) {
+  if (m_.empty()) {
+    m_.resize(params.size());
+    v_.resize(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const std::size_t n = params[i].value->rows() * params[i].value->cols();
+      m_[i].assign(n, 0.0f);
+      v_[i].assign(n, 0.0f);
+    }
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    float* w = params[i].value->data();
+    float* g = params[i].grad->data();
+    const std::size_t n = params[i].value->rows() * params[i].value->cols();
+    for (std::size_t j = 0; j < n; ++j) {
+      m_[i][j] = static_cast<float>(beta1_ * m_[i][j] + (1.0 - beta1_) * g[j]);
+      v_[i][j] = static_cast<float>(beta2_ * v_[i][j] +
+                                    (1.0 - beta2_) * g[j] * g[j]);
+      const double mhat = m_[i][j] / bc1;
+      const double vhat = v_[i][j] / bc2;
+      w[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+      g[j] = 0.0f;
+    }
+  }
+}
+
+}  // namespace smart::ml

@@ -1,0 +1,87 @@
+// Histogram-based regression tree: the weak learner of the gradient
+// boosting models (the paper builds GBDT / GBRegressor with XGBoost; this
+// is the same second-order split machinery at library scale).
+//
+// Features are pre-binned into at most kMaxBins quantile bins per feature;
+// split gain follows the XGBoost objective
+//   gain = GL^2/(HL+l) + GR^2/(HR+l) - G^2/(H+l)
+// with L2 regularization l and leaf weight -G/(H+l).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace smart::ml {
+
+inline constexpr int kMaxBins = 32;
+
+/// Per-feature quantile bin edges shared by every tree of an ensemble.
+class FeatureBinner {
+ public:
+  void fit(const Matrix& x, int max_bins = kMaxBins);
+
+  /// Bin index of value `v` for feature `f` (0..bins(f)-1).
+  int bin_of(std::size_t f, float v) const;
+  int bins(std::size_t f) const {
+    return static_cast<int>(edges_[f].size()) + 1;
+  }
+  std::size_t num_features() const noexcept { return edges_.size(); }
+
+  /// Pre-bins a whole matrix (row-major bin indices).
+  std::vector<std::uint8_t> bin_matrix(const Matrix& x) const;
+
+ private:
+  std::vector<std::vector<float>> edges_;  // ascending upper edges per feature
+};
+
+struct TreeParams {
+  int max_depth = 5;
+  int min_samples_leaf = 4;
+  double lambda = 1.0;        // L2 regularization on leaf weights
+  double min_gain = 1e-6;
+};
+
+/// A fitted tree. Nodes are stored in a flat array; leaves carry weights.
+class RegressionTree {
+ public:
+  /// Fits to gradients/hessians over the given row subset.
+  /// `binned` is bin_matrix() output for the full matrix `x`.
+  void fit(const Matrix& x, std::span<const std::uint8_t> binned,
+           const FeatureBinner& binner, std::span<const double> gradients,
+           std::span<const double> hessians,
+           std::span<const std::size_t> rows, const TreeParams& params);
+
+  double predict_row(std::span<const float> features) const;
+
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  int depth() const noexcept { return depth_; }
+
+  /// (feature index, split gain) for every internal node of the fitted
+  /// tree — the raw material of gain-based feature importance.
+  const std::vector<std::pair<int, double>>& split_gains() const noexcept {
+    return split_gains_;
+  }
+
+ private:
+  struct Node {
+    int feature = -1;      // -1 for leaves
+    float threshold = 0.0; // go left if value <= threshold
+    int left = -1;
+    int right = -1;
+    double weight = 0.0;   // leaf value
+  };
+
+  int build(const Matrix& x, std::span<const std::uint8_t> binned,
+            const FeatureBinner& binner, std::span<const double> g,
+            std::span<const double> h, std::vector<std::size_t>& rows,
+            const TreeParams& params, int depth);
+
+  std::vector<Node> nodes_;
+  std::vector<std::pair<int, double>> split_gains_;
+  int depth_ = 0;
+};
+
+}  // namespace smart::ml

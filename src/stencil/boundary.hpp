@@ -1,0 +1,23 @@
+// Boundary-condition taxonomy. The paper's conclusion lists stencil kernels
+// with boundary conditions as future work: "we need to quantify the impact
+// of boundary conditions on performance and further parameterize them as
+// model input". This reproduction implements that extension: the functional
+// executors support both conditions, the GPU cost model charges periodic
+// wrap-around its extra address arithmetic and halo traffic, and the
+// regression features carry the boundary as a model input.
+#pragma once
+
+#include <string>
+
+namespace smart::stencil {
+
+enum class Boundary {
+  kDirichletZero,  // out-of-domain reads are 0 (the paper's setting)
+  kPeriodic,       // out-of-domain reads wrap around the domain
+};
+
+inline std::string to_string(Boundary boundary) {
+  return boundary == Boundary::kDirichletZero ? "dirichlet0" : "periodic";
+}
+
+}  // namespace smart::stencil

@@ -1,0 +1,60 @@
+#include "stencil/features.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smart::stencil {
+
+std::vector<double> FeatureSet::to_vector(bool include_dims) const {
+  std::vector<double> v;
+  v.reserve(3 + nnz_per_order.size() + ratio_per_order.size() +
+            (include_dims ? 1 : 0));
+  if (include_dims) v.push_back(static_cast<double>(dims));
+  v.push_back(static_cast<double>(order));
+  v.push_back(static_cast<double>(nnz));
+  v.push_back(sparsity);
+  for (int c : nnz_per_order) v.push_back(static_cast<double>(c));
+  for (double r : ratio_per_order) v.push_back(r);
+  return v;
+}
+
+std::vector<std::string> FeatureSet::names(int max_order, bool include_dims) {
+  std::vector<std::string> names;
+  if (include_dims) names.emplace_back("dims");
+  names.emplace_back("order");
+  names.emplace_back("nnz");
+  names.emplace_back("sparsity");
+  for (int n = 1; n <= max_order; ++n) {
+    names.push_back("nnz_order-" + std::to_string(n));
+  }
+  for (int n = 1; n <= max_order; ++n) {
+    names.push_back("nnzRatio_order-" + std::to_string(n));
+  }
+  return names;
+}
+
+FeatureSet extract_features(const StencilPattern& pattern, int max_order) {
+  if (pattern.order() > max_order) {
+    throw std::invalid_argument("extract_features: pattern order exceeds max_order");
+  }
+  FeatureSet f;
+  f.dims = pattern.dims();
+  f.order = pattern.order();
+  f.nnz = pattern.size();
+  double volume = 1.0;
+  for (int a = 0; a < pattern.dims(); ++a) {
+    volume *= static_cast<double>(2 * max_order + 1);
+  }
+  f.sparsity = static_cast<double>(f.nnz) / volume;
+  f.nnz_per_order.resize(static_cast<std::size_t>(max_order), 0);
+  f.ratio_per_order.resize(static_cast<std::size_t>(max_order), 0.0);
+  for (int n = 1; n <= max_order; ++n) {
+    const int count = pattern.count_of_order(n);
+    f.nnz_per_order[static_cast<std::size_t>(n - 1)] = count;
+    f.ratio_per_order[static_cast<std::size_t>(n - 1)] =
+        static_cast<double>(count) / static_cast<double>(f.nnz);
+  }
+  return f;
+}
+
+}  // namespace smart::stencil

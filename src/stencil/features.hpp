@@ -1,0 +1,39 @@
+// The candidate feature set of a stencil (paper Table II):
+//   1. order       — maximum extent of non-zeros
+//   2. nnz         — number of non-zeros in the tensor
+//   3. sparsity    — density of non-zeros in the (2*max_order+1)^d tensor
+//   4. nnz_order-n — number of non-zeros of order-n neighbours (n = 1..max)
+//   5. nnzRatio_order-n — ratio of order-n non-zeros over all non-zeros
+// plus the dimensionality, which the paper encodes implicitly by training
+// separate 2-D/3-D models and we expose explicitly for mixed datasets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stencil/pattern.hpp"
+
+namespace smart::stencil {
+
+struct FeatureSet {
+  int dims = 0;
+  int order = 0;
+  int nnz = 0;
+  double sparsity = 0.0;
+  std::vector<int> nnz_per_order;       // index n-1 => order-n count
+  std::vector<double> ratio_per_order;  // index n-1 => order-n ratio
+
+  /// Flattened numeric vector of fixed length 3 + 2*max_order (order, nnz,
+  /// sparsity, then per-order counts and ratios padded with zeros). `dims`
+  /// is prepended when include_dims is true.
+  std::vector<double> to_vector(bool include_dims = false) const;
+
+  /// Human-readable names aligned with to_vector(), for reports.
+  static std::vector<std::string> names(int max_order, bool include_dims = false);
+};
+
+/// Extracts the Table II features relative to a fixed maximum order (the
+/// per-order slots are padded so all stencils share one feature layout).
+FeatureSet extract_features(const StencilPattern& pattern, int max_order);
+
+}  // namespace smart::stencil

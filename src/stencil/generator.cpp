@@ -1,0 +1,99 @@
+#include "stencil/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace smart::stencil {
+
+namespace {
+
+using PointSet = std::unordered_set<Point, PointHash>;
+
+/// One sampling round for a given order: candidates are Moore neighbours of
+/// the previous selection that actually sit at Chebyshev distance `order`
+/// from the centre, excluding already-selected lower-order points
+/// (Alg. 1 lines 8-14).
+std::vector<Point> sample_order(const std::vector<Point>& previous,
+                                const PointSet& taken, int dims, int order,
+                                double keep_prob, util::Rng& rng) {
+  PointSet candidates;
+  for (const Point& p : previous) {
+    for (const Point& q : moore_neighbours(p, dims)) {
+      if (q.order() != order) continue;  // drops order-1/order-2 backtracks
+      if (taken.contains(q)) continue;
+      candidates.insert(q);
+    }
+  }
+  std::vector<Point> pool(candidates.begin(), candidates.end());
+  std::sort(pool.begin(), pool.end());  // determinism across set iteration
+  std::vector<Point> selected;
+  for (const Point& q : pool) {
+    if (rng.bernoulli(keep_prob)) selected.push_back(q);
+  }
+  return selected;
+}
+
+}  // namespace
+
+RandomStencilGenerator::RandomStencilGenerator(GeneratorConfig config)
+    : config_(config) {
+  if (config_.dims < 2 || config_.dims > kMaxDims) {
+    throw std::invalid_argument("RandomStencilGenerator: dims must be 2 or 3");
+  }
+  if (config_.order < 1) {
+    throw std::invalid_argument("RandomStencilGenerator: order must be >= 1");
+  }
+  if (config_.keep_prob <= 0.0 || config_.keep_prob > 1.0) {
+    throw std::invalid_argument("RandomStencilGenerator: keep_prob in (0,1]");
+  }
+}
+
+StencilPattern RandomStencilGenerator::generate(util::Rng& rng) const {
+  std::vector<Point> all_points;
+  PointSet taken;
+  const Point centre{};
+  taken.insert(centre);
+  all_points.push_back(centre);
+
+  std::vector<Point> previous{centre};
+  for (int order = 1; order <= config_.order; ++order) {
+    std::vector<Point> selected;
+    // Resample until at least one point of this order is kept (so that the
+    // chain can continue growing), within the attempt budget.
+    for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+      selected = sample_order(previous, taken, config_.dims, order,
+                              config_.keep_prob, rng);
+      if (!selected.empty() || !config_.force_full_order) break;
+    }
+    if (selected.empty()) break;  // pattern tops out below the target order
+    for (const Point& p : selected) {
+      taken.insert(p);
+      all_points.push_back(p);
+    }
+    previous = std::move(selected);
+  }
+  return StencilPattern(config_.dims, std::move(all_points));
+}
+
+std::vector<StencilPattern> RandomStencilGenerator::generate_batch(
+    util::Rng& rng, int count) const {
+  std::vector<StencilPattern> batch;
+  std::unordered_set<std::uint64_t> seen;
+  batch.reserve(static_cast<std::size_t>(count));
+  int stale = 0;
+  while (static_cast<int>(batch.size()) < count) {
+    StencilPattern p = generate(rng);
+    if (seen.insert(p.hash()).second) {
+      batch.push_back(std::move(p));
+      stale = 0;
+    } else if (++stale > 10000) {
+      // Pattern space exhausted (can happen for tiny configs in tests).
+      throw std::runtime_error(
+          "generate_batch: could not find enough distinct patterns");
+    }
+  }
+  return batch;
+}
+
+}  // namespace smart::stencil

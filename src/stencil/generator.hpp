@@ -1,0 +1,46 @@
+// Random stencil generator (paper Algorithm 1).
+//
+// Naive uniform sampling inside the (2N+1)^d tensor would produce patterns
+// that do not look like stencils (isolated far points with no neighbour
+// chain). Algorithm 1 instead grows the pattern order by order: the order-k
+// candidate set is the Moore neighbourhood of the selected order-(k-1)
+// points, minus the points already selected at orders k-1 and k-2; a random
+// subset of the candidates is kept. Every generated pattern therefore
+// satisfies the *neighbour-access invariant*: each order-k point is a Moore
+// neighbour of some selected order-(k-1) point.
+#pragma once
+
+#include <vector>
+
+#include "stencil/pattern.hpp"
+#include "util/rng.hpp"
+
+namespace smart::stencil {
+
+struct GeneratorConfig {
+  int dims = 2;        // 2 or 3
+  int order = 4;       // target maximum order N (paper uses N = 4)
+  double keep_prob = 0.45;  // probability of keeping each candidate point
+  bool force_full_order = true;  // retry until order N is actually reached
+  int max_attempts = 64;         // resampling budget per order
+};
+
+class RandomStencilGenerator {
+ public:
+  explicit RandomStencilGenerator(GeneratorConfig config);
+
+  /// Generates one random pattern. With force_full_order, the result's
+  /// order equals config.order; otherwise it may be smaller (but >= 1).
+  StencilPattern generate(util::Rng& rng) const;
+
+  /// Generates `count` patterns with distinct identities (deduplicated by
+  /// pattern hash; duplicates are re-rolled).
+  std::vector<StencilPattern> generate_batch(util::Rng& rng, int count) const;
+
+  const GeneratorConfig& config() const noexcept { return config_; }
+
+ private:
+  GeneratorConfig config_;
+};
+
+}  // namespace smart::stencil

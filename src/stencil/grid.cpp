@@ -1,0 +1,33 @@
+#include "stencil/grid.hpp"
+
+#include <cmath>
+
+namespace smart::stencil {
+
+Grid::Grid(int nx, int ny, int nz, int halo)
+    : nx_(nx), ny_(ny), nz_(nz), halo_(halo) {
+  if (nx < 1 || ny < 1 || nz < 1 || halo < 0) {
+    throw std::invalid_argument("Grid: bad extents");
+  }
+  data_.assign(static_cast<std::size_t>(nx + 2 * halo) *
+                   static_cast<std::size_t>(ny + 2 * halo) *
+                   static_cast<std::size_t>(nz + 2 * halo),
+               0.0);
+}
+
+double Grid::max_abs_diff(const Grid& a, const Grid& b) {
+  if (a.nx_ != b.nx_ || a.ny_ != b.ny_ || a.nz_ != b.nz_) {
+    throw std::invalid_argument("Grid::max_abs_diff: shape mismatch");
+  }
+  double worst = 0.0;
+  for (int i = 0; i < a.nx_; ++i) {
+    for (int j = 0; j < a.ny_; ++j) {
+      for (int k = 0; k < a.nz_; ++k) {
+        worst = std::max(worst, std::fabs(a.at(i, j, k) - b.at(i, j, k)));
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace smart::stencil

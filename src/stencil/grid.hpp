@@ -1,0 +1,72 @@
+// Dense computation grid with a zero-filled halo, for the CPU reference
+// executors. The halo implements Dirichlet-zero boundaries: reads up to
+// `halo` cells outside the interior return 0 and are never written.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace smart::stencil {
+
+class Grid {
+ public:
+  /// 2-D grid: nz == 1 and dims() == 2. 3-D grid: nz > 1.
+  Grid(int nx, int ny, int nz, int halo);
+
+  static Grid make_2d(int nx, int ny, int halo) { return {nx, ny, 1, halo}; }
+
+  int dims() const noexcept { return nz_ == 1 ? 2 : 3; }
+  int nx() const noexcept { return nx_; }
+  int ny() const noexcept { return ny_; }
+  int nz() const noexcept { return nz_; }
+  int halo() const noexcept { return halo_; }
+  std::size_t interior_size() const noexcept {
+    return static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_) *
+           static_cast<std::size_t>(nz_);
+  }
+
+  /// Interior coordinates are [0, n); reads may reach into [-halo, n+halo).
+  double at(int i, int j, int k = 0) const { return data_[index(i, j, k)]; }
+  double& at(int i, int j, int k = 0) { return data_[index(i, j, k)]; }
+
+  /// Fills the interior with f(i, j, k); halo stays zero.
+  template <typename F>
+  void fill(F&& f) {
+    for (int i = 0; i < nx_; ++i) {
+      for (int j = 0; j < ny_; ++j) {
+        for (int k = 0; k < nz_; ++k) {
+          at(i, j, k) = f(i, j, k);
+        }
+      }
+    }
+  }
+
+  /// Max absolute interior difference between two same-shape grids.
+  static double max_abs_diff(const Grid& a, const Grid& b);
+
+ private:
+  std::size_t index(int i, int j, int k) const {
+    const int pi = i + halo_;
+    const int pj = j + halo_;
+    const int pk = k + halo_;
+#ifndef NDEBUG
+    if (pi < 0 || pi >= nx_ + 2 * halo_ || pj < 0 || pj >= ny_ + 2 * halo_ ||
+        pk < 0 || pk >= nz_ + 2 * halo_) {
+      throw std::out_of_range("Grid: index outside halo");
+    }
+#endif
+    return (static_cast<std::size_t>(pi) * static_cast<std::size_t>(ny_ + 2 * halo_) +
+            static_cast<std::size_t>(pj)) *
+               static_cast<std::size_t>(nz_ + 2 * halo_) +
+           static_cast<std::size_t>(pk);
+  }
+
+  int nx_;
+  int ny_;
+  int nz_;
+  int halo_;
+  std::vector<double> data_;
+};
+
+}  // namespace smart::stencil

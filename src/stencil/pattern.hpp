@@ -1,0 +1,86 @@
+// StencilPattern: the canonical description of a stencil's access pattern —
+// a deduplicated, sorted set of offsets (always containing the centre) plus
+// the dimensionality. Everything downstream (binary tensor, Table II
+// features, the GPU cost model, reference executors) derives from it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stencil/point.hpp"
+
+namespace smart::stencil {
+
+/// Stencil shape taxonomy used in the paper's motivation (star, box, cross).
+enum class Shape : std::uint8_t { kStar, kBox, kCross, kIrregular };
+
+std::string to_string(Shape shape);
+
+class StencilPattern {
+ public:
+  /// Builds a pattern from offsets. The centre is inserted if missing;
+  /// duplicates are removed; offsets are kept sorted for canonical identity.
+  /// Throws std::invalid_argument for dims outside {2, 3} or offsets with
+  /// non-zero coordinates beyond `dims`.
+  StencilPattern(int dims, std::vector<Point> offsets);
+
+  int dims() const noexcept { return dims_; }
+
+  /// Number of accessed points, centre included ("nnz" in the paper).
+  int size() const noexcept { return static_cast<int>(offsets_.size()); }
+
+  /// Maximum Chebyshev norm over all offsets (the stencil order).
+  int order() const noexcept { return order_; }
+
+  std::span<const Point> offsets() const noexcept { return offsets_; }
+
+  bool contains(const Point& p) const;
+
+  /// Points whose order is exactly n (n >= 1); n = 0 yields the centre.
+  std::vector<Point> points_of_order(int n) const;
+
+  /// Count of points of order exactly n.
+  int count_of_order(int n) const;
+
+  /// Shape classification: star (axes only), box (full Moore ball),
+  /// cross (centre + full diagonals only), otherwise irregular.
+  Shape classify() const;
+
+  /// Number of distinct (dims-1)-dimensional planes along `axis` that the
+  /// pattern touches, i.e. distinct values of the coordinate on that axis.
+  /// Drives the streaming/traffic terms of the GPU cost model.
+  int planes_along(int axis) const;
+
+  /// Stable 64-bit identity hash of (dims, offsets); used to derive
+  /// deterministic per-stencil measurement-noise seeds.
+  std::uint64_t hash() const noexcept;
+
+  /// e.g. "star2d3r" for recognized shapes, "irr2d3r17p" for irregular ones
+  /// (order and point count).
+  std::string name() const;
+
+  friend bool operator==(const StencilPattern& a, const StencilPattern& b) {
+    return a.dims_ == b.dims_ && a.offsets_ == b.offsets_;
+  }
+
+ private:
+  int dims_;
+  int order_;
+  std::vector<Point> offsets_;  // sorted, unique, includes centre
+};
+
+/// Factory helpers for the canonical shape gallery (paper Figs. 1, 4):
+/// star = axis points up to radius r; box = all points with Chebyshev
+/// norm <= r; cross = centre plus all full-diagonal points up to radius r.
+StencilPattern make_star(int dims, int radius);
+StencilPattern make_box(int dims, int radius);
+StencilPattern make_cross(int dims, int radius);
+
+/// The 14 representative stencils used in the motivation study: shapes
+/// {star, box, cross} x orders {1..4} x dims {2, 3}, trimmed to the sizes
+/// the paper plots (box3d capped at order 4, etc.). Ordered 2-D first.
+std::vector<StencilPattern> representative_gallery();
+
+}  // namespace smart::stencil

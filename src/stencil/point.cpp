@@ -1,0 +1,38 @@
+#include "stencil/point.hpp"
+
+#include <sstream>
+
+namespace smart::stencil {
+
+std::string Point::to_string(int dims) const {
+  std::ostringstream os;
+  os << '(';
+  for (int a = 0; a < dims; ++a) {
+    if (a != 0) os << ',';
+    os << static_cast<int>(coords[static_cast<std::size_t>(a)]);
+  }
+  os << ')';
+  return os.str();
+}
+
+std::vector<Point> moore_neighbours(const Point& p, int dims) {
+  std::vector<Point> out;
+  out.reserve(dims == 2 ? 8 : 26);
+  const int zlo = dims >= 3 ? -1 : 0;
+  const int zhi = dims >= 3 ? 1 : 0;
+  for (int dx = -1; dx <= 1; ++dx) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dz = zlo; dz <= zhi; ++dz) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        Point q;
+        q.coords[0] = static_cast<std::int8_t>(p[0] + dx);
+        q.coords[1] = static_cast<std::int8_t>(p[1] + dy);
+        q.coords[2] = static_cast<std::int8_t>(p[2] + dz);
+        out.push_back(q);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace smart::stencil

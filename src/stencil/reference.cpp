@@ -1,0 +1,200 @@
+#include "stencil/reference.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smart::stencil {
+
+namespace {
+
+void validate(const StencilOp& op, const Grid& input) {
+  if (static_cast<int>(op.weights.size()) != op.pattern.size()) {
+    throw std::invalid_argument("StencilOp: weights/pattern size mismatch");
+  }
+  if (input.halo() < op.pattern.order()) {
+    throw std::invalid_argument("run: grid halo smaller than stencil order");
+  }
+  if (input.dims() != op.pattern.dims()) {
+    throw std::invalid_argument("run: grid/pattern dimensionality mismatch");
+  }
+}
+
+constexpr int wrap(int i, int n) { return ((i % n) + n) % n; }
+
+/// Boundary-aware read: Dirichlet reads resolve through the zero halo,
+/// periodic reads wrap around the domain.
+double read_cell(const Grid& g, int i, int j, int k, Boundary boundary) {
+  if (boundary == Boundary::kPeriodic) {
+    return g.at(wrap(i, g.nx()), wrap(j, g.ny()), wrap(k, g.nz()));
+  }
+  return g.at(i, j, k);
+}
+
+/// One sweep over a box of interior cells, reading `src` and writing `dst`.
+void sweep_box(const StencilOp& op, const Grid& src, Grid& dst, int i0, int i1,
+               int j0, int j1, int k0, int k1) {
+  const auto offsets = op.pattern.offsets();
+  for (int i = i0; i < i1; ++i) {
+    for (int j = j0; j < j1; ++j) {
+      for (int k = k0; k < k1; ++k) {
+        double acc = 0.0;
+        for (std::size_t p = 0; p < offsets.size(); ++p) {
+          const Point& d = offsets[p];
+          acc += op.weights[p] *
+                 read_cell(src, i + d[0], j + d[1], k + d[2], op.boundary);
+        }
+        dst.at(i, j, k) = acc;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> uniform_weights(const StencilPattern& pattern) {
+  return std::vector<double>(static_cast<std::size_t>(pattern.size()),
+                             1.0 / static_cast<double>(pattern.size()));
+}
+
+Grid run_naive(const StencilOp& op, const Grid& input, int steps) {
+  validate(op, input);
+  Grid cur = input;
+  Grid next(input.nx(), input.ny(), input.nz(), input.halo());
+  for (int s = 0; s < steps; ++s) {
+    sweep_box(op, cur, next, 0, cur.nx(), 0, cur.ny(), 0, cur.nz());
+    std::swap(cur, next);
+  }
+  return cur;
+}
+
+Grid run_tiled(const StencilOp& op, const Grid& input, int steps, int tile_x,
+               int tile_y, int tile_z) {
+  validate(op, input);
+  if (tile_x < 1 || tile_y < 1 || tile_z < 1) {
+    throw std::invalid_argument("run_tiled: tile extents must be >= 1");
+  }
+  Grid cur = input;
+  Grid next(input.nx(), input.ny(), input.nz(), input.halo());
+  for (int s = 0; s < steps; ++s) {
+    for (int i0 = 0; i0 < cur.nx(); i0 += tile_x) {
+      for (int j0 = 0; j0 < cur.ny(); j0 += tile_y) {
+        for (int k0 = 0; k0 < cur.nz(); k0 += tile_z) {
+          sweep_box(op, cur, next, i0, std::min(i0 + tile_x, cur.nx()), j0,
+                    std::min(j0 + tile_y, cur.ny()), k0,
+                    std::min(k0 + tile_z, cur.nz()));
+        }
+      }
+    }
+    std::swap(cur, next);
+  }
+  return cur;
+}
+
+Grid run_temporal_blocked(const StencilOp& op, const Grid& input, int steps,
+                          int tile_x, int tile_y, int tile_z, int time_block) {
+  validate(op, input);
+  if (time_block < 1) {
+    throw std::invalid_argument("run_temporal_blocked: time_block must be >= 1");
+  }
+  if (tile_x < 1 || tile_y < 1 || tile_z < 1) {
+    throw std::invalid_argument("run_temporal_blocked: tile extents must be >= 1");
+  }
+  const int r = op.pattern.order();
+  const auto offsets = op.pattern.offsets();
+  Grid cur = input;
+
+  int done = 0;
+  while (done < steps) {
+    const int t = std::min(time_block, steps - done);
+    const int halo = r * t;  // overlapped-tiling halo for t fused steps
+    Grid out(cur.nx(), cur.ny(), cur.nz(), cur.halo());
+    const int bz_extent = cur.dims() == 3 ? tile_z : 1;
+
+    for (int ti = 0; ti < cur.nx(); ti += tile_x) {
+      for (int tj = 0; tj < cur.ny(); tj += tile_y) {
+        for (int tk = 0; tk < cur.nz(); tk += bz_extent) {
+          const int tx = std::min(tile_x, cur.nx() - ti);
+          const int ty = std::min(tile_y, cur.ny() - tj);
+          const int tz = std::min(bz_extent, cur.nz() - tk);
+          // Local buffers cover the tile plus the fused-time halo. Reads
+          // that fall outside the global domain are Dirichlet zeros, and
+          // such cells are never recomputed so they stay zero at every
+          // intermediate step, exactly like the naive executor's halo.
+          const int lx = tx + 2 * halo;
+          const int ly = ty + 2 * halo;
+          const int lz = cur.dims() == 3 ? tz + 2 * halo : 1;
+          Grid buf_a(lx, ly, lz, r);
+          Grid buf_b(lx, ly, lz, r);
+          const int koff = cur.dims() == 3 ? halo : 0;
+          for (int i = 0; i < lx; ++i) {
+            for (int j = 0; j < ly; ++j) {
+              for (int k = 0; k < lz; ++k) {
+                const int gi = ti + i - halo;
+                const int gj = tj + j - halo;
+                const int gk = tk + k - koff;
+                if (op.boundary == Boundary::kPeriodic) {
+                  buf_a.at(i, j, k) = cur.at(wrap(gi, cur.nx()),
+                                             wrap(gj, cur.ny()),
+                                             wrap(gk, cur.nz()));
+                } else {
+                  const bool inside = gi >= 0 && gi < cur.nx() && gj >= 0 &&
+                                      gj < cur.ny() && gk >= 0 && gk < cur.nz();
+                  buf_a.at(i, j, k) = inside ? cur.at(gi, gj, gk) : 0.0;
+                }
+              }
+            }
+          }
+          Grid* src = &buf_a;
+          Grid* dst = &buf_b;
+          for (int s = 1; s <= t; ++s) {
+            // After s fused steps, only cells at distance >= s*r from the
+            // buffer edge hold correct values (the trapezoid shrink).
+            const int i_lo = s * r;
+            // Copy-then-update: carry forward stale edge cells so later
+            // (never-read) regions stay defined, then recompute the valid
+            // trapezoid region.
+            *dst = *src;
+            const int k_lo = cur.dims() == 3 ? i_lo : 0;
+            const int k_hi = cur.dims() == 3 ? lz - s * r : 1;
+            for (int i = i_lo; i < lx - s * r; ++i) {
+              for (int j = i_lo; j < ly - s * r; ++j) {
+                for (int k = k_lo; k < k_hi; ++k) {
+                  if (op.boundary == Boundary::kDirichletZero) {
+                    const int gi = ti + i - halo;
+                    const int gj = tj + j - halo;
+                    const int gk = tk + k - koff;
+                    if (gi < 0 || gi >= cur.nx() || gj < 0 || gj >= cur.ny() ||
+                        gk < 0 || gk >= cur.nz()) {
+                      continue;  // out-of-domain cells remain Dirichlet zero
+                    }
+                  }  // periodic: every buffer cell is a live domain cell
+                  double acc = 0.0;
+                  for (std::size_t p = 0; p < offsets.size(); ++p) {
+                    const Point& d = offsets[p];
+                    acc += op.weights[p] * src->at(i + d[0], j + d[1], k + d[2]);
+                  }
+                  dst->at(i, j, k) = acc;
+                }
+              }
+            }
+            std::swap(src, dst);
+          }
+          // Write back the tile interior (local coords [halo, halo+t?)).
+          for (int i = 0; i < tx; ++i) {
+            for (int j = 0; j < ty; ++j) {
+              for (int k = 0; k < tz; ++k) {
+                out.at(ti + i, tj + j, tk + k) =
+                    src->at(i + halo, j + halo, cur.dims() == 3 ? k + halo : k);
+              }
+            }
+          }
+        }
+      }
+    }
+    cur = std::move(out);
+    done += t;
+  }
+  return cur;
+}
+
+}  // namespace smart::stencil

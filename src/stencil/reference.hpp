@@ -1,0 +1,49 @@
+// CPU reference executors for stencil computations.
+//
+// On real hardware, StencilMART's generated CUDA variants are validated
+// against a naive kernel; here the naive executor is the oracle and the
+// tiled / temporally-blocked executors model (and verify the semantics of)
+// the spatial-tiling and temporal-blocking code transformations that the
+// GPU cost model reasons about. All executors use Dirichlet-zero halos and
+// produce bitwise-identical results (same operations in the same per-point
+// order).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stencil/boundary.hpp"
+#include "stencil/grid.hpp"
+#include "stencil/pattern.hpp"
+
+namespace smart::stencil {
+
+/// A stencil with per-offset coefficients, applied for `steps` Jacobi
+/// iterations. weights.size() must equal pattern.size(); weights align with
+/// pattern.offsets() order. Out-of-domain reads follow `boundary`.
+struct StencilOp {
+  const StencilPattern& pattern;
+  std::span<const double> weights;
+  Boundary boundary = Boundary::kDirichletZero;
+};
+
+/// Uniform 1/nnz weights (the smoothing stencil the paper's examples use).
+std::vector<double> uniform_weights(const StencilPattern& pattern);
+
+/// Naive executor: full-grid sweep per time step, ping-pong buffers.
+/// `input` halo must be >= pattern.order(). Returns the final grid.
+Grid run_naive(const StencilOp& op, const Grid& input, int steps);
+
+/// Spatially tiled executor: same arithmetic, loop-blocked over tiles of
+/// size (tile_x, tile_y[, tile_z]). Bitwise-equal to run_naive.
+Grid run_tiled(const StencilOp& op, const Grid& input, int steps, int tile_x,
+               int tile_y, int tile_z = 1);
+
+/// Overlapped (trapezoidal) temporal blocking: time steps are fused in
+/// chunks of `time_block`; each tile loads a halo of order*time_block and
+/// performs redundant edge computation so chunk results match the naive
+/// executor exactly. Models the TB optimization of paper Table I.
+Grid run_temporal_blocked(const StencilOp& op, const Grid& input, int steps,
+                          int tile_x, int tile_y, int tile_z, int time_block);
+
+}  // namespace smart::stencil

@@ -1,0 +1,68 @@
+#include "stencil/tensor_repr.hpp"
+
+#include <stdexcept>
+
+namespace smart::stencil {
+
+PatternTensor::PatternTensor(const StencilPattern& pattern, int max_order)
+    : dims_(pattern.dims()), max_order_(max_order) {
+  if (max_order_ < 1) {
+    throw std::invalid_argument("PatternTensor: max_order must be >= 1");
+  }
+  if (pattern.order() > max_order_) {
+    throw std::invalid_argument("PatternTensor: pattern order exceeds max_order");
+  }
+  std::size_t volume = 1;
+  for (int a = 0; a < dims_; ++a) {
+    volume *= static_cast<std::size_t>(extent());
+  }
+  cells_.assign(volume, 0);
+  for (const Point& p : pattern.offsets()) {
+    cells_[index(p[0], p[1], dims_ == 3 ? p[2] : 0)] = 1;
+    ++nnz_;
+  }
+}
+
+std::size_t PatternTensor::index(int x, int y, int z) const {
+  const int e = extent();
+  const int ix = x + max_order_;
+  const int iy = y + max_order_;
+  const int iz = z + max_order_;
+  if (ix < 0 || ix >= e || iy < 0 || iy >= e ||
+      (dims_ == 3 && (iz < 0 || iz >= e))) {
+    throw std::out_of_range("PatternTensor: coordinate out of range");
+  }
+  std::size_t idx = static_cast<std::size_t>(ix) * static_cast<std::size_t>(e) +
+                    static_cast<std::size_t>(iy);
+  if (dims_ == 3) {
+    idx = idx * static_cast<std::size_t>(e) + static_cast<std::size_t>(iz);
+  }
+  return idx;
+}
+
+bool PatternTensor::at(int x, int y, int z) const {
+  return cells_[index(x, y, z)] != 0;
+}
+
+std::vector<float> PatternTensor::to_floats() const {
+  return {cells_.begin(), cells_.end()};
+}
+
+StencilPattern PatternTensor::to_pattern() const {
+  std::vector<Point> pts;
+  const int n = max_order_;
+  const int zlo = dims_ == 3 ? -n : 0;
+  const int zhi = dims_ == 3 ? n : 0;
+  for (int x = -n; x <= n; ++x) {
+    for (int y = -n; y <= n; ++y) {
+      for (int z = zlo; z <= zhi; ++z) {
+        if (at(x, y, z)) {
+          pts.push_back(dims_ == 2 ? Point{x, y} : Point{x, y, z});
+        }
+      }
+    }
+  }
+  return StencilPattern(dims_, std::move(pts));
+}
+
+}  // namespace smart::stencil

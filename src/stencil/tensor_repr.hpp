@@ -1,0 +1,56 @@
+// Binary tensor representation of a stencil (paper Sec. IV-B/C, Fig. 6).
+//
+// A d-dimensional stencil with maximum order N is embedded in a dense
+// (2N+1)^d binary tensor: cell 1 where the pattern accesses the offset,
+// 0 elsewhere. The tensor is what the convolutional models (ConvNet,
+// ConvMLP) consume; it captures the spatial distribution of the accessed
+// neighbours and their Euclidean distances.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stencil/pattern.hpp"
+
+namespace smart::stencil {
+
+class PatternTensor {
+ public:
+  /// Embeds `pattern` into a (2*max_order+1)^dims binary tensor.
+  /// Throws std::invalid_argument if pattern.order() > max_order.
+  PatternTensor(const StencilPattern& pattern, int max_order);
+
+  int dims() const noexcept { return dims_; }
+  int max_order() const noexcept { return max_order_; }
+
+  /// Side length 2*max_order + 1.
+  int extent() const noexcept { return 2 * max_order_ + 1; }
+
+  /// Total number of cells: extent()^dims.
+  int volume() const noexcept { return static_cast<int>(cells_.size()); }
+
+  /// Cell accessor; coordinates are offsets in [-max_order, +max_order]
+  /// (z ignored for 2-D tensors).
+  bool at(int x, int y, int z = 0) const;
+
+  int nnz() const noexcept { return nnz_; }
+
+  /// Row-major flattened cells as floats in {0,1} — the NN input layout.
+  std::vector<float> to_floats() const;
+
+  std::span<const std::uint8_t> cells() const noexcept { return cells_; }
+
+  /// Reconstructs the pattern (inverse of the embedding).
+  StencilPattern to_pattern() const;
+
+ private:
+  std::size_t index(int x, int y, int z) const;
+
+  int dims_;
+  int max_order_;
+  int nnz_ = 0;
+  std::vector<std::uint8_t> cells_;  // row-major, axis order (x, y[, z])
+};
+
+}  // namespace smart::stencil

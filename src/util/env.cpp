@@ -1,0 +1,40 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace smart::util {
+
+double env_double(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return value;
+}
+
+long long env_int(const std::string& name, long long fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return value;
+}
+
+double experiment_scale() {
+  static const double scale = [] {
+    const double s = env_double("SMART_SCALE", 0.25);
+    return s > 0.0 ? s : 0.1;
+  }();
+  return scale;
+}
+
+int scaled(int base, int minimum) {
+  const double scaled_value = std::round(static_cast<double>(base) * experiment_scale());
+  return std::max(minimum, static_cast<int>(scaled_value));
+}
+
+}  // namespace smart::util

@@ -1,0 +1,26 @@
+// Experiment scaling knobs. The paper trains on 500+500 stencils and ~141k
+// profiled instances per GPU; the bench harness defaults to a scaled-down
+// dataset so that every figure regenerates in seconds on a laptop. Set
+// SMART_SCALE=1.0 (or more) to approach paper scale.
+#pragma once
+
+#include <string>
+
+namespace smart::util {
+
+/// Reads a double from the environment, returning fallback when unset or
+/// unparsable.
+double env_double(const std::string& name, double fallback);
+
+/// Reads an integer from the environment, returning fallback when unset or
+/// unparsable.
+long long env_int(const std::string& name, long long fallback);
+
+/// Global experiment scale in (0, inf). 1.0 reproduces a paper-sized run;
+/// the default 0.25 keeps every bench to a few minutes on one core.
+double experiment_scale();
+
+/// max(minimum, round(base * experiment_scale())).
+int scaled(int base, int minimum = 1);
+
+}  // namespace smart::util

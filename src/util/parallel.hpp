@@ -1,0 +1,37 @@
+// Minimal data-parallel loop helper. Uses OpenMP when compiled with it and
+// degrades to a serial loop otherwise; all call sites are race-free by
+// construction (each index writes only its own output slot).
+#pragma once
+
+#include <cstddef>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace smart::util {
+
+/// Number of hardware threads the parallel loops will use.
+inline int parallel_threads() noexcept {
+#if defined(_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Invokes body(i) for i in [0, n), potentially in parallel.
+/// The body must not throw and must touch disjoint state per index.
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body) {
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(dynamic, 1)
+  for (long long i = 0; i < static_cast<long long>(n); ++i) {
+    body(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) body(i);
+#endif
+}
+
+}  // namespace smart::util

@@ -1,0 +1,23 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+
+namespace smart::util {
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  // Partial Fisher-Yates over an index vector: O(n) memory, O(n + k) time.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i),
+                    static_cast<std::int64_t>(n) - 1));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace smart::util

@@ -1,0 +1,158 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All randomness in StencilMART (stencil generation, parameter sampling,
+// simulated measurement noise, weight initialization, data shuffling) flows
+// through Rng so that every experiment is bit-reproducible given a seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace smart::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full xoshiro state.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA'14).
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Combine two 64-bit values into one (boost::hash_combine style, widened).
+/// Used to derive per-measurement noise seeds from (stencil, OC, GPU) hashes.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4);
+  return a;
+}
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+    // Lemire-style rejection-free mapping (bias is negligible at 64 bits,
+    // but use the multiply-shift reduction for uniformity anyway).
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>((*this)()) * span;
+    return lo + static_cast<std::int64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method (no trig, deterministic).
+  double normal() noexcept {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_ = v * factor;
+    have_cached_ = true;
+    return u * factor;
+  }
+
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Pick a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    if (items.empty()) throw std::invalid_argument("pick: empty span");
+    return items[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>(items));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// A random permutation of [0, n).
+  std::vector<std::size_t> permutation(std::size_t n) {
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    shuffle(idx);
+    return idx;
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+}  // namespace smart::util

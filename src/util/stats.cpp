@@ -1,0 +1,131 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smart::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) throw std::invalid_argument("geomean: non-positive value");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  double lo = *std::max_element(xs.begin(),
+                                xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("pearson: size mismatch");
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double mape(std::span<const double> truth, std::span<const double> pred) {
+  if (truth.size() != pred.size()) throw std::invalid_argument("mape: size mismatch");
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 0.0) continue;
+    acc += std::abs(pred[i] - truth[i]) / std::abs(truth[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : 100.0 * acc / static_cast<double>(n);
+}
+
+double accuracy(std::span<const int> truth, std::span<const int> pred) {
+  if (truth.size() != pred.size()) throw std::invalid_argument("accuracy: size mismatch");
+  if (truth.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == pred[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double kendall_tau(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("kendall_tau: size mismatch");
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  long long concordant = 0;
+  long long discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = xs[i] - xs[j];
+      const double dy = ys[i] - ys[j];
+      const double prod = dx * dy;
+      if (prod > 0.0) ++concordant;
+      else if (prod < 0.0) ++discordant;
+    }
+  }
+  const double pairs = 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++n_;
+}
+
+}  // namespace smart::util

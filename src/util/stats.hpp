@@ -1,0 +1,52 @@
+// Descriptive statistics and error metrics used throughout the evaluation:
+// Pearson correlation (paper Fig. 3 / Sec. III-C), MAPE (Sec. V-C), geometric
+// mean speedups (Figs. 10-11), and distribution summaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace smart::util {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // population variance
+double stddev(std::span<const double> xs);
+double geomean(std::span<const double> xs);   // requires all xs > 0
+double median(std::vector<double> xs);        // by value: sorts a copy
+
+/// p-th percentile (p in [0,100]) with linear interpolation.
+double percentile(std::vector<double> xs, double p);
+
+/// Pearson correlation coefficient between two equal-length series.
+/// Returns 0 when either series has zero variance (degenerate case).
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Mean absolute percentage error: mean(|pred - truth| / |truth|) * 100.
+/// Entries with truth == 0 are skipped.
+double mape(std::span<const double> truth, std::span<const double> pred);
+
+/// Fraction of positions where the two label series agree, in [0,1].
+double accuracy(std::span<const int> truth, std::span<const int> pred);
+
+/// Kendall rank correlation (tau-a), used by ordinal-regression baselines
+/// (paper Sec. II-C cites Kendall coefficients for ranking quality).
+double kendall_tau(std::span<const double> xs, std::span<const double> ys);
+
+/// Streaming min/max/mean accumulator for one-pass summaries.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace smart::util

@@ -1,0 +1,130 @@
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace smart::cli {
+namespace {
+
+CommandLine parse(std::initializer_list<std::string> args) {
+  return parse_command_line(std::vector<std::string>(args));
+}
+
+TEST(CliParse, SubcommandAndOptions) {
+  const auto cmd = parse({"generate", "--dims", "3", "--count", "7"});
+  EXPECT_EQ(cmd.command, "generate");
+  EXPECT_EQ(cmd.get_int("dims", 0), 3);
+  EXPECT_EQ(cmd.get_int("count", 0), 7);
+  EXPECT_EQ(cmd.get("missing", "x"), "x");
+  EXPECT_TRUE(cmd.has("dims"));
+  EXPECT_FALSE(cmd.has("seed"));
+}
+
+TEST(CliParse, EmptyIsAllowed) {
+  const auto cmd = parse({});
+  EXPECT_TRUE(cmd.command.empty());
+}
+
+TEST(CliParse, RejectsMalformedInput) {
+  EXPECT_THROW(parse({"--dims", "2"}), std::invalid_argument);
+  EXPECT_THROW(parse({"generate", "stray"}), std::invalid_argument);
+  EXPECT_THROW(parse({"generate", "--dims"}), std::invalid_argument);
+  EXPECT_THROW(parse({"generate", "--dims", "--count"}), std::invalid_argument);
+}
+
+TEST(CliRun, UnknownCommandPrintsUsage) {
+  std::ostringstream out;
+  EXPECT_EQ(run_command(parse({"frobnicate"}), out), 2);
+  EXPECT_NE(out.str().find("smartctl"), std::string::npos);
+}
+
+TEST(CliRun, HelpIsSuccess) {
+  std::ostringstream out;
+  EXPECT_EQ(run_command(parse({"help"}), out), 0);
+}
+
+TEST(CliRun, OcsListsThirty) {
+  std::ostringstream out;
+  EXPECT_EQ(run_command(parse({"ocs"}), out), 0);
+  EXPECT_NE(out.str().find("ST_RT_PR_TB"), std::string::npos);
+}
+
+TEST(CliRun, GpusListsTableIII) {
+  std::ostringstream out;
+  EXPECT_EQ(run_command(parse({"gpus"}), out), 0);
+  EXPECT_NE(out.str().find("2080Ti"), std::string::npos);
+  EXPECT_NE(out.str().find("1555"), std::string::npos);
+}
+
+TEST(CliRun, GenerateEmitsRequestedCount) {
+  std::ostringstream out;
+  EXPECT_EQ(run_command(parse({"generate", "--dims", "2", "--order", "2",
+                               "--count", "4", "--seed", "9"}),
+                        out),
+            0);
+  int lines = 0;
+  for (char c : out.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(CliRun, FeaturesPrintsTableII) {
+  std::ostringstream out;
+  EXPECT_EQ(run_command(parse({"features", "--shape", "box", "--dims", "2",
+                               "--order", "2"}),
+                        out),
+            0);
+  EXPECT_NE(out.str().find("nnzRatio_order-1"), std::string::npos);
+}
+
+TEST(CliRun, CodegenEmitsKernel) {
+  std::ostringstream out;
+  EXPECT_EQ(run_command(parse({"codegen", "--shape", "star", "--dims", "2",
+                               "--order", "1", "--oc", "ST_RT"}),
+                        out),
+            0);
+  EXPECT_NE(out.str().find("__global__"), std::string::npos);
+  EXPECT_NE(out.str().find("retiming"), std::string::npos);
+}
+
+TEST(CliRun, CodegenRejectsUnknownOc) {
+  std::ostringstream out;
+  EXPECT_THROW(run_command(parse({"codegen", "--oc", "WAT"}), out),
+               std::invalid_argument);
+}
+
+TEST(CliRun, ProfileReportsCounts) {
+  std::ostringstream out;
+  EXPECT_EQ(run_command(parse({"profile", "--dims", "2", "--stencils", "6",
+                               "--samples", "2"}),
+                        out),
+            0);
+  EXPECT_NE(out.str().find("profiled 6 stencils"), std::string::npos);
+}
+
+TEST(CliRun, ProfileSavesCorpus) {
+  std::ostringstream out;
+  const std::string path = testing::TempDir() + "smartctl_corpus.txt";
+  EXPECT_EQ(run_command(parse({"profile", "--dims", "2", "--stencils", "6",
+                               "--samples", "2", "--out", path}),
+                        out),
+            0);
+  EXPECT_NE(out.str().find("saved to"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliRun, AdviseEndToEnd) {
+  std::ostringstream out;
+  EXPECT_EQ(run_command(parse({"advise", "--shape", "star", "--dims", "2",
+                               "--order", "2", "--gpu", "V100", "--stencils",
+                               "16"}),
+                        out),
+            0);
+  EXPECT_NE(out.str().find("group"), std::string::npos);
+  EXPECT_NE(out.str().find("fastest GPU"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smart::cli

@@ -1,0 +1,93 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace smart::core {
+namespace {
+
+const ProfileDataset& shared_dataset() {
+  static const ProfileDataset ds = [] {
+    ProfileConfig cfg;
+    cfg.dims = 3;
+    cfg.num_stencils = 10;
+    cfg.samples_per_oc = 3;
+    cfg.seed = 303;
+    return build_profile_dataset(cfg);
+  }();
+  return ds;
+}
+
+TEST(Baselines, An5dNeverBeatsExhaustiveBest) {
+  const auto& ds = shared_dataset();
+  for (std::size_t s = 0; s < ds.stencils.size(); ++s) {
+    for (std::size_t g = 0; g < ds.num_gpus(); ++g) {
+      const double t = an5d_time(ds, s, g);
+      EXPECT_GE(t, ds.best_time(s, g));
+    }
+  }
+}
+
+TEST(Baselines, ArtemisNeverBeatsExhaustiveBest) {
+  const auto& ds = shared_dataset();
+  for (std::size_t s = 0; s < ds.stencils.size(); ++s) {
+    for (std::size_t g = 0; g < ds.num_gpus(); ++g) {
+      EXPECT_GE(artemis_time(ds, s, g), ds.best_time(s, g));
+    }
+  }
+}
+
+TEST(Baselines, ArtemisAtLeastMatchesPlainStreaming) {
+  // Artemis explores a superset of {ST}, so it can only improve on it.
+  const auto& ds = shared_dataset();
+  gpusim::OptCombination st;
+  st.st = true;
+  const int st_idx = gpusim::oc_index(st);
+  for (std::size_t s = 0; s < ds.stencils.size(); ++s) {
+    for (std::size_t g = 0; g < ds.num_gpus(); ++g) {
+      const double st_time =
+          ds.oc_best_time(s, g, static_cast<std::size_t>(st_idx));
+      EXPECT_LE(artemis_time(ds, s, g), st_time);
+    }
+  }
+}
+
+TEST(Baselines, GroupTimeUsesRepresentativeOrFallsBack) {
+  const auto& ds = shared_dataset();
+  OcMerger merger;
+  merger.fit(ds);
+  for (std::size_t s = 0; s < ds.stencils.size(); ++s) {
+    for (int g = 0; g < merger.num_groups(); ++g) {
+      const double t = group_time(ds, merger, s, 1, g);
+      const int rep = merger.representative(g);
+      const double rep_time =
+          ds.oc_best_time(s, 1, static_cast<std::size_t>(rep));
+      if (rep_time < std::numeric_limits<double>::infinity()) {
+        EXPECT_DOUBLE_EQ(t, rep_time);
+      } else {
+        // Fallback: best over the group's members (may itself be +inf).
+        for (int member : merger.members(g)) {
+          EXPECT_LE(t, ds.oc_best_time(s, 1, static_cast<std::size_t>(member)));
+        }
+      }
+    }
+  }
+}
+
+TEST(Baselines, GroupOfTrueBestAchievesBestTime) {
+  // Selecting the group that contains the true best OC, then tuning its
+  // members, recovers a time no worse than the representative's time.
+  const auto& ds = shared_dataset();
+  OcMerger merger;
+  merger.fit(ds);
+  for (std::size_t s = 0; s < ds.stencils.size(); ++s) {
+    const int best = ds.best_oc(s, 0);
+    ASSERT_GE(best, 0);
+    const double t = group_time(ds, merger, s, 0, merger.group_of(best));
+    EXPECT_LT(t, std::numeric_limits<double>::infinity());
+  }
+}
+
+}  // namespace
+}  // namespace smart::core

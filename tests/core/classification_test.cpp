@@ -1,0 +1,106 @@
+#include "core/classification.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smart::core {
+namespace {
+
+const ProfileDataset& shared_dataset() {
+  static const ProfileDataset ds = [] {
+    ProfileConfig cfg;
+    cfg.dims = 2;
+    cfg.num_stencils = 40;
+    cfg.samples_per_oc = 3;
+    cfg.seed = 404;
+    return build_profile_dataset(cfg);
+  }();
+  return ds;
+}
+
+const OcMerger& shared_merger() {
+  static const OcMerger merger = [] {
+    OcMerger m;
+    m.fit(shared_dataset());
+    return m;
+  }();
+  return merger;
+}
+
+ClassificationConfig fast_config() {
+  ClassificationConfig cfg;
+  cfg.folds = 4;
+  cfg.epochs = 8;
+  return cfg;
+}
+
+TEST(Classification, FeatureMatrixShape) {
+  const auto x = stencil_feature_matrix(shared_dataset());
+  EXPECT_EQ(x.rows(), 40u);
+  EXPECT_EQ(x.cols(), 11u);  // order, nnz, sparsity + 4 counts + 4 ratios
+}
+
+TEST(Classification, TensorMatrixShape) {
+  const auto x = stencil_tensor_matrix(shared_dataset());
+  EXPECT_EQ(x.rows(), 40u);
+  EXPECT_EQ(x.cols(), 81u);
+}
+
+TEST(Classification, TrueGroupsInRange) {
+  const auto labels = true_groups(shared_dataset(), shared_merger(), 0);
+  EXPECT_EQ(labels.size(), 40u);
+  for (int l : labels) {
+    EXPECT_GE(l, -1);
+    EXPECT_LT(l, shared_merger().num_groups());
+  }
+}
+
+TEST(Classification, GbdtBeatsChance) {
+  const auto result = run_classification(shared_dataset(), shared_merger(), 1,
+                                         ClassifierKind::kGbdt, fast_config());
+  EXPECT_GT(result.accuracy, 1.0 / shared_merger().num_groups());
+  EXPECT_LE(result.accuracy, 1.0);
+}
+
+TEST(Classification, EveryLabelledStencilGetsPrediction) {
+  const auto result = run_classification(shared_dataset(), shared_merger(), 0,
+                                         ClassifierKind::kGbdt, fast_config());
+  for (std::size_t s = 0; s < result.true_group.size(); ++s) {
+    if (result.true_group[s] >= 0) {
+      EXPECT_GE(result.predicted_group[s], 0);
+      EXPECT_LT(result.predicted_group[s], shared_merger().num_groups());
+    } else {
+      EXPECT_EQ(result.predicted_group[s], -1);
+    }
+  }
+}
+
+TEST(Classification, ConvNetRuns) {
+  const auto result = run_classification(shared_dataset(), shared_merger(), 2,
+                                         ClassifierKind::kConvNet, fast_config());
+  EXPECT_GE(result.accuracy, 0.0);
+  EXPECT_LE(result.accuracy, 1.0);
+}
+
+TEST(Classification, FcNetRuns) {
+  const auto result = run_classification(shared_dataset(), shared_merger(), 3,
+                                         ClassifierKind::kFcNet, fast_config());
+  EXPECT_GE(result.accuracy, 0.0);
+}
+
+TEST(Classification, KindNames) {
+  EXPECT_EQ(to_string(ClassifierKind::kConvNet), "ConvNet");
+  EXPECT_EQ(to_string(ClassifierKind::kFcNet), "FcNet");
+  EXPECT_EQ(to_string(ClassifierKind::kGbdt), "GBDT");
+}
+
+TEST(Classification, DeterministicGivenConfig) {
+  const auto a = run_classification(shared_dataset(), shared_merger(), 1,
+                                    ClassifierKind::kGbdt, fast_config());
+  const auto b = run_classification(shared_dataset(), shared_merger(), 1,
+                                    ClassifierKind::kGbdt, fast_config());
+  EXPECT_EQ(a.predicted_group, b.predicted_group);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+}
+
+}  // namespace
+}  // namespace smart::core

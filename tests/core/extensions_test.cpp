@@ -1,0 +1,85 @@
+// Tests for the dataset-level future-work extensions: per-stencil grid
+// sizes and mixed boundary conditions flowing through profiling and into
+// the regression features.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/regression.hpp"
+
+namespace smart::core {
+namespace {
+
+ProfileConfig varied_config() {
+  ProfileConfig cfg;
+  cfg.dims = 2;
+  cfg.num_stencils = 16;
+  cfg.samples_per_oc = 2;
+  cfg.seed = 606;
+  cfg.vary_problem_size = true;
+  cfg.vary_boundary = true;
+  return cfg;
+}
+
+TEST(Extensions, DefaultDatasetUsesPaperProblemEverywhere) {
+  ProfileConfig cfg = varied_config();
+  cfg.vary_problem_size = false;
+  cfg.vary_boundary = false;
+  const auto ds = build_profile_dataset(cfg);
+  ASSERT_EQ(ds.problems.size(), ds.stencils.size());
+  for (const auto& p : ds.problems) {
+    EXPECT_EQ(p.nx, 8192);
+    EXPECT_EQ(p.boundary, stencil::Boundary::kDirichletZero);
+  }
+}
+
+TEST(Extensions, VariedDatasetMixesSizesAndBoundaries) {
+  const auto ds = build_profile_dataset(varied_config());
+  std::set<int> sizes;
+  int periodic = 0;
+  for (const auto& p : ds.problems) {
+    sizes.insert(p.nx);
+    if (p.boundary == stencil::Boundary::kPeriodic) ++periodic;
+  }
+  EXPECT_GT(sizes.size(), 1u);
+  EXPECT_GT(periodic, 0);
+  EXPECT_LT(periodic, static_cast<int>(ds.problems.size()));
+}
+
+TEST(Extensions, GridSizeAffectsMeasuredTimes) {
+  // The same stencil measured on a 4096^2 grid must be faster than on a
+  // 16384^2 grid (16x the points).
+  const auto p = stencil::make_star(2, 1);
+  const gpusim::Simulator sim;
+  gpusim::ParamSetting s;
+  const auto& gpu = gpusim::gpu_by_name("V100");
+  const auto small = sim.measure(p, gpusim::ProblemSize{4096, 4096, 1}, {}, s, gpu);
+  const auto large = sim.measure(p, gpusim::ProblemSize{16384, 16384, 1}, {}, s, gpu);
+  ASSERT_TRUE(small.ok && large.ok);
+  EXPECT_LT(small.time_ms * 8.0, large.time_ms);
+}
+
+TEST(Extensions, RegressionLearnsAcrossGridSizes) {
+  const auto ds = build_profile_dataset(varied_config());
+  RegressionConfig rc;
+  rc.folds = 3;
+  rc.instance_cap = 1500;
+  RegressionTask task(ds, rc);
+  const auto result = task.cross_validate(RegressorKind::kGbr);
+  // Grid volume varies 16x; without the size features the MAPE would be
+  // enormous. With them the model must stay within a sane band.
+  EXPECT_LT(result.mape_overall, 40.0);
+}
+
+TEST(Extensions, SizeCandidatesBracketPaperDefault) {
+  for (int dims : {2, 3}) {
+    const auto candidates = gpusim::ProblemSize::size_candidates(dims);
+    ASSERT_EQ(candidates.size(), 3u);
+    const auto base = gpusim::ProblemSize::paper_default(dims);
+    EXPECT_LT(candidates.front().volume(), base.volume());
+    EXPECT_GT(candidates.back().volume(), base.volume());
+  }
+}
+
+}  // namespace
+}  // namespace smart::core

@@ -1,0 +1,42 @@
+// The umbrella header must expose the whole public pipeline (this is the
+// include the README documents); this test exercises one symbol from each
+// exported header through that single include.
+#include "core/stencilmart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smart {
+namespace {
+
+TEST(Facade, UmbrellaHeaderExposesPipelineSymbols) {
+  // stencil/
+  const auto pattern = stencil::make_star(2, 1);
+  EXPECT_EQ(pattern.name(), "star2d1r");
+  stencil::GeneratorConfig gen_config;
+  EXPECT_EQ(gen_config.order, 4);
+  // gpusim/
+  EXPECT_EQ(gpusim::valid_combinations().size(), 30u);
+  EXPECT_EQ(gpusim::evaluation_gpus().size(), 4u);
+  const gpusim::Simulator sim;
+  EXPECT_GT(sim.options().noise_sigma, 0.0);
+  const gpusim::RandomSearchTuner tuner(sim, 2);
+  // core/
+  core::ProfileConfig profile;
+  EXPECT_EQ(profile.max_order, 4);
+  core::MartConfig mart;
+  EXPECT_EQ(mart.regressor, core::RegressorKind::kGbr);
+  EXPECT_EQ(core::to_string(core::ClassifierKind::kConvNet), "ConvNet");
+  EXPECT_EQ(core::to_string(core::RegressorKind::kMlp), "MLP");
+}
+
+TEST(Facade, ReferenceExecutorsReachableThroughUmbrella) {
+  const auto pattern = stencil::make_box(2, 1);
+  const auto weights = stencil::uniform_weights(pattern);
+  stencil::Grid grid(8, 8, 1, 1);
+  grid.fill([](int i, int j, int) { return i + j; });
+  const auto out = stencil::run_naive({pattern, weights}, grid, 1);
+  EXPECT_GT(out.interior_size(), 0u);
+}
+
+}  // namespace
+}  // namespace smart

@@ -1,0 +1,98 @@
+// End-to-end integration: the full StencilMART pipeline (Fig. 5 of the
+// paper) on a small corpus — generate, profile, merge, classify, regress,
+// advise — with determinism checks across the whole chain.
+#include <gtest/gtest.h>
+
+#include "core/stencilmart.hpp"
+
+namespace smart::core {
+namespace {
+
+ProfileConfig pipeline_config() {
+  ProfileConfig cfg;
+  cfg.dims = 2;
+  cfg.num_stencils = 30;
+  cfg.samples_per_oc = 3;
+  cfg.seed = 777;
+  return cfg;
+}
+
+TEST(Integration, FullPipelineRuns) {
+  const auto dataset = build_profile_dataset(pipeline_config());
+  ASSERT_EQ(dataset.stencils.size(), 30u);
+
+  OcMerger merger;
+  merger.fit(dataset);
+  ASSERT_EQ(merger.num_groups(), 5);
+
+  ClassificationConfig cc;
+  cc.folds = 3;
+  cc.epochs = 6;
+  const auto cls =
+      run_classification(dataset, merger, 1, ClassifierKind::kGbdt, cc);
+  EXPECT_GT(cls.accuracy, 0.2);
+
+  RegressionConfig rc;
+  rc.folds = 3;
+  rc.epochs = 6;
+  rc.instance_cap = 1500;
+  RegressionTask task(dataset, rc);
+  const auto reg = task.cross_validate(RegressorKind::kGbr);
+  EXPECT_LT(reg.mape_overall, 100.0);
+
+  task.fit_full(RegressorKind::kGbr);
+  const GpuAdvisor advisor(task);
+  const auto perf = advisor.pure_performance(150);
+  EXPECT_GT(perf.instances, 0u);
+  const auto cost = advisor.cost_efficiency(150);
+  EXPECT_GT(cost.instances, 0u);
+}
+
+TEST(Integration, PipelineIsDeterministic) {
+  const auto ds_a = build_profile_dataset(pipeline_config());
+  const auto ds_b = build_profile_dataset(pipeline_config());
+  OcMerger ma;
+  OcMerger mb;
+  ma.fit(ds_a);
+  mb.fit(ds_b);
+  EXPECT_EQ(ma.groups(), mb.groups());
+
+  ClassificationConfig cc;
+  cc.folds = 3;
+  cc.epochs = 4;
+  const auto ca = run_classification(ds_a, ma, 0, ClassifierKind::kGbdt, cc);
+  const auto cb = run_classification(ds_b, mb, 0, ClassifierKind::kGbdt, cc);
+  EXPECT_DOUBLE_EQ(ca.accuracy, cb.accuracy);
+}
+
+TEST(Integration, BaselinesAndModelAgreeOnFiniteness) {
+  const auto dataset = build_profile_dataset(pipeline_config());
+  OcMerger merger;
+  merger.fit(dataset);
+  for (std::size_t s = 0; s < dataset.stencils.size(); ++s) {
+    // A 2-D stencil's AN5D/Artemis policies should find a runnable variant.
+    EXPECT_TRUE(std::isfinite(an5d_time(dataset, s, 1)));
+    EXPECT_TRUE(std::isfinite(artemis_time(dataset, s, 1)));
+  }
+}
+
+TEST(Integration, RegressionInstancesMatchDatasetCounts) {
+  const auto dataset = build_profile_dataset(pipeline_config());
+  RegressionConfig rc;
+  rc.instance_cap = 1u << 30;  // no cap
+  const RegressionTask task(dataset, rc);
+  std::size_t expected = 0;
+  for (std::size_t s = 0; s < dataset.stencils.size(); ++s) {
+    for (std::size_t oc = 0; oc < ProfileDataset::num_ocs(); ++oc) {
+      for (std::size_t k = 0; k < dataset.settings[s][oc].size(); ++k) {
+        for (std::size_t g = 0; g < dataset.num_gpus(); ++g) {
+          if (!std::isnan(dataset.times[s][g][oc][k])) ++expected;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(task.instances().size(), expected);
+}
+
+}  // namespace
+}  // namespace smart::core

@@ -1,0 +1,112 @@
+#include "core/oc_merger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smart::core {
+namespace {
+
+const ProfileDataset& shared_dataset() {
+  static const ProfileDataset ds = [] {
+    ProfileConfig cfg;
+    cfg.dims = 2;
+    cfg.num_stencils = 24;
+    cfg.samples_per_oc = 3;
+    cfg.seed = 202;
+    return build_profile_dataset(cfg);
+  }();
+  return ds;
+}
+
+TEST(OcMerger, ProducesRequestedGroupCount) {
+  OcMerger merger;
+  merger.fit(shared_dataset());
+  EXPECT_EQ(merger.num_groups(), 5);
+}
+
+TEST(OcMerger, GroupsPartitionAllOcs) {
+  OcMerger merger;
+  merger.fit(shared_dataset());
+  std::size_t total = 0;
+  for (int g = 0; g < merger.num_groups(); ++g) {
+    total += merger.members(g).size();
+    for (int oc : merger.members(g)) {
+      EXPECT_EQ(merger.group_of(oc), g);
+    }
+  }
+  EXPECT_EQ(total, ProfileDataset::num_ocs());
+}
+
+TEST(OcMerger, GroupSizesBounded) {
+  OcMerger merger;
+  merger.fit(shared_dataset());
+  // Size cap: 3 * num_ocs / (2 * target_groups) = 9 for 30 OCs, 5 groups.
+  for (int g = 0; g < merger.num_groups(); ++g) {
+    EXPECT_LE(merger.members(g).size(), 9u);
+    EXPECT_GE(merger.members(g).size(), 1u);
+  }
+}
+
+TEST(OcMerger, RepresentativeIsMember) {
+  OcMerger merger;
+  merger.fit(shared_dataset());
+  for (int g = 0; g < merger.num_groups(); ++g) {
+    EXPECT_EQ(merger.group_of(merger.representative(g)), g);
+  }
+}
+
+TEST(OcMerger, TopPccsSortedDescending) {
+  OcMerger merger;
+  merger.fit(shared_dataset());
+  for (const auto& pccs : merger.top_pccs_per_gpu()) {
+    EXPECT_EQ(pccs.size(), 100u);
+    for (std::size_t i = 1; i < pccs.size(); ++i) {
+      EXPECT_LE(pccs[i], pccs[i - 1]);
+      EXPECT_GE(pccs[i], 0.0);
+      EXPECT_LE(pccs[i], 1.0);
+    }
+  }
+}
+
+TEST(OcMerger, IntersectionFractionInRange) {
+  OcMerger merger;
+  merger.fit(shared_dataset());
+  EXPECT_GE(merger.intersection_fraction(), 0.0);
+  EXPECT_LE(merger.intersection_fraction(), 1.0);
+}
+
+TEST(OcMerger, ConfigurableGroupCount) {
+  OcMerger merger;
+  OcMerger::Options options;
+  options.target_groups = 3;
+  merger.fit(shared_dataset(), options);
+  EXPECT_EQ(merger.num_groups(), 3);
+}
+
+TEST(OcMerger, RejectsBadTargets) {
+  OcMerger merger;
+  OcMerger::Options options;
+  options.target_groups = 0;
+  EXPECT_THROW(merger.fit(shared_dataset(), options), std::invalid_argument);
+  options.target_groups = 1000;
+  EXPECT_THROW(merger.fit(shared_dataset(), options), std::invalid_argument);
+}
+
+TEST(OcMerger, GroupNameMentionsRepresentative) {
+  OcMerger merger;
+  merger.fit(shared_dataset());
+  const std::string name = merger.group_name(0);
+  EXPECT_EQ(name.find("G0["), 0u);
+}
+
+TEST(PairwisePcc, ValuesInRange) {
+  const auto pairs = pairwise_pcc(shared_dataset(), 1);
+  EXPECT_EQ(pairs.size(), 30u * 29u / 2u);
+  for (const auto& p : pairs) {
+    EXPECT_GE(p.pcc, 0.0);
+    EXPECT_LE(p.pcc, 1.0);
+    EXPECT_LT(p.oc_a, p.oc_b);
+  }
+}
+
+}  // namespace
+}  // namespace smart::core

@@ -1,0 +1,143 @@
+#include "core/profile_dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace smart::core {
+namespace {
+
+ProfileConfig tiny_config(int dims) {
+  ProfileConfig cfg;
+  cfg.dims = dims;
+  cfg.num_stencils = 8;
+  cfg.samples_per_oc = 2;
+  cfg.seed = 101;
+  return cfg;
+}
+
+TEST(ProfileDataset, ShapesAreConsistent) {
+  const auto ds = build_profile_dataset(tiny_config(2));
+  EXPECT_EQ(ds.stencils.size(), 8u);
+  EXPECT_EQ(ds.gpus.size(), 4u);
+  EXPECT_EQ(ds.settings.size(), 8u);
+  EXPECT_EQ(ds.times.size(), 8u);
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(ds.settings[s].size(), ProfileDataset::num_ocs());
+    for (std::size_t g = 0; g < 4; ++g) {
+      ASSERT_EQ(ds.times[s][g].size(), ProfileDataset::num_ocs());
+      for (std::size_t oc = 0; oc < ProfileDataset::num_ocs(); ++oc) {
+        EXPECT_EQ(ds.times[s][g][oc].size(), ds.settings[s][oc].size());
+      }
+    }
+  }
+}
+
+TEST(ProfileDataset, DeterministicGivenSeed) {
+  const auto a = build_profile_dataset(tiny_config(2));
+  const auto b = build_profile_dataset(tiny_config(2));
+  for (std::size_t s = 0; s < a.stencils.size(); ++s) {
+    EXPECT_EQ(a.stencils[s], b.stencils[s]);
+    for (std::size_t g = 0; g < 4; ++g) {
+      for (std::size_t oc = 0; oc < ProfileDataset::num_ocs(); ++oc) {
+        for (std::size_t k = 0; k < a.times[s][g][oc].size(); ++k) {
+          const double ta = a.times[s][g][oc][k];
+          const double tb = b.times[s][g][oc][k];
+          if (std::isnan(ta)) {
+            EXPECT_TRUE(std::isnan(tb));
+          } else {
+            EXPECT_DOUBLE_EQ(ta, tb);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ProfileDataset, SettingsSharedAcrossGpus) {
+  // The identity of a measured instance is (stencil, OC, setting index) —
+  // the same setting list must be measured on every GPU.
+  const auto ds = build_profile_dataset(tiny_config(3));
+  for (std::size_t s = 0; s < ds.stencils.size(); ++s) {
+    for (std::size_t oc = 0; oc < ProfileDataset::num_ocs(); ++oc) {
+      for (std::size_t g = 0; g < 4; ++g) {
+        EXPECT_EQ(ds.times[s][g][oc].size(), ds.settings[s][oc].size());
+      }
+    }
+  }
+}
+
+TEST(ProfileDataset, BestOcIsArgminOfOcBestTimes) {
+  const auto ds = build_profile_dataset(tiny_config(2));
+  for (std::size_t s = 0; s < ds.stencils.size(); ++s) {
+    for (std::size_t g = 0; g < 4; ++g) {
+      const int best = ds.best_oc(s, g);
+      ASSERT_GE(best, 0);
+      const double best_time = ds.oc_best_time(s, g, static_cast<std::size_t>(best));
+      EXPECT_DOUBLE_EQ(best_time, ds.best_time(s, g));
+      for (std::size_t oc = 0; oc < ProfileDataset::num_ocs(); ++oc) {
+        if (ds.oc_ok(s, g, oc)) {
+          EXPECT_GE(ds.oc_best_time(s, g, oc), best_time);
+        }
+      }
+      EXPECT_GE(ds.worst_time(s, g), best_time);
+    }
+  }
+}
+
+TEST(ProfileDataset, BestSettingIndexConsistent) {
+  const auto ds = build_profile_dataset(tiny_config(2));
+  for (std::size_t oc = 0; oc < ProfileDataset::num_ocs(); ++oc) {
+    const int k = ds.oc_best_setting(0, 0, oc);
+    if (k < 0) {
+      EXPECT_FALSE(ds.oc_ok(0, 0, oc));
+    } else {
+      EXPECT_DOUBLE_EQ(ds.times[0][0][oc][static_cast<std::size_t>(k)],
+                       ds.oc_best_time(0, 0, oc));
+    }
+  }
+}
+
+TEST(ProfileDataset, StencilOrdersMixed) {
+  ProfileConfig cfg = tiny_config(2);
+  cfg.num_stencils = 40;
+  const auto ds = build_profile_dataset(cfg);
+  std::set<int> orders;
+  for (const auto& p : ds.stencils) orders.insert(p.order());
+  EXPECT_GT(orders.size(), 2u);
+  for (int o : orders) {
+    EXPECT_GE(o, 1);
+    EXPECT_LE(o, cfg.max_order);
+  }
+}
+
+TEST(ProfileDataset, InstancesCounted) {
+  const auto ds = build_profile_dataset(tiny_config(2));
+  EXPECT_GT(ds.num_instances(), 0u);
+  // At most stencils x OCs x samples distinct instances.
+  EXPECT_LE(ds.num_instances(),
+            8u * ProfileDataset::num_ocs() * 2u);
+}
+
+TEST(ProfileDataset, CrashesPresentFor3d) {
+  ProfileConfig cfg = tiny_config(3);
+  cfg.num_stencils = 12;
+  const auto ds = build_profile_dataset(cfg);
+  bool any_crash = false;
+  for (std::size_t s = 0; s < ds.stencils.size() && !any_crash; ++s) {
+    for (std::size_t g = 0; g < 4 && !any_crash; ++g) {
+      for (std::size_t oc = 0; oc < ProfileDataset::num_ocs(); ++oc) {
+        for (double t : ds.times[s][g][oc]) {
+          if (std::isnan(t)) {
+            any_crash = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(any_crash);
+}
+
+}  // namespace
+}  // namespace smart::core

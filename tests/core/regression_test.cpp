@@ -1,0 +1,133 @@
+#include "core/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/advisor.hpp"
+#include "util/stats.hpp"
+
+namespace smart::core {
+namespace {
+
+const ProfileDataset& shared_dataset() {
+  static const ProfileDataset ds = [] {
+    ProfileConfig cfg;
+    cfg.dims = 2;
+    cfg.num_stencils = 20;
+    cfg.samples_per_oc = 3;
+    cfg.seed = 505;
+    return build_profile_dataset(cfg);
+  }();
+  return ds;
+}
+
+RegressionConfig fast_config() {
+  RegressionConfig cfg;
+  cfg.folds = 3;
+  cfg.epochs = 8;
+  cfg.instance_cap = 2000;
+  return cfg;
+}
+
+TEST(Regression, InstancesOnlyContainSuccessfulRuns) {
+  RegressionTask task(shared_dataset(), fast_config());
+  EXPECT_GT(task.instances().size(), 100u);
+  EXPECT_LE(task.instances().size(), 2000u);
+  for (const auto& ins : task.instances()) {
+    EXPECT_GT(ins.time_ms, 0.0);
+    EXPECT_FALSE(std::isnan(task.measured(
+        &ins - task.instances().data(), ins.gpu)));
+  }
+}
+
+TEST(Regression, GbrCrossValidationIsAccurate) {
+  RegressionTask task(shared_dataset(), fast_config());
+  const auto result = task.cross_validate(RegressorKind::kGbr);
+  EXPECT_GT(result.mape_overall, 0.0);
+  EXPECT_LT(result.mape_overall, 60.0);
+  EXPECT_EQ(result.mape_per_gpu.size(), 4u);
+  for (double m : result.mape_per_gpu) EXPECT_GE(m, 0.0);
+}
+
+TEST(Regression, MlpCrossValidationRuns) {
+  RegressionTask task(shared_dataset(), fast_config());
+  const auto result = task.cross_validate(RegressorKind::kMlp);
+  EXPECT_GT(result.mape_overall, 0.0);
+  EXPECT_LT(result.mape_overall, 200.0);
+}
+
+TEST(Regression, PredictCorrelatesWithMeasurement) {
+  RegressionTask task(shared_dataset(), fast_config());
+  task.fit_full(RegressorKind::kGbr);
+  std::vector<double> truth;
+  std::vector<double> pred;
+  for (std::size_t i = 0; i < std::min<std::size_t>(300, task.instances().size()); ++i) {
+    const auto& ins = task.instances()[i];
+    truth.push_back(std::log(ins.time_ms));
+    pred.push_back(std::log(task.predict(i, ins.gpu)));
+  }
+  EXPECT_GT(util::pearson(truth, pred), 0.8);
+}
+
+TEST(Regression, PredictBeforeFitThrows) {
+  RegressionTask task(shared_dataset(), fast_config());
+  EXPECT_THROW(task.predict(0, 0), std::logic_error);
+}
+
+TEST(Regression, CrossArchPredictionsDifferByGpu) {
+  RegressionTask task(shared_dataset(), fast_config());
+  task.fit_full(RegressorKind::kGbr);
+  int distinct = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const double v100 = task.predict(i, 1);
+    const double a100 = task.predict(i, 3);
+    if (std::abs(v100 - a100) / v100 > 0.01) ++distinct;
+  }
+  EXPECT_GT(distinct, 10);
+}
+
+TEST(Regression, KindNames) {
+  EXPECT_EQ(to_string(RegressorKind::kMlp), "MLP");
+  EXPECT_EQ(to_string(RegressorKind::kConvMlp), "ConvMLP");
+  EXPECT_EQ(to_string(RegressorKind::kGbr), "GBRegressor");
+}
+
+TEST(Advisor, SharesAreADistribution) {
+  RegressionTask task(shared_dataset(), fast_config());
+  task.fit_full(RegressorKind::kGbr);
+  const GpuAdvisor advisor(task);
+  const auto result = advisor.pure_performance(200);
+  EXPECT_GT(result.instances, 0u);
+  double total_share = 0.0;
+  for (const auto& share : result.shares) {
+    EXPECT_GE(share.truth_share, 0.0);
+    EXPECT_LE(share.accuracy, 1.0);
+    total_share += share.truth_share;
+  }
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+  EXPECT_GE(result.overall_accuracy, 0.0);
+  EXPECT_LE(result.overall_accuracy, 1.0);
+}
+
+TEST(Advisor, CostEfficiencyExcludesUnrentable) {
+  RegressionTask task(shared_dataset(), fast_config());
+  task.fit_full(RegressorKind::kGbr);
+  const GpuAdvisor advisor(task);
+  const auto result = advisor.cost_efficiency(200);
+  EXPECT_EQ(result.shares.size(), 3u);  // P100, V100, A100 (no 2080Ti)
+  for (const auto& share : result.shares) {
+    EXPECT_GT(shared_dataset().gpus[share.gpu].rental_usd_hr, 0.0);
+  }
+}
+
+TEST(Advisor, AdvisorBetterThanRandomGuess) {
+  RegressionTask task(shared_dataset(), fast_config());
+  task.fit_full(RegressorKind::kGbr);
+  const GpuAdvisor advisor(task);
+  const auto result = advisor.pure_performance(300);
+  EXPECT_GT(result.overall_accuracy, 0.25);  // 4 GPUs -> chance is 0.25
+}
+
+}  // namespace
+}  // namespace smart::core

@@ -1,0 +1,124 @@
+#include "core/serialize.hpp"
+
+#include "core/oc_merger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace smart::core {
+namespace {
+
+ProfileDataset make_dataset(bool varied = false) {
+  ProfileConfig cfg;
+  cfg.dims = 2;
+  cfg.num_stencils = 6;
+  cfg.samples_per_oc = 2;
+  cfg.seed = 909;
+  cfg.vary_problem_size = varied;
+  cfg.vary_boundary = varied;
+  return build_profile_dataset(cfg);
+}
+
+void expect_equal(const ProfileDataset& a, const ProfileDataset& b) {
+  ASSERT_EQ(a.stencils.size(), b.stencils.size());
+  for (std::size_t s = 0; s < a.stencils.size(); ++s) {
+    EXPECT_EQ(a.stencils[s], b.stencils[s]);
+    EXPECT_EQ(a.problems[s].nx, b.problems[s].nx);
+    EXPECT_EQ(a.problems[s].boundary, b.problems[s].boundary);
+    for (std::size_t oc = 0; oc < ProfileDataset::num_ocs(); ++oc) {
+      ASSERT_EQ(a.settings[s][oc].size(), b.settings[s][oc].size());
+      for (std::size_t k = 0; k < a.settings[s][oc].size(); ++k) {
+        EXPECT_EQ(a.settings[s][oc][k], b.settings[s][oc][k]);
+      }
+      for (std::size_t g = 0; g < a.num_gpus(); ++g) {
+        ASSERT_EQ(a.times[s][g][oc].size(), b.times[s][g][oc].size());
+        for (std::size_t k = 0; k < a.times[s][g][oc].size(); ++k) {
+          const double ta = a.times[s][g][oc][k];
+          const double tb = b.times[s][g][oc][k];
+          if (std::isnan(ta)) {
+            EXPECT_TRUE(std::isnan(tb));
+          } else {
+            // hexfloat encoding: bit-exact round trip.
+            EXPECT_EQ(ta, tb);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Serialize, RoundTripIsBitExact) {
+  const auto original = make_dataset();
+  std::stringstream buffer;
+  save_dataset(original, buffer);
+  const auto loaded = load_dataset(buffer);
+  expect_equal(original, loaded);
+  EXPECT_EQ(loaded.config.dims, original.config.dims);
+  EXPECT_EQ(loaded.config.seed, original.config.seed);
+}
+
+TEST(Serialize, RoundTripWithExtensions) {
+  const auto original = make_dataset(true);
+  std::stringstream buffer;
+  save_dataset(original, buffer);
+  const auto loaded = load_dataset(buffer);
+  expect_equal(original, loaded);
+  EXPECT_TRUE(loaded.config.vary_problem_size);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto original = make_dataset();
+  const std::string path = testing::TempDir() + "smart_dataset_test.txt";
+  save_dataset(original, path);
+  const auto loaded = load_dataset(path);
+  expect_equal(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream buffer("not-a-dataset\n");
+  EXPECT_THROW(load_dataset(buffer), std::runtime_error);
+}
+
+TEST(Serialize, RejectsUnknownTag) {
+  const auto original = make_dataset();
+  std::stringstream buffer;
+  save_dataset(original, buffer);
+  std::string text = buffer.str();
+  text += "bogus 1 2 3\n";
+  std::stringstream corrupted(text);
+  EXPECT_THROW(load_dataset(corrupted), std::runtime_error);
+}
+
+TEST(Serialize, RejectsOutOfRangeIndices) {
+  const auto original = make_dataset();
+  std::stringstream buffer;
+  save_dataset(original, buffer);
+  std::string text = buffer.str();
+  text += "time 99 0 0 0 1.0\n";
+  std::stringstream corrupted(text);
+  EXPECT_THROW(load_dataset(corrupted), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_dataset("/nonexistent/dataset.txt"), std::runtime_error);
+}
+
+TEST(Serialize, LoadedDatasetDrivesDownstreamTasks) {
+  const auto original = make_dataset();
+  std::stringstream buffer;
+  save_dataset(original, buffer);
+  const auto loaded = load_dataset(buffer);
+  OcMerger merger;
+  merger.fit(loaded);
+  EXPECT_EQ(merger.num_groups(), 5);
+  for (std::size_t s = 0; s < loaded.stencils.size(); ++s) {
+    EXPECT_EQ(loaded.best_oc(s, 0), original.best_oc(s, 0));
+  }
+}
+
+}  // namespace
+}  // namespace smart::core

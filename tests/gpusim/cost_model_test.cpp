@@ -1,0 +1,234 @@
+#include "gpusim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/opt.hpp"
+
+namespace smart::gpusim {
+namespace {
+
+const GpuSpec& v100() { return gpu_by_name("V100"); }
+
+ParamSetting default_setting() {
+  ParamSetting s;
+  s.block_x = 32;
+  s.block_y = 8;
+  return s;
+}
+
+ParamSetting st_setting() {
+  ParamSetting s = default_setting();
+  s.stream_dim = 2;
+  s.stream_tile = 128;
+  return s;
+}
+
+TEST(CostModel, BaseVariantRuns) {
+  const KernelCostModel model;
+  const auto p = stencil::make_star(2, 1);
+  const auto prof = model.evaluate(p, ProblemSize::paper_default(2),
+                                   OptCombination{}, default_setting(), v100());
+  ASSERT_TRUE(prof.ok) << prof.crash_reason;
+  EXPECT_GT(prof.time_ms, 0.0);
+  EXPECT_GT(prof.occupancy, 0.0);
+  EXPECT_GT(prof.dram_traffic_bytes, 0.0);
+  EXPECT_GT(prof.flops, 0.0);
+  EXPECT_GT(prof.total_blocks, 0);
+}
+
+TEST(CostModel, Deterministic) {
+  const KernelCostModel model;
+  const auto p = stencil::make_box(3, 2);
+  OptCombination oc;
+  oc.st = true;
+  const auto a = model.evaluate(p, ProblemSize::paper_default(3), oc,
+                                st_setting(), v100());
+  const auto b = model.evaluate(p, ProblemSize::paper_default(3), oc,
+                                st_setting(), v100());
+  ASSERT_TRUE(a.ok);
+  EXPECT_DOUBLE_EQ(a.time_ms, b.time_ms);
+}
+
+TEST(CostModel, MonotoneInVolume) {
+  const KernelCostModel model;
+  const auto p = stencil::make_star(2, 2);
+  const auto small = model.evaluate(p, ProblemSize{2048, 2048, 1},
+                                    OptCombination{}, default_setting(), v100());
+  const auto large = model.evaluate(p, ProblemSize{8192, 8192, 1},
+                                    OptCombination{}, default_setting(), v100());
+  ASSERT_TRUE(small.ok && large.ok);
+  EXPECT_LT(small.time_ms, large.time_ms);
+}
+
+TEST(CostModel, DimsMismatchIsCrash) {
+  const KernelCostModel model;
+  const auto p = stencil::make_star(3, 1);
+  const auto prof = model.evaluate(p, ProblemSize::paper_default(2),
+                                   OptCombination{}, default_setting(), v100());
+  EXPECT_FALSE(prof.ok);
+}
+
+TEST(CostModel, InvalidOcIsCrash) {
+  const KernelCostModel model;
+  OptCombination invalid;
+  invalid.rt = true;  // RT without ST
+  const auto p = stencil::make_star(2, 1);
+  const auto prof = model.evaluate(p, ProblemSize::paper_default(2), invalid,
+                                   default_setting(), v100());
+  EXPECT_FALSE(prof.ok);
+}
+
+// The paper's observed failure (Sec. III-A): temporal blocking cannot be
+// applied to 3-D order-4 stencils without streaming.
+TEST(CostModel, UnstreamedTbCrashesFor3dOrder4) {
+  const KernelCostModel model;
+  const auto p = stencil::make_box(3, 4);
+  OptCombination tb;
+  tb.tb = true;
+  const ParamSpace space(tb, 3);
+  util::Rng rng(4);
+  for (int i = 0; i < 40; ++i) {
+    const auto s = space.random_setting(rng);
+    const auto prof =
+        model.evaluate(p, ProblemSize::paper_default(3), tb, s, v100());
+    EXPECT_FALSE(prof.ok) << s.to_string();
+  }
+}
+
+TEST(CostModel, StreamedTbSurvivesFor3dOrder4) {
+  const KernelCostModel model;
+  const auto p = stencil::make_box(3, 4);
+  OptCombination st_tb;
+  st_tb.st = true;
+  st_tb.tb = true;
+  const ParamSpace space(st_tb, 3);
+  util::Rng rng(4);
+  int ok_count = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto s = space.random_setting(rng);
+    const auto prof =
+        model.evaluate(p, ProblemSize::paper_default(3), st_tb, s, v100());
+    if (prof.ok) ++ok_count;
+  }
+  EXPECT_GT(ok_count, 0);
+}
+
+TEST(CostModel, StreamingCutsTrafficFor3dHighOrder) {
+  const KernelCostModel model;
+  const auto p = stencil::make_box(3, 3);
+  ParamSetting naive = default_setting();
+  naive.use_smem = false;  // plain global-memory kernel
+  const auto base = model.evaluate(p, ProblemSize::paper_default(3),
+                                   OptCombination{}, naive, v100());
+  OptCombination st;
+  st.st = true;
+  ParamSetting streamed_setting = st_setting();
+  streamed_setting.block_y = 32;  // a reasonable 2.5-D tile
+  const auto streamed = model.evaluate(p, ProblemSize::paper_default(3), st,
+                                       streamed_setting, v100());
+  ASSERT_TRUE(base.ok && streamed.ok);
+  EXPECT_LT(streamed.dram_traffic_bytes, 0.5 * base.dram_traffic_bytes);
+}
+
+TEST(CostModel, BmAlongXDisruptsCoalescing) {
+  const KernelCostModel model;
+  const auto p = stencil::make_star(2, 2);
+  OptCombination bm;
+  bm.bm = true;
+  ParamSetting along_x = default_setting();
+  along_x.merge_factor = 8;
+  along_x.merge_dim = 0;
+  ParamSetting along_y = default_setting();
+  along_y.merge_factor = 8;
+  along_y.merge_dim = 1;
+  const auto x_prof = model.evaluate(p, ProblemSize::paper_default(2), bm,
+                                     along_x, v100());
+  const auto y_prof = model.evaluate(p, ProblemSize::paper_default(2), bm,
+                                     along_y, v100());
+  ASSERT_TRUE(x_prof.ok && y_prof.ok);
+  EXPECT_GT(x_prof.dram_traffic_bytes, 1.5 * y_prof.dram_traffic_bytes);
+}
+
+TEST(CostModel, RetimingReducesStreamRegisters) {
+  const KernelCostModel model;
+  const auto p = stencil::make_star(3, 4);
+  OptCombination st;
+  st.st = true;
+  OptCombination st_rt = st;
+  st_rt.rt = true;
+  const auto plain = model.evaluate(p, ProblemSize::paper_default(3), st,
+                                    st_setting(), v100());
+  const auto retimed = model.evaluate(p, ProblemSize::paper_default(3), st_rt,
+                                      st_setting(), v100());
+  ASSERT_TRUE(plain.ok && retimed.ok);
+  EXPECT_LT(retimed.regs_per_thread, plain.regs_per_thread);
+}
+
+TEST(CostModel, PrefetchReducesSyncCost) {
+  const KernelCostModel model;
+  const auto p = stencil::make_star(3, 2);
+  OptCombination st;
+  st.st = true;
+  OptCombination st_pr = st;
+  st_pr.pr = true;
+  const auto plain = model.evaluate(p, ProblemSize::paper_default(3), st,
+                                    st_setting(), v100());
+  const auto prefetched = model.evaluate(p, ProblemSize::paper_default(3),
+                                         st_pr, st_setting(), v100());
+  ASSERT_TRUE(plain.ok && prefetched.ok);
+  EXPECT_LT(prefetched.t_sync_ms, plain.t_sync_ms);
+  EXPECT_GT(prefetched.regs_per_thread, plain.regs_per_thread);
+}
+
+TEST(CostModel, HigherOrderCostsMore) {
+  const KernelCostModel model;
+  double prev = 0.0;
+  for (int r = 1; r <= 4; ++r) {
+    const auto p = stencil::make_box(3, r);
+    const auto prof = model.evaluate(p, ProblemSize::paper_default(3),
+                                     OptCombination{}, default_setting(), v100());
+    ASSERT_TRUE(prof.ok);
+    EXPECT_GT(prof.time_ms, prev);
+    prev = prof.time_ms;
+  }
+}
+
+TEST(CostModel, EveryValidOcEitherRunsOrCrashesCleanly) {
+  const KernelCostModel model;
+  util::Rng rng(6);
+  for (int dims : {2, 3}) {
+    const auto p = stencil::make_star(dims, 3);
+    for (const auto& oc : valid_combinations()) {
+      const ParamSpace space(oc, dims);
+      for (int i = 0; i < 5; ++i) {
+        const auto s = space.random_setting(rng);
+        const auto prof =
+            model.evaluate(p, ProblemSize::paper_default(dims), oc, s, v100());
+        if (prof.ok) {
+          EXPECT_GT(prof.time_ms, 0.0);
+          EXPECT_TRUE(prof.crash_reason.empty());
+        } else {
+          EXPECT_FALSE(prof.crash_reason.empty());
+        }
+      }
+    }
+  }
+}
+
+TEST(CostModel, TimeDecomposesIntoComponents) {
+  const KernelCostModel model;
+  const auto p = stencil::make_box(2, 2);
+  OptCombination st;
+  st.st = true;
+  ParamSetting s = default_setting();
+  s.stream_dim = 1;
+  s.stream_tile = 256;
+  const auto prof =
+      model.evaluate(p, ProblemSize::paper_default(2), st, s, v100());
+  ASSERT_TRUE(prof.ok);
+  EXPECT_GE(prof.time_ms,
+            std::max(prof.t_mem_ms, prof.t_comp_ms) + prof.t_sync_ms);
+}
+
+}  // namespace
+}  // namespace smart::gpusim

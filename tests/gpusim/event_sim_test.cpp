@@ -1,0 +1,138 @@
+#include "gpusim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace smart::gpusim {
+namespace {
+
+ParamSetting st_setting() {
+  ParamSetting s;
+  s.block_x = 32;
+  s.block_y = 8;
+  s.stream_dim = 2;
+  s.stream_tile = 128;
+  return s;
+}
+
+OptCombination st_oc() {
+  OptCombination oc;
+  oc.st = true;
+  return oc;
+}
+
+TEST(EventSim, CompletesAndReportsSchedule) {
+  const BlockLevelSimulator sim;
+  const auto p = stencil::make_star(3, 2);
+  const auto result = sim.run(p, ProblemSize::paper_default(3), st_oc(),
+                              st_setting(), gpu_by_name("V100"));
+  ASSERT_TRUE(result.ok) << result.crash_reason;
+  EXPECT_GT(result.time_ms, 0.0);
+  EXPECT_GT(result.blocks, 0);
+  EXPECT_GE(result.waves, 1);
+  EXPECT_GT(result.avg_resident, 0.0);
+}
+
+TEST(EventSim, Deterministic) {
+  const BlockLevelSimulator sim;
+  const auto p = stencil::make_box(2, 1);
+  ParamSetting s;
+  const auto a = sim.run(p, ProblemSize::paper_default(2), {}, s,
+                         gpu_by_name("P100"));
+  const auto b = sim.run(p, ProblemSize::paper_default(2), {}, s,
+                         gpu_by_name("P100"));
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_DOUBLE_EQ(a.time_ms, b.time_ms);
+}
+
+TEST(EventSim, InheritsCrashRules) {
+  const BlockLevelSimulator sim;
+  const auto p = stencil::make_box(3, 4);
+  OptCombination tb;
+  tb.tb = true;
+  ParamSetting s;
+  s.tb_depth = 4;
+  const auto result =
+      sim.run(p, ProblemSize::paper_default(3), tb, s, gpu_by_name("V100"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.crash_reason.empty());
+}
+
+TEST(EventSim, NeverFasterThanTheBandwidthBound) {
+  // The event schedule shares the same DRAM; it cannot beat traffic/peak.
+  const BlockLevelSimulator sim;
+  const KernelCostModel model;
+  const auto p = stencil::make_star(2, 3);
+  ParamSetting s;
+  const auto& gpu = gpu_by_name("A100");
+  const auto analytic = model.evaluate(p, ProblemSize::paper_default(2), {}, s, gpu);
+  const auto event = sim.run(p, ProblemSize::paper_default(2), {}, s, gpu);
+  ASSERT_TRUE(analytic.ok && event.ok);
+  const double bw_floor_ms =
+      analytic.dram_traffic_bytes / (gpu.mem_bw_gbs * gpu.peak_bw_frac * 1e9) * 1e3;
+  EXPECT_GE(event.time_ms, 0.99 * bw_floor_ms);
+}
+
+TEST(EventSim, AgreesWithAnalyticModelWithinAFactor) {
+  const BlockLevelSimulator sim;
+  const KernelCostModel model;
+  util::Rng rng(3);
+  for (const auto& pattern :
+       {stencil::make_star(2, 1), stencil::make_box(2, 2),
+        stencil::make_star(3, 2), stencil::make_cross(3, 1)}) {
+    const auto problem = ProblemSize::paper_default(pattern.dims());
+    const ParamSpace space(st_oc(), pattern.dims());
+    const auto s = space.random_setting(rng);
+    const auto& gpu = gpu_by_name("V100");
+    const auto analytic = model.evaluate(pattern, problem, st_oc(), s, gpu);
+    const auto event = sim.run(pattern, problem, st_oc(), s, gpu);
+    if (!analytic.ok || !event.ok) continue;
+    const double ratio = event.time_ms / analytic.time_ms;
+    EXPECT_GT(ratio, 0.3) << pattern.name();
+    EXPECT_LT(ratio, 3.0) << pattern.name();
+  }
+}
+
+TEST(EventSim, RanksVariantsLikeTheAnalyticModel) {
+  // Rank correlation between the two models across a sweep of variants.
+  const BlockLevelSimulator sim;
+  const KernelCostModel model;
+  const auto p = stencil::make_star(3, 2);
+  const auto problem = ProblemSize::paper_default(3);
+  const auto& gpu = gpu_by_name("V100");
+  const ParamSpace space(st_oc(), 3);
+  util::Rng rng(7);
+  std::vector<double> analytic_times;
+  std::vector<double> event_times;
+  for (int i = 0; i < 12; ++i) {
+    const auto s = space.random_setting(rng);
+    const auto a = model.evaluate(p, problem, st_oc(), s, gpu);
+    const auto e = sim.run(p, problem, st_oc(), s, gpu);
+    if (!a.ok || !e.ok) continue;
+    analytic_times.push_back(a.time_ms);
+    event_times.push_back(e.time_ms);
+  }
+  ASSERT_GT(analytic_times.size(), 6u);
+  EXPECT_GT(util::kendall_tau(analytic_times, event_times), 0.5);
+}
+
+TEST(EventSim, MoreBlockNoiseStretchesTheTail) {
+  EventSimOptions calm;
+  calm.block_noise_sigma = 0.0;
+  EventSimOptions rough;
+  rough.block_noise_sigma = 0.3;
+  const BlockLevelSimulator calm_sim(calm);
+  const BlockLevelSimulator rough_sim(rough);
+  const auto p = stencil::make_star(2, 1);
+  ParamSetting s;
+  const auto& gpu = gpu_by_name("V100");
+  const auto a = calm_sim.run(p, ProblemSize::paper_default(2), {}, s, gpu);
+  const auto b = rough_sim.run(p, ProblemSize::paper_default(2), {}, s, gpu);
+  ASSERT_TRUE(a.ok && b.ok);
+  // Divergent blocks cannot finish earlier on average (max of phases).
+  EXPECT_GE(b.time_ms, 0.95 * a.time_ms);
+}
+
+}  // namespace
+}  // namespace smart::gpusim

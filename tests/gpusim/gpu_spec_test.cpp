@@ -1,0 +1,67 @@
+#include "gpusim/gpu_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smart::gpusim {
+namespace {
+
+TEST(GpuSpec, FourEvaluationGpus) {
+  const auto& gpus = evaluation_gpus();
+  ASSERT_EQ(gpus.size(), 4u);
+  EXPECT_EQ(gpus[0].name, "P100");
+  EXPECT_EQ(gpus[1].name, "V100");
+  EXPECT_EQ(gpus[2].name, "2080Ti");
+  EXPECT_EQ(gpus[3].name, "A100");
+}
+
+TEST(GpuSpec, TableIIIValues) {
+  const GpuSpec& v100 = gpu_by_name("V100");
+  EXPECT_DOUBLE_EQ(v100.mem_gb, 32.0);
+  EXPECT_DOUBLE_EQ(v100.mem_bw_gbs, 900.0);
+  EXPECT_EQ(v100.sms, 80);
+  EXPECT_DOUBLE_EQ(v100.fp64_tflops, 7.8);
+  EXPECT_DOUBLE_EQ(v100.rental_usd_hr, 2.48);
+
+  const GpuSpec& a100 = gpu_by_name("A100");
+  EXPECT_DOUBLE_EQ(a100.mem_bw_gbs, 1555.0);
+  EXPECT_EQ(a100.sms, 108);
+  EXPECT_DOUBLE_EQ(a100.rental_usd_hr, 2.93);
+
+  const GpuSpec& p100 = gpu_by_name("P100");
+  EXPECT_DOUBLE_EQ(p100.rental_usd_hr, 1.46);
+  EXPECT_EQ(p100.sms, 56);
+
+  const GpuSpec& turing = gpu_by_name("2080Ti");
+  EXPECT_DOUBLE_EQ(turing.rental_usd_hr, 0.0);  // not rentable in Table III
+  EXPECT_DOUBLE_EQ(turing.fp64_tflops, 0.41);
+}
+
+TEST(GpuSpec, UnknownNameThrows) {
+  EXPECT_THROW(gpu_by_name("H100"), std::out_of_range);
+}
+
+TEST(GpuSpec, FeatureVectorIsHardwareCharacteristics) {
+  const auto f = gpu_by_name("P100").feature_vector();
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_DOUBLE_EQ(f[0], 16.0);   // memory capacity
+  EXPECT_DOUBLE_EQ(f[1], 720.0);  // bandwidth
+  EXPECT_DOUBLE_EQ(f[2], 56.0);   // SMs
+  EXPECT_DOUBLE_EQ(f[3], 5.3);    // TFLOPS
+}
+
+TEST(GpuSpec, HashesDiffer) {
+  const auto& gpus = evaluation_gpus();
+  for (std::size_t a = 0; a < gpus.size(); ++a) {
+    for (std::size_t b = a + 1; b < gpus.size(); ++b) {
+      EXPECT_NE(gpus[a].hash(), gpus[b].hash());
+    }
+  }
+}
+
+TEST(GpuSpec, TuringHasHalvedResidency) {
+  EXPECT_EQ(gpu_by_name("2080Ti").max_threads_per_sm, 1024);
+  EXPECT_EQ(gpu_by_name("V100").max_threads_per_sm, 2048);
+}
+
+}  // namespace
+}  // namespace smart::gpusim

@@ -1,0 +1,88 @@
+#include "gpusim/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace smart::gpusim {
+namespace {
+
+const GpuSpec& v100() { return gpu_by_name("V100"); }
+
+TEST(Occupancy, ThreadSlotLimit) {
+  const auto r = compute_occupancy(v100(), 1024, 32.0, 0.0);
+  EXPECT_EQ(r.blocks_per_sm, 2);  // 2048 / 1024
+  EXPECT_EQ(r.threads_per_sm, 2048);
+  EXPECT_DOUBLE_EQ(r.occupancy, 1.0);
+}
+
+TEST(Occupancy, RegisterLimit) {
+  // 128 regs x 512 threads = 65536 regs/block -> exactly 1 block.
+  const auto r = compute_occupancy(v100(), 512, 128.0, 0.0);
+  EXPECT_EQ(r.blocks_per_sm, 1);
+  EXPECT_STREQ(r.limiter, "registers");
+  EXPECT_DOUBLE_EQ(r.occupancy, 0.25);
+}
+
+TEST(Occupancy, SharedMemoryLimit) {
+  // 40 KB blocks on a 96 KB SM -> 2 blocks.
+  const auto r = compute_occupancy(v100(), 128, 32.0, 40.0 * 1024.0);
+  EXPECT_EQ(r.blocks_per_sm, 2);
+  EXPECT_STREQ(r.limiter, "shared-memory");
+}
+
+TEST(Occupancy, BlockSlotLimit) {
+  const auto r = compute_occupancy(v100(), 32, 16.0, 0.0);
+  EXPECT_EQ(r.blocks_per_sm, v100().max_blocks_per_sm);
+  EXPECT_STREQ(r.limiter, "block-slots");
+}
+
+TEST(Occupancy, ZeroWhenRegistersOverflow) {
+  const auto r = compute_occupancy(v100(), 1024, 200.0, 0.0);
+  EXPECT_EQ(r.blocks_per_sm, 0);  // 200 x 1024 > 65536
+}
+
+TEST(Occupancy, InvalidThreads) {
+  EXPECT_THROW(compute_occupancy(v100(), 0, 32.0, 0.0), std::invalid_argument);
+}
+
+TEST(Occupancy, MonotoneInRegisters) {
+  int prev = 1 << 30;
+  for (double regs = 16.0; regs <= 256.0; regs += 16.0) {
+    const auto r = compute_occupancy(v100(), 256, regs, 0.0);
+    EXPECT_LE(r.blocks_per_sm, prev);
+    prev = r.blocks_per_sm;
+  }
+}
+
+TEST(Occupancy, MonotoneInSharedMemory) {
+  int prev = 1 << 30;
+  for (double kb = 1.0; kb <= 96.0; kb += 5.0) {
+    const auto r = compute_occupancy(v100(), 128, 32.0, kb * 1024.0);
+    EXPECT_LE(r.blocks_per_sm, prev);
+    prev = r.blocks_per_sm;
+  }
+}
+
+TEST(Occupancy, NeverExceedsHardwareLimits) {
+  const auto& gpus = evaluation_gpus();
+  util::Rng rng(3);
+  for (const auto& gpu : gpus) {
+    for (int i = 0; i < 200; ++i) {
+      const int threads = 32 << rng.uniform_int(0, 5);
+      const double regs = rng.uniform(16.0, 300.0);
+      const double smem = rng.uniform(0.0, 100.0 * 1024.0);
+      const auto r = compute_occupancy(gpu, threads, regs, smem);
+      EXPECT_LE(r.blocks_per_sm, gpu.max_blocks_per_sm);
+      EXPECT_LE(r.threads_per_sm, gpu.max_threads_per_sm);
+      EXPECT_GE(r.occupancy, 0.0);
+      EXPECT_LE(r.occupancy, 1.0);
+      if (r.blocks_per_sm > 0 && smem > 0.0) {
+        EXPECT_LE(smem * r.blocks_per_sm, gpu.smem_per_sm_kb * 1024.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smart::gpusim

@@ -1,0 +1,102 @@
+#include "gpusim/opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace smart::gpusim {
+namespace {
+
+TEST(OptCombination, TableIConstraints) {
+  OptCombination bm_cm;
+  bm_cm.bm = true;
+  bm_cm.cm = true;
+  EXPECT_FALSE(bm_cm.is_valid());
+
+  OptCombination rt_only;
+  rt_only.rt = true;
+  EXPECT_FALSE(rt_only.is_valid());
+
+  OptCombination pr_only;
+  pr_only.pr = true;
+  EXPECT_FALSE(pr_only.is_valid());
+
+  OptCombination st_rt_pr;
+  st_rt_pr.st = true;
+  st_rt_pr.rt = true;
+  st_rt_pr.pr = true;
+  EXPECT_TRUE(st_rt_pr.is_valid());
+
+  OptCombination tb_only;
+  tb_only.tb = true;
+  EXPECT_TRUE(tb_only.is_valid());  // valid to *build*, never the best (Fig. 2)
+}
+
+TEST(OptCombination, ExactlyThirtyValid) {
+  // merging in {none, BM, CM} x TB x (ST x RT x PR = 8 | no-ST = 1) =
+  // 3 x 2 x (8 + 1) / ... = 3 * 2 * 9 = 54? No: with ST: RT,PR free (4),
+  // without ST: RT=PR=0 (1) -> 5 per (merge, TB) pair: 3 * 2 * 5 = 30.
+  EXPECT_EQ(valid_combinations().size(), 30u);
+}
+
+TEST(OptCombination, AllEnumeratedAreValidAndUnique) {
+  std::set<std::uint8_t> seen;
+  for (const auto& oc : valid_combinations()) {
+    EXPECT_TRUE(oc.is_valid());
+    EXPECT_TRUE(seen.insert(oc.bits()).second);
+  }
+}
+
+TEST(OptCombination, BitsRoundTrip) {
+  for (const auto& oc : valid_combinations()) {
+    EXPECT_EQ(OptCombination::from_bits(oc.bits()), oc);
+  }
+}
+
+TEST(OptCombination, Names) {
+  EXPECT_EQ(OptCombination{}.name(), "BASE");
+  OptCombination oc;
+  oc.st = true;
+  oc.rt = true;
+  oc.pr = true;
+  EXPECT_EQ(oc.name(), "ST_RT_PR");
+  OptCombination tb_cm;
+  tb_cm.tb = true;
+  tb_cm.cm = true;
+  EXPECT_EQ(tb_cm.name(), "CM_TB");
+}
+
+TEST(OptCombination, Has) {
+  OptCombination oc;
+  oc.st = true;
+  oc.tb = true;
+  EXPECT_TRUE(oc.has(Opt::kSt));
+  EXPECT_TRUE(oc.has(Opt::kTb));
+  EXPECT_FALSE(oc.has(Opt::kBm));
+  EXPECT_FALSE(oc.has(Opt::kCm));
+  EXPECT_FALSE(oc.has(Opt::kRt));
+  EXPECT_FALSE(oc.has(Opt::kPr));
+}
+
+TEST(OptCombination, IndexRoundTrip) {
+  const auto& all = valid_combinations();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(oc_index(all[i]), static_cast<int>(i));
+  }
+  OptCombination invalid;
+  invalid.bm = true;
+  invalid.cm = true;
+  EXPECT_THROW(oc_index(invalid), std::out_of_range);
+}
+
+TEST(Opt, ToString) {
+  EXPECT_EQ(to_string(Opt::kSt), "ST");
+  EXPECT_EQ(to_string(Opt::kBm), "BM");
+  EXPECT_EQ(to_string(Opt::kCm), "CM");
+  EXPECT_EQ(to_string(Opt::kRt), "RT");
+  EXPECT_EQ(to_string(Opt::kPr), "PR");
+  EXPECT_EQ(to_string(Opt::kTb), "TB");
+}
+
+}  // namespace
+}  // namespace smart::gpusim

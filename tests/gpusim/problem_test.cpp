@@ -1,0 +1,30 @@
+#include "gpusim/problem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smart::gpusim {
+namespace {
+
+TEST(ProblemSize, PaperDefaults) {
+  const auto p2 = ProblemSize::paper_default(2);
+  EXPECT_EQ(p2.nx, 8192);
+  EXPECT_EQ(p2.ny, 8192);
+  EXPECT_EQ(p2.nz, 1);
+  EXPECT_EQ(p2.dims(), 2);
+  EXPECT_EQ(p2.volume(), 8192LL * 8192LL);
+
+  const auto p3 = ProblemSize::paper_default(3);
+  EXPECT_EQ(p3.nz, 512);
+  EXPECT_EQ(p3.dims(), 3);
+  EXPECT_EQ(p3.volume(), 512LL * 512LL * 512LL);
+}
+
+TEST(ProblemSize, ExtentPerAxis) {
+  const ProblemSize p{10, 20, 30};
+  EXPECT_EQ(p.extent(0), 10);
+  EXPECT_EQ(p.extent(1), 20);
+  EXPECT_EQ(p.extent(2), 30);
+}
+
+}  // namespace
+}  // namespace smart::gpusim

@@ -1,0 +1,124 @@
+#include "gpusim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpusim/tuner.hpp"
+
+namespace smart::gpusim {
+namespace {
+
+ParamSetting basic_setting() {
+  ParamSetting s;
+  s.block_x = 32;
+  s.block_y = 8;
+  return s;
+}
+
+TEST(Simulator, NoiseIsDeterministic) {
+  const Simulator sim;
+  const auto p = stencil::make_star(2, 2);
+  const auto prob = ProblemSize::paper_default(2);
+  const auto& gpu = gpu_by_name("V100");
+  const auto a = sim.measure(p, prob, OptCombination{}, basic_setting(), gpu);
+  const auto b = sim.measure(p, prob, OptCombination{}, basic_setting(), gpu);
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_DOUBLE_EQ(a.time_ms, b.time_ms);
+}
+
+TEST(Simulator, NoiseIsBoundedAroundModel) {
+  Simulator::Options opts;
+  opts.noise_sigma = 0.04;
+  const Simulator sim(opts);
+  const auto p = stencil::make_star(2, 2);
+  const auto prob = ProblemSize::paper_default(2);
+  const auto& gpu = gpu_by_name("V100");
+  const auto clean = sim.evaluate(p, prob, OptCombination{}, basic_setting(), gpu);
+  const auto noisy = sim.measure(p, prob, OptCombination{}, basic_setting(), gpu);
+  ASSERT_TRUE(clean.ok && noisy.ok);
+  const double ratio = noisy.time_ms / clean.time_ms;
+  EXPECT_GT(ratio, std::exp(-5.0 * 0.04));
+  EXPECT_LT(ratio, std::exp(5.0 * 0.04));
+}
+
+TEST(Simulator, ZeroSigmaMatchesModel) {
+  Simulator::Options opts;
+  opts.noise_sigma = 0.0;
+  const Simulator sim(opts);
+  const auto p = stencil::make_box(2, 1);
+  const auto prob = ProblemSize::paper_default(2);
+  const auto& gpu = gpu_by_name("A100");
+  const auto clean = sim.evaluate(p, prob, OptCombination{}, basic_setting(), gpu);
+  const auto noisy = sim.measure(p, prob, OptCombination{}, basic_setting(), gpu);
+  EXPECT_DOUBLE_EQ(clean.time_ms, noisy.time_ms);
+}
+
+TEST(Simulator, NoiseVariesAcrossGpus) {
+  const Simulator sim;
+  const auto p = stencil::make_star(2, 1);
+  const auto prob = ProblemSize::paper_default(2);
+  const auto v = sim.measure(p, prob, OptCombination{}, basic_setting(),
+                             gpu_by_name("V100"));
+  const auto a = sim.measure(p, prob, OptCombination{}, basic_setting(),
+                             gpu_by_name("A100"));
+  ASSERT_TRUE(v.ok && a.ok);
+  EXPECT_NE(v.time_ms, a.time_ms);
+}
+
+TEST(Simulator, CrashPassesThrough) {
+  const Simulator sim;
+  const auto p = stencil::make_box(3, 4);
+  OptCombination tb;
+  tb.tb = true;
+  ParamSetting s = basic_setting();
+  s.tb_depth = 4;
+  const auto prof = sim.measure(p, ProblemSize::paper_default(3), tb, s,
+                                gpu_by_name("V100"));
+  EXPECT_FALSE(prof.ok);
+  EXPECT_DOUBLE_EQ(prof.time_ms, 0.0);
+}
+
+TEST(Tuner, BestIsMinimumOfMeasurements) {
+  const Simulator sim;
+  const RandomSearchTuner tuner(sim, 10);
+  const auto p = stencil::make_star(2, 2);
+  util::Rng rng(12);
+  OptCombination st;
+  st.st = true;
+  const auto result = tuner.tune(p, ProblemSize::paper_default(2), st,
+                                 gpu_by_name("V100"), rng);
+  ASSERT_TRUE(result.ok());
+  for (const auto& [setting, time] : result.measurements) {
+    EXPECT_GE(time, result.best_time_ms);
+  }
+  EXPECT_LE(result.samples_tried, 10);
+  EXPECT_EQ(result.samples_crashed + static_cast<int>(result.measurements.size()),
+            result.samples_tried);
+}
+
+TEST(Tuner, TuneAllCoversEveryOc) {
+  const Simulator sim;
+  const RandomSearchTuner tuner(sim, 3);
+  const auto p = stencil::make_star(2, 1);
+  util::Rng rng(13);
+  const auto results =
+      tuner.tune_all(p, ProblemSize::paper_default(2), gpu_by_name("P100"), rng);
+  EXPECT_EQ(results.size(), valid_combinations().size());
+  const int best = RandomSearchTuner::best_oc_index(results);
+  ASSERT_GE(best, 0);
+  for (const auto& r : results) {
+    if (r.ok()) {
+      EXPECT_GE(r.best_time_ms,
+                results[static_cast<std::size_t>(best)].best_time_ms);
+    }
+  }
+}
+
+TEST(Tuner, BestIndexMinusOneWhenAllCrash) {
+  std::vector<TunedResult> results(3);  // no best_setting anywhere
+  EXPECT_EQ(RandomSearchTuner::best_oc_index(results), -1);
+}
+
+}  // namespace
+}  // namespace smart::gpusim

@@ -1,0 +1,131 @@
+#include "gpusim/tuner_strategies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stencil/generator.hpp"
+
+namespace smart::gpusim {
+namespace {
+
+const Simulator& shared_sim() {
+  static const Simulator sim;
+  return sim;
+}
+
+OptCombination st_oc() {
+  OptCombination oc;
+  oc.st = true;
+  return oc;
+}
+
+TEST(ExhaustiveTuner, FindsGlobalOptimum) {
+  const ExhaustiveTuner exhaustive(shared_sim());
+  const auto p = stencil::make_star(2, 2);
+  const auto problem = ProblemSize::paper_default(2);
+  const auto& gpu = gpu_by_name("V100");
+  const auto result = exhaustive.tune(p, problem, st_oc(), gpu);
+  ASSERT_TRUE(result.ok());
+  // Every individual measurement is >= the reported optimum.
+  for (const auto& [setting, time] : result.measurements) {
+    EXPECT_GE(time, result.best_time_ms);
+  }
+  const ParamSpace space(st_oc(), 2);
+  EXPECT_EQ(result.samples_tried, static_cast<int>(space.enumerate().size()));
+}
+
+TEST(ExhaustiveTuner, IsTheLowerBoundForOtherStrategies) {
+  const ExhaustiveTuner exhaustive(shared_sim());
+  const RandomSearchTuner random_tuner(shared_sim(), 20);
+  const GeneticTuner ga(shared_sim());
+  const auto p = stencil::make_box(2, 1);
+  const auto problem = ProblemSize::paper_default(2);
+  const auto& gpu = gpu_by_name("P100");
+  const double optimum = exhaustive.tune(p, problem, st_oc(), gpu).best_time_ms;
+
+  util::Rng rng(8);
+  const auto random_result = random_tuner.tune(p, problem, st_oc(), gpu, rng);
+  EXPECT_GE(random_result.best_time_ms, optimum);
+  util::Rng rng2(8);
+  const auto ga_result = ga.tune(p, problem, st_oc(), gpu, rng2);
+  EXPECT_GE(ga_result.best_time_ms, optimum);
+}
+
+TEST(GeneticTuner, RespectsMeasurementBudget) {
+  GeneticConfig config;
+  config.population = 8;
+  config.generations = 5;
+  const GeneticTuner ga(shared_sim(), config);
+  const auto p = stencil::make_star(3, 2);
+  util::Rng rng(9);
+  const auto result =
+      ga.tune(p, ProblemSize::paper_default(3), st_oc(), gpu_by_name("A100"), rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result.samples_tried, config.population * config.generations);
+}
+
+TEST(GeneticTuner, DeterministicGivenSeed) {
+  const GeneticTuner ga(shared_sim());
+  const auto p = stencil::make_star(2, 1);
+  util::Rng a(4);
+  util::Rng b(4);
+  const auto ra =
+      ga.tune(p, ProblemSize::paper_default(2), st_oc(), gpu_by_name("V100"), a);
+  const auto rb =
+      ga.tune(p, ProblemSize::paper_default(2), st_oc(), gpu_by_name("V100"), b);
+  EXPECT_DOUBLE_EQ(ra.best_time_ms, rb.best_time_ms);
+  EXPECT_EQ(ra.samples_tried, rb.samples_tried);
+}
+
+TEST(GeneticTuner, BeatsRandomAtEqualBudgetOnAverage) {
+  // Over several stencils, the GA with budget ~48 should on (geometric)
+  // average find settings at least as good as random search with the same
+  // budget. This is a statistical property, so compare aggregates.
+  GeneticConfig config;
+  config.population = 8;
+  config.generations = 6;
+  const GeneticTuner ga(shared_sim(), config);
+  const RandomSearchTuner random_tuner(shared_sim(), 48);
+  const auto problem = ProblemSize::paper_default(3);
+  const auto& gpu = gpu_by_name("V100");
+  double ga_log_sum = 0.0;
+  double random_log_sum = 0.0;
+  int counted = 0;
+  stencil::GeneratorConfig gc;
+  gc.dims = 3;
+  gc.order = 3;
+  const stencil::RandomStencilGenerator gen(gc);
+  util::Rng pattern_rng(55);
+  for (int i = 0; i < 6; ++i) {
+    const auto p = gen.generate(pattern_rng);
+    util::Rng ga_rng(100 + i);
+    util::Rng random_rng(100 + i);
+    const auto ga_result = ga.tune(p, problem, st_oc(), gpu, ga_rng);
+    const auto random_result =
+        random_tuner.tune(p, problem, st_oc(), gpu, random_rng);
+    if (!ga_result.ok() || !random_result.ok()) continue;
+    ga_log_sum += std::log(ga_result.best_time_ms);
+    random_log_sum += std::log(random_result.best_time_ms);
+    ++counted;
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_LE(ga_log_sum, random_log_sum * 1.02);
+}
+
+TEST(GeneticTuner, HandlesCrashHeavySpaces) {
+  // TB without ST on 3-D high-order stencils crashes everywhere; the GA
+  // must report that gracefully.
+  OptCombination tb;
+  tb.tb = true;
+  const GeneticTuner ga(shared_sim());
+  const auto p = stencil::make_box(3, 4);
+  util::Rng rng(6);
+  const auto result =
+      ga.tune(p, ProblemSize::paper_default(3), tb, gpu_by_name("V100"), rng);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.samples_crashed, result.samples_tried);
+}
+
+}  // namespace
+}  // namespace smart::gpusim

@@ -1,0 +1,77 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace smart::ml {
+namespace {
+
+TEST(MaxAbsScaler, ScalesToUnitInterval) {
+  const Matrix x = Matrix::from_rows({{2.0f, -10.0f}, {4.0f, 5.0f}});
+  MaxAbsScaler scaler;
+  const Matrix y = scaler.fit_transform(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), -1.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 0.5f);
+}
+
+TEST(MaxAbsScaler, ZeroColumnPassesThrough) {
+  const Matrix x = Matrix::from_rows({{0.0f}, {0.0f}});
+  MaxAbsScaler scaler;
+  const Matrix y = scaler.fit_transform(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+}
+
+TEST(MaxAbsScaler, TransformWidthMismatch) {
+  MaxAbsScaler scaler;
+  scaler.fit(Matrix(2, 3, 1.0f));
+  EXPECT_THROW(scaler.transform(Matrix(2, 2, 1.0f)), std::invalid_argument);
+}
+
+TEST(Dataset, SubsetAlignsLabelsAndTargets) {
+  Dataset d;
+  d.x = Matrix::from_rows({{1.0f}, {2.0f}, {3.0f}});
+  d.labels = {10, 20, 30};
+  d.targets = {0.1f, 0.2f, 0.3f};
+  const std::vector<std::size_t> idx{2, 0};
+  const Dataset s = d.subset(idx);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.labels[0], 30);
+  EXPECT_FLOAT_EQ(s.targets[1], 0.1f);
+  EXPECT_FLOAT_EQ(s.x.at(0, 0), 3.0f);
+}
+
+class KFoldProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KFoldProperty, FoldsPartitionExactly) {
+  const int folds = GetParam();
+  util::Rng rng(folds);
+  const std::size_t n = 103;
+  const auto splits = kfold_splits(n, folds, rng);
+  ASSERT_EQ(splits.size(), static_cast<std::size_t>(folds));
+  std::set<std::size_t> all_test;
+  for (const auto& fold : splits) {
+    EXPECT_EQ(fold.train_indices.size() + fold.test_indices.size(), n);
+    std::set<std::size_t> train(fold.train_indices.begin(),
+                                fold.train_indices.end());
+    for (std::size_t t : fold.test_indices) {
+      EXPECT_FALSE(train.contains(t));
+      EXPECT_TRUE(all_test.insert(t).second)
+          << "index in more than one test fold";
+    }
+  }
+  EXPECT_EQ(all_test.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(FoldCounts, KFoldProperty, ::testing::Values(2, 3, 5, 10));
+
+TEST(KFold, RejectsBadArguments) {
+  util::Rng rng(1);
+  EXPECT_THROW(kfold_splits(10, 1, rng), std::invalid_argument);
+  EXPECT_THROW(kfold_splits(3, 5, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smart::ml

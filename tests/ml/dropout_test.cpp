@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include <memory>
+
+#include "ml/models.hpp"
+#include "ml/nn.hpp"
+
+namespace smart::ml {
+namespace {
+
+TEST(Dropout, RejectsBadRate) {
+  EXPECT_THROW(Dropout(-0.1, 1), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0, 1), std::invalid_argument);
+}
+
+TEST(Dropout, InferenceIsIdentity) {
+  Dropout layer(0.5, 2);
+  layer.set_training(false);
+  const Matrix x = Matrix::from_rows({{1.0f, -2.0f, 3.0f}});
+  const Matrix y = layer.forward(x);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Dropout, TrainingZeroesAndRescales) {
+  Dropout layer(0.5, 3);
+  Matrix x(4, 64, 1.0f);
+  const Matrix y = layer.forward(x);
+  int zeros = 0;
+  int scaled = 0;
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    for (std::size_t c = 0; c < y.cols(); ++c) {
+      if (y.at(r, c) == 0.0f) {
+        ++zeros;
+      } else {
+        EXPECT_FLOAT_EQ(y.at(r, c), 2.0f);  // 1 / (1 - 0.5)
+        ++scaled;
+      }
+    }
+  }
+  EXPECT_GT(zeros, 50);
+  EXPECT_GT(scaled, 50);
+}
+
+TEST(Dropout, ExpectationPreserved) {
+  Dropout layer(0.3, 4);
+  Matrix x(1, 20000, 1.0f);
+  const Matrix y = layer.forward(x);
+  double sum = 0.0;
+  for (std::size_t c = 0; c < y.cols(); ++c) sum += y.at(0, c);
+  EXPECT_NEAR(sum / static_cast<double>(y.cols()), 1.0, 0.03);
+}
+
+TEST(Dropout, BackwardMasksGradient) {
+  Dropout layer(0.5, 5);
+  Matrix x(1, 32, 1.0f);
+  const Matrix y = layer.forward(x);
+  Matrix grad(1, 32, 1.0f);
+  const Matrix gin = layer.backward(grad);
+  for (std::size_t c = 0; c < 32; ++c) {
+    if (y.at(0, c) == 0.0f) {
+      EXPECT_FLOAT_EQ(gin.at(0, c), 0.0f);
+    } else {
+      EXPECT_FLOAT_EQ(gin.at(0, c), 2.0f);
+    }
+  }
+}
+
+TEST(Dropout, ZeroRateIsTransparentInTraining) {
+  Dropout layer(0.0, 6);
+  const Matrix x = Matrix::from_rows({{3.0f, 4.0f}});
+  EXPECT_EQ(layer.forward(x), x);
+  const Matrix g = Matrix::from_rows({{1.0f, 1.0f}});
+  EXPECT_EQ(layer.backward(g), g);
+}
+
+TEST(EarlyStopping, StopsBeforeEpochBudget) {
+  // A trivially learnable target: validation loss plateaus quickly, so the
+  // early-stopped run must finish far faster than the fixed-epoch run.
+  util::Rng data_rng(7);
+  const std::size_t n = 300;
+  Matrix x(n, 3);
+  std::vector<float> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      x.at(i, c) = static_cast<float>(data_rng.uniform(0.0, 1.0));
+    }
+    y[i] = x.at(i, 0);
+  }
+  auto make = [](TrainConfig tc) {
+    util::Rng rng(8);
+    return NnRegressor(make_mlp(3, 2, 16, rng), tc);
+  };
+  TrainConfig fixed;
+  fixed.epochs = 400;
+  TrainConfig stopped = fixed;
+  stopped.validation_fraction = 0.2;
+  stopped.patience = 4;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  make(fixed).fit(x, y);
+  const auto t1 = std::chrono::steady_clock::now();
+  make(stopped).fit(x, y);
+  const auto t2 = std::chrono::steady_clock::now();
+  EXPECT_LT((t2 - t1).count(), (t1 - t0).count());
+}
+
+TEST(EarlyStopping, StoppedModelStillAccurate) {
+  util::Rng data_rng(9);
+  const std::size_t n = 400;
+  Matrix x(n, 2);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = static_cast<float>(data_rng.uniform(-1.0, 1.0));
+    x.at(i, 1) = static_cast<float>(data_rng.uniform(-1.0, 1.0));
+    labels[i] = x.at(i, 0) > 0.0f ? 1 : 0;
+  }
+  util::Rng rng(10);
+  TrainConfig tc;
+  tc.epochs = 200;
+  tc.validation_fraction = 0.2;
+  tc.patience = 6;
+  NnClassifier clf(make_fcnet(2, 2, 2, 16, rng), tc);
+  clf.fit(x, labels);
+  const auto pred = clf.predict(x);
+  int hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pred[i] == labels[i]) ++hits;
+  }
+  EXPECT_GT(hits, static_cast<int>(0.9 * n));
+}
+
+TEST(DropoutInNetwork, RegularizedFcNetStillLearns) {
+  util::Rng rng(11);
+  Sequential net;
+  net.add(std::make_unique<Dense>(4, 32, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Dropout>(0.2, 12));
+  net.add(std::make_unique<Dense>(32, 2, rng));
+  util::Rng data_rng(13);
+  const std::size_t n = 300;
+  Matrix x(n, 4);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      x.at(i, c) = static_cast<float>(data_rng.uniform(-1.0, 1.0));
+    }
+    labels[i] = x.at(i, 1) + x.at(i, 2) > 0.0f ? 1 : 0;
+  }
+  TrainConfig tc;
+  tc.epochs = 80;
+  NnClassifier clf(std::move(net), tc);
+  clf.fit(x, labels);
+  const auto pred = clf.predict(x);
+  int hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pred[i] == labels[i]) ++hits;
+  }
+  EXPECT_GT(hits, static_cast<int>(0.85 * n));
+}
+
+}  // namespace
+}  // namespace smart::ml

@@ -1,0 +1,144 @@
+#include "ml/gbdt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace smart::ml {
+namespace {
+
+TEST(GbdtRegressor, LearnsNonlinearFunction) {
+  util::Rng rng(1);
+  const std::size_t n = 600;
+  Matrix x(n, 3);
+  std::vector<float> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      x.at(i, c) = static_cast<float>(rng.uniform(-2.0, 2.0));
+    }
+    y[i] = static_cast<float>(x.at(i, 0) * x.at(i, 1) +
+                              std::sin(x.at(i, 2)) * 2.0);
+  }
+  GbdtParams params;
+  params.rounds = 80;
+  GbdtRegressor model(params);
+  model.fit(x, y);
+  EXPECT_EQ(model.num_trees(), 80u);
+  double sse = 0.0;
+  double variance = 0.0;
+  double mean = 0.0;
+  for (float v : y) mean += v;
+  mean /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pred = model.predict_row(x.row(i));
+    sse += (pred - y[i]) * (pred - y[i]);
+    variance += (y[i] - mean) * (y[i] - mean);
+  }
+  EXPECT_LT(sse, 0.25 * variance);  // R^2 > 0.75 in-sample
+}
+
+TEST(GbdtRegressor, PredictBatchMatchesRow) {
+  util::Rng rng(2);
+  Matrix x(50, 2);
+  std::vector<float> y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.uniform(0.0, 1.0));
+    x.at(i, 1) = static_cast<float>(rng.uniform(0.0, 1.0));
+    y[i] = x.at(i, 0);
+  }
+  GbdtParams params;
+  params.rounds = 10;
+  GbdtRegressor model(params);
+  model.fit(x, y);
+  const auto batch = model.predict(x);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], model.predict_row(x.row(i)));
+  }
+}
+
+TEST(GbdtRegressor, RejectsBadShapes) {
+  GbdtRegressor model;
+  const std::vector<float> y{1.0f};
+  EXPECT_THROW(model.fit(Matrix(2, 1, 0.0f), y), std::invalid_argument);
+  EXPECT_THROW(model.fit(Matrix(), {}), std::invalid_argument);
+}
+
+TEST(GbdtClassifier, LearnsSeparableClasses) {
+  util::Rng rng(3);
+  const std::size_t n = 450;
+  Matrix x(n, 2);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int k = static_cast<int>(i % 3);
+    x.at(i, 0) = static_cast<float>(k + rng.uniform(-0.3, 0.3));
+    x.at(i, 1) = static_cast<float>(-k + rng.uniform(-0.3, 0.3));
+    labels[i] = k;
+  }
+  GbdtParams params;
+  params.rounds = 30;
+  GbdtClassifier model(params);
+  model.fit(x, labels, 3);
+  EXPECT_EQ(model.num_classes(), 3);
+  EXPECT_EQ(model.num_rounds(), 30u);
+  const auto pred = model.predict(x);
+  int hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pred[i] == labels[i]) ++hits;
+  }
+  EXPECT_GT(hits, static_cast<int>(0.95 * n));
+}
+
+TEST(GbdtClassifier, ProbabilitiesSumToOne) {
+  util::Rng rng(4);
+  Matrix x(60, 2);
+  std::vector<int> labels(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    x.at(i, 1) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    labels[i] = static_cast<int>(i % 2);
+  }
+  GbdtParams params;
+  params.rounds = 5;
+  GbdtClassifier model(params);
+  model.fit(x, labels, 2);
+  const auto p = model.predict_proba_row(x.row(0));
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
+  EXPECT_GE(p[0], 0.0);
+  EXPECT_GE(p[1], 0.0);
+}
+
+TEST(GbdtClassifier, RejectsBadLabels) {
+  GbdtClassifier model;
+  Matrix x(4, 1, 0.0f);
+  EXPECT_THROW(model.fit(x, std::vector<int>{0, 1, 2, 3}, 3),
+               std::invalid_argument);
+  EXPECT_THROW(model.fit(x, std::vector<int>{0, -1, 0, 1}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(model.fit(x, std::vector<int>{0, 1}, 2), std::invalid_argument);
+}
+
+TEST(GbdtClassifier, ImbalancedPriorsRespected) {
+  // 90% class 0: with no informative features the classifier should
+  // predict the majority class.
+  util::Rng rng(5);
+  Matrix x(200, 1);
+  std::vector<int> labels(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.uniform(0.0, 1.0));
+    labels[i] = i < 180 ? 0 : 1;
+  }
+  GbdtParams params;
+  params.rounds = 3;
+  params.tree.max_depth = 1;
+  GbdtClassifier model(params);
+  model.fit(x, labels, 2);
+  int zeros = 0;
+  for (int p : model.predict(x)) {
+    if (p == 0) ++zeros;
+  }
+  EXPECT_GT(zeros, 150);
+}
+
+}  // namespace
+}  // namespace smart::ml

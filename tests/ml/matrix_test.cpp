@@ -1,0 +1,106 @@
+#include "ml/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smart::ml {
+namespace {
+
+TEST(Matrix, ConstructAndAccess) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 1.5f);
+  m.at(0, 1) = 7.0f;
+  EXPECT_FLOAT_EQ(m.at(0, 1), 7.0f);
+}
+
+TEST(Matrix, FromRows) {
+  const Matrix m = Matrix::from_rows({{1.0f, 2.0f}, {3.0f, 4.0f}});
+  EXPECT_FLOAT_EQ(m.at(1, 0), 3.0f);
+  EXPECT_THROW(Matrix::from_rows({{1.0f}, {1.0f, 2.0f}}), std::invalid_argument);
+  EXPECT_TRUE(Matrix::from_rows({}).empty());
+}
+
+TEST(Matrix, Matmul) {
+  const Matrix a = Matrix::from_rows({{1.0f, 2.0f}, {3.0f, 4.0f}});
+  const Matrix b = Matrix::from_rows({{5.0f, 6.0f}, {7.0f, 8.0f}});
+  const Matrix c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Matrix, MatmulShapeMismatch) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Matrix, MatmulBt) {
+  const Matrix a = Matrix::from_rows({{1.0f, 2.0f}});       // 1x2
+  const Matrix b = Matrix::from_rows({{3.0f, 4.0f}, {5.0f, 6.0f}});  // 2x2
+  const Matrix c = matmul_bt(a, b);                          // 1x2
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11.0f);  // 1*3 + 2*4
+  EXPECT_FLOAT_EQ(c.at(0, 1), 17.0f);  // 1*5 + 2*6
+}
+
+TEST(Matrix, MatmulAt) {
+  const Matrix a = Matrix::from_rows({{1.0f, 2.0f}, {3.0f, 4.0f}});  // 2x2
+  const Matrix b = Matrix::from_rows({{5.0f}, {6.0f}});               // 2x1
+  const Matrix c = matmul_at(a, b);                                    // 2x1
+  EXPECT_FLOAT_EQ(c.at(0, 0), 23.0f);  // 1*5 + 3*6
+  EXPECT_FLOAT_EQ(c.at(1, 0), 34.0f);  // 2*5 + 4*6
+}
+
+TEST(Matrix, TransposedProductsMatchExplicit) {
+  util::Rng rng(4);
+  Matrix a(3, 5);
+  Matrix b(3, 4);
+  a.init_he(rng);
+  b.init_he(rng);
+  // a^T * b via matmul_at must equal transpose(a) * b done by hand.
+  const Matrix c = matmul_at(a, b);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      float acc = 0.0f;
+      for (std::size_t n = 0; n < 3; ++n) acc += a.at(n, i) * b.at(n, j);
+      EXPECT_NEAR(c.at(i, j), acc, 1e-5);
+    }
+  }
+}
+
+TEST(Matrix, GatherRows) {
+  const Matrix m = Matrix::from_rows({{1.0f}, {2.0f}, {3.0f}});
+  const std::vector<std::size_t> idx{2, 0};
+  const Matrix g = m.gather_rows(idx);
+  EXPECT_EQ(g.rows(), 2u);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 0), 1.0f);
+}
+
+TEST(Matrix, InitHeBounded) {
+  util::Rng rng(5);
+  Matrix m(100, 10);
+  m.init_he(rng);
+  const double bound = std::sqrt(6.0 / 100.0);
+  bool any_nonzero = false;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_LE(std::abs(m.at(r, c)), bound + 1e-6);
+      if (m.at(r, c) != 0.0f) any_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Matrix, FillAndRowSpan) {
+  Matrix m(2, 2);
+  m.fill(3.0f);
+  const auto row = m.row(1);
+  EXPECT_EQ(row.size(), 2u);
+  EXPECT_FLOAT_EQ(row[0], 3.0f);
+}
+
+}  // namespace
+}  // namespace smart::ml

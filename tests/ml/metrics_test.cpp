@@ -1,0 +1,113 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/gbdt.hpp"
+
+namespace smart::ml {
+namespace {
+
+TEST(ConfusionMatrix, CountsCells) {
+  const std::vector<int> truth{0, 0, 1, 1, 2};
+  const std::vector<int> pred{0, 1, 1, 1, 0};
+  const auto m = confusion_matrix(truth, pred, 3);
+  EXPECT_EQ(m[0][0], 1u);
+  EXPECT_EQ(m[0][1], 1u);
+  EXPECT_EQ(m[1][1], 2u);
+  EXPECT_EQ(m[2][0], 1u);
+  EXPECT_EQ(m[2][2], 0u);
+}
+
+TEST(ConfusionMatrix, IgnoresOutOfRangeLabels) {
+  const std::vector<int> truth{-1, 0, 5};
+  const std::vector<int> pred{0, 0, 0};
+  const auto m = confusion_matrix(truth, pred, 2);
+  EXPECT_EQ(m[0][0], 1u);
+}
+
+TEST(ConfusionMatrix, Validates) {
+  const std::vector<int> a{0};
+  const std::vector<int> b{0, 1};
+  EXPECT_THROW(confusion_matrix(a, b, 2), std::invalid_argument);
+  EXPECT_THROW(confusion_matrix(a, a, 0), std::invalid_argument);
+}
+
+TEST(ClassificationReport, PerfectPrediction) {
+  const std::vector<int> labels{0, 1, 2, 0, 1, 2};
+  const auto report =
+      classification_report(confusion_matrix(labels, labels, 3));
+  for (const auto& r : report) {
+    EXPECT_DOUBLE_EQ(r.precision, 1.0);
+    EXPECT_DOUBLE_EQ(r.recall, 1.0);
+    EXPECT_DOUBLE_EQ(r.f1, 1.0);
+    EXPECT_EQ(r.support, 2u);
+  }
+  EXPECT_DOUBLE_EQ(macro_f1(report), 1.0);
+}
+
+TEST(ClassificationReport, HandlesEmptyClass) {
+  const std::vector<int> truth{0, 0, 1};
+  const std::vector<int> pred{0, 0, 0};
+  const auto report = classification_report(confusion_matrix(truth, pred, 3));
+  EXPECT_EQ(report[2].support, 0u);
+  EXPECT_DOUBLE_EQ(report[1].recall, 0.0);
+  // Macro-F1 only averages classes with support (0 and 1).
+  EXPECT_NEAR(macro_f1(report), (report[0].f1 + report[1].f1) / 2.0, 1e-12);
+}
+
+TEST(FeatureImportance, ConcentratesOnInformativeFeature) {
+  // y depends only on feature 0; feature 1 is noise.
+  util::Rng rng(5);
+  const std::size_t n = 400;
+  Matrix x(n, 2);
+  std::vector<float> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    x.at(i, 1) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    y[i] = 3.0f * x.at(i, 0);
+  }
+  GbdtParams params;
+  params.rounds = 20;
+  GbdtRegressor model(params);
+  model.fit(x, y);
+  const auto importance = model.feature_importance(2);
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_NEAR(importance[0] + importance[1], 1.0, 1e-9);
+  EXPECT_GT(importance[0], 0.9);
+}
+
+TEST(FeatureImportance, ClassifierVariant) {
+  util::Rng rng(6);
+  const std::size_t n = 300;
+  Matrix x(n, 3);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      x.at(i, c) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    labels[i] = x.at(i, 2) > 0.0f ? 1 : 0;
+  }
+  GbdtParams params;
+  params.rounds = 10;
+  GbdtClassifier model(params);
+  model.fit(x, labels, 2);
+  const auto importance = model.feature_importance(3);
+  EXPECT_GT(importance[2], importance[0]);
+  EXPECT_GT(importance[2], importance[1]);
+}
+
+TEST(FeatureImportance, ZeroWhenNoSplits) {
+  // A constant target never splits.
+  Matrix x(20, 2, 0.5f);
+  std::vector<float> y(20, 1.0f);
+  GbdtParams params;
+  params.rounds = 3;
+  GbdtRegressor model(params);
+  model.fit(x, y);
+  const auto importance = model.feature_importance(2);
+  EXPECT_DOUBLE_EQ(importance[0], 0.0);
+  EXPECT_DOUBLE_EQ(importance[1], 0.0);
+}
+
+}  // namespace
+}  // namespace smart::ml

@@ -1,0 +1,146 @@
+#include "ml/models.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smart::ml {
+namespace {
+
+Matrix random_tensors(std::size_t n, std::size_t cols, std::uint64_t seed) {
+  Matrix m(n, cols);
+  util::Rng rng(seed);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = rng.bernoulli(0.3) ? 1.0f : 0.0f;
+    }
+  }
+  return m;
+}
+
+TEST(Models, ConvNetClassifiesTensorDensity) {
+  // Synthetic task: label = 1 if the 9x9 binary tensor has > 24 set cells.
+  const std::size_t n = 240;
+  Matrix x = random_tensors(n, 81, 31);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    float sum = 0.0f;
+    for (float v : x.row(i)) sum += v;
+    labels[i] = sum > 24.0f ? 1 : 0;
+  }
+  util::Rng rng(32);
+  TrainConfig tc;
+  tc.epochs = 30;
+  tc.batch_size = 32;
+  NnClassifier clf(make_convnet(2, 4, 2, rng), tc);
+  clf.fit(x, labels);
+  const auto pred = clf.predict(x);
+  int hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pred[i] == labels[i]) ++hits;
+  }
+  EXPECT_GT(hits, static_cast<int>(0.85 * n));
+}
+
+TEST(Models, FcNetTrains) {
+  const std::size_t n = 200;
+  Matrix x = random_tensors(n, 20, 33);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = x.at(i, 0) > 0.5f ? 1 : 0;
+  }
+  util::Rng rng(34);
+  TrainConfig tc;
+  tc.epochs = 25;
+  NnClassifier clf(make_fcnet(20, 2, 2, 32, rng), tc);
+  const double loss = clf.fit(x, labels);
+  EXPECT_LT(loss, 0.3);
+}
+
+TEST(Models, MlpRegressesLinearTarget) {
+  const std::size_t n = 300;
+  util::Rng data_rng(35);
+  Matrix x(n, 4);
+  std::vector<float> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      x.at(i, c) = static_cast<float>(data_rng.uniform(0.0, 1.0));
+    }
+    y[i] = 2.0f * x.at(i, 0) - x.at(i, 2);
+  }
+  util::Rng rng(36);
+  TrainConfig tc;
+  tc.epochs = 60;
+  tc.batch_size = 32;
+  tc.learning_rate = 3e-3;
+  NnRegressor model(make_mlp(4, 2, 32, rng), tc);
+  model.fit(x, y);
+  const auto preds = model.predict(x);
+  double sse = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sse += (preds[i] - y[i]) * (preds[i] - y[i]);
+  }
+  EXPECT_LT(sse / static_cast<double>(n), 0.02);
+}
+
+TEST(Models, ConvMlpUsesBothBranches) {
+  // Target depends on tensor density AND an auxiliary feature; the joint
+  // model must beat a constant predictor by a wide margin.
+  const std::size_t n = 200;
+  Matrix tensors = random_tensors(n, 81, 37);
+  util::Rng data_rng(38);
+  Matrix aux(n, 3);
+  std::vector<float> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    float density = 0.0f;
+    for (float v : tensors.row(i)) density += v;
+    density /= 81.0f;
+    for (std::size_t c = 0; c < 3; ++c) {
+      aux.at(i, c) = static_cast<float>(data_rng.uniform(0.0, 1.0));
+    }
+    y[i] = density + aux.at(i, 1);
+  }
+  TrainConfig tc;
+  tc.epochs = 40;
+  tc.batch_size = 32;
+  tc.learning_rate = 2e-3;
+  ConvMlpRegressor model(2, 4, 3, tc);
+  model.fit(tensors, aux, y);
+  const auto preds = model.predict(tensors, aux);
+  double sse = 0.0;
+  double mean = 0.0;
+  for (float v : y) mean += v;
+  mean /= static_cast<double>(n);
+  double variance = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sse += (preds[i] - y[i]) * (preds[i] - y[i]);
+    variance += (y[i] - mean) * (y[i] - mean);
+  }
+  EXPECT_LT(sse, 0.4 * variance);
+}
+
+TEST(Models, BuildersValidateArguments) {
+  util::Rng rng(39);
+  EXPECT_THROW(make_fcnet(10, 2, 0, 8, rng), std::invalid_argument);
+  EXPECT_THROW(make_mlp(10, 0, 8, rng), std::invalid_argument);
+  EXPECT_THROW(make_conv_trunk(4, 4, 2, 2, rng), std::invalid_argument);
+}
+
+TEST(Models, FitValidatesShapes) {
+  util::Rng rng(40);
+  TrainConfig tc;
+  NnClassifier clf(make_fcnet(4, 2, 1, 8, rng), tc);
+  const Matrix x(3, 4, 0.0f);
+  EXPECT_THROW(clf.fit(x, std::vector<int>{0, 1}), std::invalid_argument);
+  NnRegressor reg(make_mlp(4, 1, 8, rng), tc);
+  EXPECT_THROW(reg.fit(x, std::vector<float>{0.0f}), std::invalid_argument);
+}
+
+TEST(Models, Conv3dTrunkShapes) {
+  util::Rng rng(41);
+  Sequential trunk = make_conv_trunk(3, 4, 2, 3, rng);
+  const Matrix x = random_tensors(2, 729, 42);
+  const Matrix out = trunk.forward(x);
+  EXPECT_EQ(out.cols(), 3u * 125u);  // 5^3 x channels2
+}
+
+}  // namespace
+}  // namespace smart::ml

@@ -1,0 +1,206 @@
+#include "ml/nn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace smart::ml {
+namespace {
+
+/// Numerical gradient check: perturb each input element and compare the
+/// analytic input gradient of sum(output * probe) against finite
+/// differences.
+void check_input_gradient(Layer& layer, const Matrix& x, double tol) {
+  Matrix out = layer.forward(x);
+  Matrix probe(out.rows(), out.cols());
+  util::Rng rng(99);
+  for (std::size_t r = 0; r < probe.rows(); ++r) {
+    for (std::size_t c = 0; c < probe.cols(); ++c) {
+      probe.at(r, c) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+  }
+  const Matrix grad_in = layer.backward(probe);
+
+  auto objective = [&](const Matrix& input) {
+    Matrix o = layer.forward(input);
+    double acc = 0.0;
+    for (std::size_t r = 0; r < o.rows(); ++r) {
+      for (std::size_t c = 0; c < o.cols(); ++c) {
+        acc += static_cast<double>(o.at(r, c)) * probe.at(r, c);
+      }
+    }
+    return acc;
+  };
+
+  const float eps = 1e-2f;
+  util::Rng pick(7);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto r = static_cast<std::size_t>(pick.uniform_int(0, static_cast<std::int64_t>(x.rows()) - 1));
+    const auto c = static_cast<std::size_t>(pick.uniform_int(0, static_cast<std::int64_t>(x.cols()) - 1));
+    Matrix plus = x;
+    Matrix minus = x;
+    plus.at(r, c) += eps;
+    minus.at(r, c) -= eps;
+    const double numeric = (objective(plus) - objective(minus)) / (2.0 * eps);
+    EXPECT_NEAR(grad_in.at(r, c), numeric, tol)
+        << "at (" << r << "," << c << ")";
+  }
+  layer.forward(x);  // restore caches
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  util::Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+  }
+  return m;
+}
+
+TEST(Dense, GradientCheck) {
+  util::Rng rng(1);
+  Dense layer(6, 4, rng);
+  check_input_gradient(layer, random_matrix(3, 6, 11), 2e-3);
+}
+
+TEST(Conv2D, GradientCheck) {
+  util::Rng rng(2);
+  Conv2D layer(2, 3, 5, 5, 3, rng);
+  check_input_gradient(layer, random_matrix(2, 2 * 5 * 5, 12), 2e-3);
+}
+
+TEST(Conv3D, GradientCheck) {
+  util::Rng rng(3);
+  Conv3D layer(1, 2, 4, 4, 4, 3, rng);
+  check_input_gradient(layer, random_matrix(2, 64, 13), 2e-3);
+}
+
+TEST(Conv2D, OutputShape) {
+  util::Rng rng(4);
+  Conv2D layer(1, 8, 9, 9, 3, rng);
+  const Matrix out = layer.forward(random_matrix(5, 81, 14));
+  EXPECT_EQ(out.rows(), 5u);
+  EXPECT_EQ(out.cols(), 8u * 7u * 7u);
+  EXPECT_EQ(layer.output_size(81), 8u * 49u);
+}
+
+TEST(Conv3D, OutputShape) {
+  util::Rng rng(5);
+  Conv3D layer(1, 4, 9, 9, 9, 3, rng);
+  const Matrix out = layer.forward(random_matrix(2, 729, 15));
+  EXPECT_EQ(out.cols(), 4u * 343u);
+}
+
+TEST(Conv2D, RejectsTooSmallInput) {
+  util::Rng rng(6);
+  EXPECT_THROW(Conv2D(1, 1, 2, 2, 3, rng), std::invalid_argument);
+}
+
+TEST(ReLU, ForwardBackward) {
+  ReLU relu;
+  const Matrix x = Matrix::from_rows({{-1.0f, 2.0f, 0.0f}});
+  const Matrix y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2.0f);
+  const Matrix g = relu.backward(Matrix::from_rows({{5.0f, 5.0f, 5.0f}}));
+  EXPECT_FLOAT_EQ(g.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(g.at(0, 1), 5.0f);
+  EXPECT_FLOAT_EQ(g.at(0, 2), 0.0f);  // not strictly positive
+}
+
+TEST(SoftmaxCe, LossAndGradient) {
+  const Matrix logits = Matrix::from_rows({{2.0f, 0.0f}, {0.0f, 3.0f}});
+  const std::vector<int> labels{0, 1};
+  Matrix grad;
+  const double loss = softmax_ce_loss(logits, labels, grad);
+  EXPECT_GT(loss, 0.0);
+  // Per-row gradients sum to zero.
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_NEAR(grad.at(r, 0) + grad.at(r, 1), 0.0, 1e-6);
+  }
+  // Correct-class gradient is negative.
+  EXPECT_LT(grad.at(0, 0), 0.0f);
+  EXPECT_LT(grad.at(1, 1), 0.0f);
+}
+
+TEST(SoftmaxCe, PerfectPredictionLowLoss) {
+  const Matrix logits = Matrix::from_rows({{20.0f, 0.0f}});
+  const std::vector<int> labels{0};
+  Matrix grad;
+  EXPECT_LT(softmax_ce_loss(logits, labels, grad), 1e-6);
+}
+
+TEST(MseLoss, ValueAndGradient) {
+  const Matrix preds = Matrix::from_rows({{3.0f}, {1.0f}});
+  const std::vector<float> targets{1.0f, 1.0f};
+  Matrix grad;
+  const double loss = mse_loss(preds, targets, grad);
+  EXPECT_NEAR(loss, 2.0, 1e-6);  // ((3-1)^2 + 0)/2
+  EXPECT_NEAR(grad.at(0, 0), 2.0, 1e-6);
+  EXPECT_NEAR(grad.at(1, 0), 0.0, 1e-6);
+}
+
+TEST(ArgmaxRows, PicksLargest) {
+  const Matrix logits = Matrix::from_rows({{0.1f, 0.9f}, {5.0f, -1.0f}});
+  const auto picks = argmax_rows(logits);
+  EXPECT_EQ(picks[0], 1);
+  EXPECT_EQ(picks[1], 0);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize ||w||^2 by feeding grad = 2w.
+  Matrix w(1, 4, 1.0f);
+  Matrix g(1, 4);
+  std::vector<ParamRef> params{{&w, &g}};
+  Adam opt(0.1);
+  for (int i = 0; i < 200; ++i) {
+    for (std::size_t c = 0; c < 4; ++c) g.at(0, c) = 2.0f * w.at(0, c);
+    opt.step(params);
+  }
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_NEAR(w.at(0, c), 0.0f, 1e-2);
+}
+
+TEST(Adam, ZeroesGradients) {
+  Matrix w(1, 2, 1.0f);
+  Matrix g(1, 2, 3.0f);
+  std::vector<ParamRef> params{{&w, &g}};
+  Adam opt(0.01);
+  opt.step(params);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 0.0f);
+}
+
+TEST(Sequential, TrainsTwoMoonsLikeProblem) {
+  // Two classes separated by sign(x0 * x1): needs a hidden layer.
+  util::Rng rng(20);
+  const std::size_t n = 400;
+  Matrix x = random_matrix(n, 2, 21);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = x.at(i, 0) * x.at(i, 1) > 0.0f ? 1 : 0;
+  }
+  Sequential net;
+  net.add(std::make_unique<Dense>(2, 16, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Dense>(16, 2, rng));
+  auto params = net.params();
+  Adam opt(0.02);
+  for (int epoch = 0; epoch < 300; ++epoch) {
+    const Matrix logits = net.forward(x);
+    Matrix grad;
+    softmax_ce_loss(logits, labels, grad);
+    net.backward(grad);
+    opt.step(params);
+  }
+  const auto pred = argmax_rows(net.forward(x));
+  int hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pred[i] == labels[i]) ++hits;
+  }
+  EXPECT_GT(hits, static_cast<int>(0.9 * n));
+}
+
+}  // namespace
+}  // namespace smart::ml

@@ -1,0 +1,117 @@
+#include "ml/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace smart::ml {
+namespace {
+
+Matrix step_features(std::size_t n, util::Rng& rng) {
+  Matrix x(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    x.at(i, 1) = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return x;
+}
+
+TEST(FeatureBinner, BinsAreMonotone) {
+  util::Rng rng(1);
+  const Matrix x = step_features(200, rng);
+  FeatureBinner binner;
+  binner.fit(x);
+  EXPECT_EQ(binner.num_features(), 2u);
+  int prev = -1;
+  for (float v = -1.0f; v <= 1.0f; v += 0.05f) {
+    const int b = binner.bin_of(0, v);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(FeatureBinner, RejectsBadBins) {
+  FeatureBinner binner;
+  EXPECT_THROW(binner.fit(Matrix(4, 1, 0.0f), 1), std::invalid_argument);
+  EXPECT_THROW(binner.fit(Matrix(4, 1, 0.0f), 100), std::invalid_argument);
+}
+
+TEST(FeatureBinner, BinMatrixWidthMismatch) {
+  FeatureBinner binner;
+  binner.fit(Matrix(4, 2, 0.0f));
+  EXPECT_THROW(binner.bin_matrix(Matrix(4, 3, 0.0f)), std::invalid_argument);
+}
+
+TEST(RegressionTree, LearnsStepFunction) {
+  util::Rng rng(2);
+  const std::size_t n = 400;
+  const Matrix x = step_features(n, rng);
+  // Residual-fitting setup: target = step(x0), initial prediction 0, so the
+  // gradient is -target.
+  std::vector<double> g(n);
+  std::vector<double> h(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    g[i] = -(x.at(i, 0) > 0.2f ? 5.0 : -5.0);
+  }
+  FeatureBinner binner;
+  binner.fit(x);
+  const auto binned = binner.bin_matrix(x);
+  std::vector<std::size_t> rows(n);
+  for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+  RegressionTree tree;
+  TreeParams params;
+  params.max_depth = 3;
+  tree.fit(x, binned, binner, g, h, rows, params);
+  EXPECT_GT(tree.num_nodes(), 1u);
+  int correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pred = tree.predict_row(x.row(i));
+    const double want = x.at(i, 0) > 0.2f ? 5.0 : -5.0;
+    if (std::abs(pred - want) < 1.0) ++correct;
+  }
+  EXPECT_GT(correct, static_cast<int>(0.95 * n));
+}
+
+TEST(RegressionTree, RespectsDepthLimit) {
+  util::Rng rng(3);
+  const std::size_t n = 300;
+  const Matrix x = step_features(n, rng);
+  std::vector<double> g(n);
+  std::vector<double> h(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) g[i] = rng.uniform(-1.0, 1.0);
+  FeatureBinner binner;
+  binner.fit(x);
+  const auto binned = binner.bin_matrix(x);
+  std::vector<std::size_t> rows(n);
+  for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+  RegressionTree tree;
+  TreeParams params;
+  params.max_depth = 2;
+  tree.fit(x, binned, binner, g, h, rows, params);
+  EXPECT_LE(tree.depth(), 2);
+}
+
+TEST(RegressionTree, PureLeafWhenTooFewSamples) {
+  util::Rng rng(4);
+  const Matrix x = step_features(6, rng);
+  std::vector<double> g{1.0, -1.0, 1.0, -1.0, 1.0, -1.0};
+  std::vector<double> h(6, 1.0);
+  FeatureBinner binner;
+  binner.fit(x);
+  const auto binned = binner.bin_matrix(x);
+  std::vector<std::size_t> rows{0, 1, 2, 3, 4, 5};
+  RegressionTree tree;
+  TreeParams params;
+  params.min_samples_leaf = 10;  // cannot split 6 rows
+  tree.fit(x, binned, binner, g, h, rows, params);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+}
+
+TEST(RegressionTree, EmptyTreePredictsZero) {
+  RegressionTree tree;
+  const std::vector<float> features{1.0f};
+  EXPECT_DOUBLE_EQ(tree.predict_row(features), 0.0);
+}
+
+}  // namespace
+}  // namespace smart::ml

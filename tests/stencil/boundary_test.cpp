@@ -1,0 +1,122 @@
+// Tests for the boundary-condition extension (the paper's future work):
+// periodic executors must agree with each other bitwise, conserve constant
+// fields under smoothing stencils, and differ from Dirichlet at the edges.
+#include <gtest/gtest.h>
+
+#include "gpusim/cost_model.hpp"
+#include "stencil/generator.hpp"
+#include "stencil/reference.hpp"
+
+namespace smart::stencil {
+namespace {
+
+Grid random_grid(int nx, int ny, int nz, int halo, std::uint64_t seed) {
+  Grid g(nx, ny, nz, halo);
+  util::Rng rng(seed);
+  g.fill([&rng](int, int, int) { return rng.uniform(-1.0, 1.0); });
+  return g;
+}
+
+TEST(Boundary, ToString) {
+  EXPECT_EQ(to_string(Boundary::kDirichletZero), "dirichlet0");
+  EXPECT_EQ(to_string(Boundary::kPeriodic), "periodic");
+}
+
+TEST(Boundary, PeriodicConservesConstantField) {
+  // With weights summing to 1 and wrap-around reads, a constant field is a
+  // fixed point; with Dirichlet-zero it decays at the borders.
+  const auto p = make_box(2, 1);
+  const auto w = uniform_weights(p);
+  Grid g(12, 12, 1, 1);
+  g.fill([](int, int, int) { return 3.5; });
+
+  const Grid periodic = run_naive({p, w, Boundary::kPeriodic}, g, 5);
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      EXPECT_DOUBLE_EQ(periodic.at(i, j), 3.5);
+    }
+  }
+  const Grid dirichlet = run_naive({p, w, Boundary::kDirichletZero}, g, 5);
+  EXPECT_LT(dirichlet.at(0, 0), 3.5);
+}
+
+TEST(Boundary, PeriodicWrapsReads) {
+  // One step of an east-shift stencil {(1,0)}: out(i,j) = in(i+1,j), so the
+  // last column must read the first one under periodic wrap.
+  const StencilPattern p(2, {Point(1, 0)});
+  const std::vector<double> w{0.0, 1.0};  // centre weight 0, neighbour 1
+  Grid g(5, 5, 1, 1);
+  g.fill([](int i, int j, int) { return 10.0 * i + j; });
+  const Grid out = run_naive({p, w, Boundary::kPeriodic}, g, 1);
+  EXPECT_DOUBLE_EQ(out.at(4, 2), g.at(0, 2));  // wrapped
+  EXPECT_DOUBLE_EQ(out.at(1, 2), g.at(2, 2));  // interior unchanged rule
+}
+
+struct PeriodicCase {
+  int dims;
+  int order;
+  int steps;
+  int time_block;
+};
+
+class PeriodicEquivalence : public ::testing::TestWithParam<PeriodicCase> {};
+
+TEST_P(PeriodicEquivalence, TiledAndTemporalMatchNaive) {
+  const auto c = GetParam();
+  GeneratorConfig config;
+  config.dims = c.dims;
+  config.order = c.order;
+  const RandomStencilGenerator gen(config);
+  util::Rng rng(c.dims * 77 + c.order);
+  const StencilPattern p = gen.generate(rng);
+  const auto w = uniform_weights(p);
+  const int nz = c.dims == 3 ? 9 : 1;
+  const Grid g = random_grid(15, 11, nz, p.order(), 321);
+
+  const StencilOp op{p, w, Boundary::kPeriodic};
+  const Grid naive = run_naive(op, g, c.steps);
+  const Grid tiled = run_tiled(op, g, c.steps, 6, 5, 3);
+  EXPECT_DOUBLE_EQ(Grid::max_abs_diff(naive, tiled), 0.0);
+  const Grid tb =
+      run_temporal_blocked(op, g, c.steps, 6, 5, 3, c.time_block);
+  EXPECT_DOUBLE_EQ(Grid::max_abs_diff(naive, tb), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PeriodicEquivalence,
+    ::testing::Values(PeriodicCase{2, 1, 3, 2}, PeriodicCase{2, 2, 2, 2},
+                      PeriodicCase{2, 3, 4, 3}, PeriodicCase{3, 1, 2, 2},
+                      PeriodicCase{3, 2, 3, 2}),
+    [](const auto& info) {
+      const auto& c = info.param;
+      return std::to_string(c.dims) + "d" + std::to_string(c.order) + "r_s" +
+             std::to_string(c.steps) + "_tb" + std::to_string(c.time_block);
+    });
+
+TEST(Boundary, PeriodicCostsMoreInTheModel) {
+  const gpusim::KernelCostModel model;
+  const auto p = make_star(2, 2);
+  gpusim::ParamSetting s;
+  auto dirichlet = gpusim::ProblemSize::paper_default(2);
+  auto periodic = dirichlet;
+  periodic.boundary = Boundary::kPeriodic;
+  const auto& gpu = gpusim::gpu_by_name("V100");
+  const auto a = model.evaluate(p, dirichlet, {}, s, gpu);
+  const auto b = model.evaluate(p, periodic, {}, s, gpu);
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_GT(b.time_ms, a.time_ms);
+  EXPECT_GT(b.dram_traffic_bytes, a.dram_traffic_bytes);
+}
+
+TEST(Boundary, ProblemFeatureVector) {
+  auto prob = gpusim::ProblemSize::paper_default(3);
+  auto f = prob.feature_vector();
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_DOUBLE_EQ(f[0], 9.0);  // log2(512)
+  EXPECT_DOUBLE_EQ(f[3], 0.0);
+  prob.boundary = Boundary::kPeriodic;
+  EXPECT_DOUBLE_EQ(prob.feature_vector()[3], 1.0);
+}
+
+}  // namespace
+}  // namespace smart::stencil

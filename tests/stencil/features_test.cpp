@@ -1,0 +1,85 @@
+#include "stencil/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stencil/generator.hpp"
+
+namespace smart::stencil {
+namespace {
+
+TEST(Features, TableIIValuesForStar2d1r) {
+  const auto f = extract_features(make_star(2, 1), 4);
+  EXPECT_EQ(f.dims, 2);
+  EXPECT_EQ(f.order, 1);
+  EXPECT_EQ(f.nnz, 5);
+  EXPECT_NEAR(f.sparsity, 5.0 / 81.0, 1e-12);
+  EXPECT_EQ(f.nnz_per_order[0], 4);
+  EXPECT_EQ(f.nnz_per_order[1], 0);
+  EXPECT_NEAR(f.ratio_per_order[0], 4.0 / 5.0, 1e-12);
+}
+
+TEST(Features, RejectsOrderOverflow) {
+  EXPECT_THROW(extract_features(make_star(2, 3), 2), std::invalid_argument);
+}
+
+TEST(Features, VectorLayout) {
+  const auto f = extract_features(make_box(2, 2), 4);
+  const auto v = f.to_vector();
+  // order, nnz, sparsity + 4 counts + 4 ratios
+  EXPECT_EQ(v.size(), 11u);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  EXPECT_DOUBLE_EQ(v[1], 25.0);
+  const auto with_dims = f.to_vector(true);
+  EXPECT_EQ(with_dims.size(), 12u);
+  EXPECT_DOUBLE_EQ(with_dims[0], 2.0);
+}
+
+TEST(Features, NamesAlignWithVector) {
+  const auto names = FeatureSet::names(4);
+  EXPECT_EQ(names.size(), 11u);
+  EXPECT_EQ(names[0], "order");
+  EXPECT_EQ(names[3], "nnz_order-1");
+  EXPECT_EQ(names[7], "nnzRatio_order-1");
+  const auto with_dims = FeatureSet::names(4, true);
+  EXPECT_EQ(with_dims.front(), "dims");
+  EXPECT_EQ(with_dims.size(), 12u);
+}
+
+class FeatureInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeatureInvariants, CountsAndRatiosConsistent) {
+  const int dims = GetParam();
+  GeneratorConfig config;
+  config.dims = dims;
+  config.order = 4;
+  const RandomStencilGenerator gen(config);
+  util::Rng rng(77 + dims);
+  for (int i = 0; i < 30; ++i) {
+    const StencilPattern p = gen.generate(rng);
+    const auto f = extract_features(p, 4);
+    int total = 1;  // centre
+    double ratio_total = 0.0;
+    for (int n = 1; n <= 4; ++n) {
+      total += f.nnz_per_order[static_cast<std::size_t>(n - 1)];
+      ratio_total += f.ratio_per_order[static_cast<std::size_t>(n - 1)];
+    }
+    EXPECT_EQ(total, f.nnz);
+    EXPECT_NEAR(ratio_total, static_cast<double>(f.nnz - 1) / f.nnz, 1e-9);
+    double volume = dims == 2 ? 81.0 : 729.0;
+    EXPECT_NEAR(f.sparsity, f.nnz / volume, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, FeatureInvariants, ::testing::Values(2, 3));
+
+TEST(Features, GalleryFeaturesSane) {
+  for (const auto& p : representative_gallery()) {
+    const auto f = extract_features(p, 4);
+    EXPECT_GT(f.sparsity, 0.0);
+    EXPECT_LE(f.sparsity, 1.0);
+    EXPECT_EQ(f.order, p.order());
+  }
+}
+
+}  // namespace
+}  // namespace smart::stencil

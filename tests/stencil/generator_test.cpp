@@ -1,0 +1,129 @@
+#include "stencil/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace smart::stencil {
+namespace {
+
+/// The Algorithm 1 invariant: every order-k point (k >= 1) is a Moore
+/// neighbour of a selected point of order k-1.
+bool satisfies_neighbour_chain(const StencilPattern& p) {
+  for (const Point& q : p.offsets()) {
+    const int k = q.order();
+    if (k == 0) continue;
+    bool linked = false;
+    for (const Point& n : moore_neighbours(q, p.dims())) {
+      if (n.order() == k - 1 && p.contains(n)) {
+        linked = true;
+        break;
+      }
+    }
+    if (!linked) return false;
+  }
+  return true;
+}
+
+struct GenCase {
+  int dims;
+  int order;
+};
+
+class GeneratorInvariants : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorInvariants, ChainCentreAndOrderHold) {
+  const auto param = GetParam();
+  GeneratorConfig config;
+  config.dims = param.dims;
+  config.order = param.order;
+  const RandomStencilGenerator gen(config);
+  util::Rng rng(500 + param.dims * 100 + param.order);
+  for (int i = 0; i < 40; ++i) {
+    const StencilPattern p = gen.generate(rng);
+    EXPECT_TRUE(p.contains(Point{}));
+    EXPECT_EQ(p.dims(), param.dims);
+    EXPECT_LE(p.order(), param.order);
+    EXPECT_EQ(p.order(), param.order)
+        << "force_full_order should reach the target order";
+    EXPECT_TRUE(satisfies_neighbour_chain(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DimsOrders, GeneratorInvariants,
+                         ::testing::Values(GenCase{2, 1}, GenCase{2, 2},
+                                           GenCase{2, 3}, GenCase{2, 4},
+                                           GenCase{3, 1}, GenCase{3, 2},
+                                           GenCase{3, 3}, GenCase{3, 4}),
+                         [](const auto& info) {
+                           return std::to_string(info.param.dims) + "d" +
+                                  std::to_string(info.param.order) + "r";
+                         });
+
+TEST(Generator, DeterministicGivenSeed) {
+  GeneratorConfig config;
+  config.dims = 2;
+  config.order = 3;
+  const RandomStencilGenerator gen(config);
+  util::Rng a(42);
+  util::Rng b(42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(gen.generate(a), gen.generate(b));
+  }
+}
+
+TEST(Generator, RejectsBadConfig) {
+  GeneratorConfig bad_dims;
+  bad_dims.dims = 1;
+  EXPECT_THROW(RandomStencilGenerator{bad_dims}, std::invalid_argument);
+  GeneratorConfig bad_order;
+  bad_order.order = 0;
+  EXPECT_THROW(RandomStencilGenerator{bad_order}, std::invalid_argument);
+  GeneratorConfig bad_prob;
+  bad_prob.keep_prob = 0.0;
+  EXPECT_THROW(RandomStencilGenerator{bad_prob}, std::invalid_argument);
+}
+
+TEST(Generator, BatchIsDeduplicated) {
+  GeneratorConfig config;
+  config.dims = 2;
+  config.order = 4;
+  const RandomStencilGenerator gen(config);
+  util::Rng rng(9);
+  const auto batch = gen.generate_batch(rng, 50);
+  EXPECT_EQ(batch.size(), 50u);
+  std::unordered_set<std::uint64_t> hashes;
+  for (const auto& p : batch) hashes.insert(p.hash());
+  EXPECT_EQ(hashes.size(), 50u);
+}
+
+TEST(Generator, ProducesDiverseShapes) {
+  GeneratorConfig config;
+  config.dims = 2;
+  config.order = 2;
+  const RandomStencilGenerator gen(config);
+  util::Rng rng(33);
+  std::set<int> sizes;
+  for (int i = 0; i < 60; ++i) sizes.insert(gen.generate(rng).size());
+  EXPECT_GT(sizes.size(), 5u);
+}
+
+TEST(Generator, WithoutForceFullOrderMayStopEarly) {
+  GeneratorConfig config;
+  config.dims = 2;
+  config.order = 4;
+  config.keep_prob = 0.05;
+  config.force_full_order = false;
+  config.max_attempts = 1;
+  const RandomStencilGenerator gen(config);
+  util::Rng rng(11);
+  bool saw_partial = false;
+  for (int i = 0; i < 60 && !saw_partial; ++i) {
+    saw_partial = gen.generate(rng).order() < 4;
+  }
+  EXPECT_TRUE(saw_partial);
+}
+
+}  // namespace
+}  // namespace smart::stencil

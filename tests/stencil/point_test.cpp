@@ -1,0 +1,93 @@
+#include "stencil/point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace smart::stencil {
+namespace {
+
+TEST(Point, OrderIsChebyshev) {
+  EXPECT_EQ(Point(0, 0).order(), 0);
+  EXPECT_EQ(Point(2, -1).order(), 2);
+  EXPECT_EQ(Point(1, 1, -3).order(), 3);
+}
+
+TEST(Point, Manhattan) {
+  EXPECT_EQ(Point(2, -1).manhattan(), 3);
+  EXPECT_EQ(Point(1, 1, 1).manhattan(), 3);
+}
+
+TEST(Point, OnAxis) {
+  EXPECT_TRUE(Point(0, 0).on_axis());
+  EXPECT_TRUE(Point(3, 0).on_axis());
+  EXPECT_TRUE(Point(0, 0, -2).on_axis());
+  EXPECT_FALSE(Point(1, 1).on_axis());
+}
+
+TEST(Point, OnDiagonal2D) {
+  EXPECT_TRUE(Point(2, -2).on_diagonal(2));
+  EXPECT_FALSE(Point(2, -1).on_diagonal(2));
+  EXPECT_FALSE(Point(2, 0).on_diagonal(2));
+}
+
+TEST(Point, OnDiagonal3D) {
+  EXPECT_TRUE(Point(1, -1, 1).on_diagonal(3));
+  EXPECT_FALSE(Point(1, -1, 0).on_diagonal(3));
+  EXPECT_FALSE(Point(1, -1, 2).on_diagonal(3));
+}
+
+TEST(Point, IsCentre) {
+  EXPECT_TRUE(Point().is_centre());
+  EXPECT_FALSE(Point(0, 1).is_centre());
+}
+
+TEST(Point, Ordering) {
+  EXPECT_LT(Point(-1, 0), Point(0, 0));
+  EXPECT_EQ(Point(1, 2), Point(1, 2));
+}
+
+TEST(Point, ToString) {
+  EXPECT_EQ(Point(1, -2).to_string(2), "(1,-2)");
+  EXPECT_EQ(Point(1, -2, 3).to_string(3), "(1,-2,3)");
+}
+
+TEST(MooreNeighbours, Count2D) {
+  EXPECT_EQ(moore_neighbours(Point(), 2).size(), 8u);
+}
+
+TEST(MooreNeighbours, Count3D) {
+  EXPECT_EQ(moore_neighbours(Point(), 3).size(), 26u);
+}
+
+TEST(MooreNeighbours, AllAtChebyshevOne) {
+  const Point centre(2, -1, 0);
+  for (const Point& q : moore_neighbours(centre, 3)) {
+    int max_delta = 0;
+    for (int a = 0; a < 3; ++a) {
+      max_delta = std::max(max_delta, std::abs(q[a] - centre[a]));
+    }
+    EXPECT_EQ(max_delta, 1);
+  }
+}
+
+TEST(MooreNeighbours, Distinct) {
+  const auto ns = moore_neighbours(Point(0, 0, 0), 3);
+  std::set<Point> unique(ns.begin(), ns.end());
+  EXPECT_EQ(unique.size(), ns.size());
+}
+
+TEST(MooreNeighbours, ZStaysZeroIn2D) {
+  for (const Point& q : moore_neighbours(Point(5, 5), 2)) {
+    EXPECT_EQ(q[2], 0);
+  }
+}
+
+TEST(PointHash, DistinguishesPoints) {
+  PointHash h;
+  EXPECT_NE(h(Point(1, 0)), h(Point(0, 1)));
+  EXPECT_EQ(h(Point(1, 2)), h(Point(1, 2)));
+}
+
+}  // namespace
+}  // namespace smart::stencil

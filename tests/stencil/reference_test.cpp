@@ -1,0 +1,173 @@
+#include "stencil/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stencil/generator.hpp"
+
+namespace smart::stencil {
+namespace {
+
+Grid random_grid(int nx, int ny, int nz, int halo, std::uint64_t seed) {
+  Grid g(nx, ny, nz, halo);
+  util::Rng rng(seed);
+  g.fill([&rng](int, int, int) { return rng.uniform(-1.0, 1.0); });
+  return g;
+}
+
+TEST(Grid, HaloReadsAreZero) {
+  Grid g(4, 4, 1, 2);
+  g.fill([](int, int, int) { return 1.0; });
+  EXPECT_DOUBLE_EQ(g.at(-1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(g.at(4, 3), 0.0);
+  EXPECT_DOUBLE_EQ(g.at(0, -2), 0.0);
+}
+
+TEST(Grid, RejectsBadShape) {
+  EXPECT_THROW(Grid(0, 1, 1, 0), std::invalid_argument);
+  EXPECT_THROW(Grid(1, 1, 1, -1), std::invalid_argument);
+}
+
+TEST(Grid, MaxAbsDiffShapeMismatch) {
+  Grid a(2, 2, 1, 0);
+  Grid b(3, 2, 1, 0);
+  EXPECT_THROW(Grid::max_abs_diff(a, b), std::invalid_argument);
+}
+
+TEST(Reference, UniformWeightsSumToOne) {
+  const auto p = make_box(2, 2);
+  const auto w = uniform_weights(p);
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_EQ(static_cast<int>(w.size()), p.size());
+}
+
+TEST(Reference, ValidatesHalo) {
+  const auto p = make_star(2, 3);
+  const auto w = uniform_weights(p);
+  Grid g(8, 8, 1, 1);  // halo 1 < order 3
+  EXPECT_THROW(run_naive({p, w}, g, 1), std::invalid_argument);
+}
+
+TEST(Reference, ValidatesWeightSize) {
+  const auto p = make_star(2, 1);
+  const std::vector<double> w{1.0};
+  Grid g(8, 8, 1, 1);
+  EXPECT_THROW(run_naive({p, w}, g, 1), std::invalid_argument);
+}
+
+TEST(Reference, ValidatesDimsMatch) {
+  const auto p = make_star(3, 1);
+  const auto w = uniform_weights(p);
+  Grid g = Grid::make_2d(8, 8, 1);
+  EXPECT_THROW(run_naive({p, w}, g, 1), std::invalid_argument);
+}
+
+TEST(Reference, IdentityStencilPreservesGrid) {
+  // A pattern of just the centre with weight 1 is the identity.
+  const StencilPattern p(2, {});
+  const std::vector<double> w{1.0};
+  const Grid g = random_grid(6, 6, 1, 1, 42);
+  const Grid out = run_naive({p, w}, g, 3);
+  EXPECT_DOUBLE_EQ(Grid::max_abs_diff(g, out), 0.0);
+}
+
+TEST(Reference, SmoothingContracts) {
+  const auto p = make_box(2, 1);
+  const auto w = uniform_weights(p);
+  Grid g = random_grid(16, 16, 1, 1, 7);
+  const Grid out = run_naive({p, w}, g, 5);
+  double max_in = 0.0;
+  double max_out = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      max_in = std::max(max_in, std::abs(g.at(i, j)));
+      max_out = std::max(max_out, std::abs(out.at(i, j)));
+    }
+  }
+  EXPECT_LT(max_out, max_in);
+}
+
+struct ExecCase {
+  int dims;
+  int order;
+  int steps;
+  int tile_x;
+  int tile_y;
+  int tile_z;
+  int time_block;
+};
+
+class ExecutorEquivalence : public ::testing::TestWithParam<ExecCase> {};
+
+TEST_P(ExecutorEquivalence, TiledMatchesNaiveBitwise) {
+  const auto c = GetParam();
+  GeneratorConfig config;
+  config.dims = c.dims;
+  config.order = c.order;
+  const RandomStencilGenerator gen(config);
+  util::Rng rng(c.dims * 1000 + c.order * 100 + c.steps);
+  const StencilPattern p = gen.generate(rng);
+  const auto w = uniform_weights(p);
+  const int nz = c.dims == 3 ? 10 : 1;
+  const Grid g = random_grid(17, 13, nz, p.order(), 99);
+  const Grid naive = run_naive({p, w}, g, c.steps);
+  const Grid tiled = run_tiled({p, w}, g, c.steps, c.tile_x, c.tile_y, c.tile_z);
+  EXPECT_DOUBLE_EQ(Grid::max_abs_diff(naive, tiled), 0.0);
+}
+
+TEST_P(ExecutorEquivalence, TemporalBlockedMatchesNaiveBitwise) {
+  const auto c = GetParam();
+  GeneratorConfig config;
+  config.dims = c.dims;
+  config.order = c.order;
+  const RandomStencilGenerator gen(config);
+  util::Rng rng(c.dims * 2000 + c.order * 100 + c.steps);
+  const StencilPattern p = gen.generate(rng);
+  const auto w = uniform_weights(p);
+  const int nz = c.dims == 3 ? 10 : 1;
+  const Grid g = random_grid(17, 13, nz, p.order(), 123);
+  const Grid naive = run_naive({p, w}, g, c.steps);
+  const Grid tb = run_temporal_blocked({p, w}, g, c.steps, c.tile_x, c.tile_y,
+                                       c.tile_z, c.time_block);
+  EXPECT_DOUBLE_EQ(Grid::max_abs_diff(naive, tb), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExecutorEquivalence,
+    ::testing::Values(ExecCase{2, 1, 1, 4, 4, 1, 1},
+                      ExecCase{2, 1, 4, 8, 3, 1, 2},
+                      ExecCase{2, 2, 3, 5, 7, 1, 3},
+                      ExecCase{2, 3, 2, 16, 16, 1, 2},
+                      ExecCase{2, 4, 5, 6, 6, 1, 2},
+                      ExecCase{3, 1, 2, 4, 4, 4, 2},
+                      ExecCase{3, 2, 3, 8, 8, 8, 2},
+                      ExecCase{3, 3, 2, 6, 5, 4, 2}),
+    [](const auto& info) {
+      const auto& c = info.param;
+      return std::to_string(c.dims) + "d" + std::to_string(c.order) + "r_s" +
+             std::to_string(c.steps) + "_t" + std::to_string(c.tile_x) + "x" +
+             std::to_string(c.tile_y) + "x" + std::to_string(c.tile_z) + "_tb" +
+             std::to_string(c.time_block);
+    });
+
+TEST(Reference, TemporalBlockLargerThanStepsIsClamped) {
+  const auto p = make_star(2, 1);
+  const auto w = uniform_weights(p);
+  const Grid g = random_grid(9, 9, 1, 1, 5);
+  const Grid naive = run_naive({p, w}, g, 2);
+  const Grid tb = run_temporal_blocked({p, w}, g, 2, 4, 4, 1, 8);
+  EXPECT_DOUBLE_EQ(Grid::max_abs_diff(naive, tb), 0.0);
+}
+
+TEST(Reference, RejectsBadTiles) {
+  const auto p = make_star(2, 1);
+  const auto w = uniform_weights(p);
+  const Grid g = random_grid(8, 8, 1, 1, 5);
+  EXPECT_THROW(run_tiled({p, w}, g, 1, 0, 4), std::invalid_argument);
+  EXPECT_THROW(run_temporal_blocked({p, w}, g, 1, 4, 4, 1, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smart::stencil

@@ -1,0 +1,92 @@
+#include "stencil/tensor_repr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stencil/generator.hpp"
+
+namespace smart::stencil {
+namespace {
+
+TEST(PatternTensor, BasicEmbedding2D) {
+  const PatternTensor t(make_star(2, 1), 4);
+  EXPECT_EQ(t.extent(), 9);
+  EXPECT_EQ(t.volume(), 81);
+  EXPECT_EQ(t.nnz(), 5);
+  EXPECT_TRUE(t.at(0, 0));
+  EXPECT_TRUE(t.at(1, 0));
+  EXPECT_FALSE(t.at(1, 1));
+}
+
+TEST(PatternTensor, BasicEmbedding3D) {
+  const PatternTensor t(make_star(3, 1), 4);
+  EXPECT_EQ(t.volume(), 9 * 9 * 9);
+  EXPECT_EQ(t.nnz(), 7);
+  EXPECT_TRUE(t.at(0, 0, 1));
+  EXPECT_FALSE(t.at(1, 1, 1));
+}
+
+TEST(PatternTensor, RejectsTooLargeOrder) {
+  EXPECT_THROW(PatternTensor(make_star(2, 3), 2), std::invalid_argument);
+  EXPECT_THROW(PatternTensor(make_star(2, 1), 0), std::invalid_argument);
+}
+
+TEST(PatternTensor, OutOfRangeAccess) {
+  const PatternTensor t(make_star(2, 1), 2);
+  EXPECT_THROW(t.at(3, 0), std::out_of_range);
+}
+
+TEST(PatternTensor, FloatsMatchNnz) {
+  const PatternTensor t(make_box(2, 2), 4);
+  const auto f = t.to_floats();
+  EXPECT_EQ(f.size(), 81u);
+  float sum = 0.0f;
+  for (float v : f) {
+    EXPECT_TRUE(v == 0.0f || v == 1.0f);
+    sum += v;
+  }
+  EXPECT_EQ(static_cast<int>(sum), t.nnz());
+}
+
+TEST(PatternTensor, RoundTripGallery) {
+  for (const auto& p : representative_gallery()) {
+    const PatternTensor t(p, 4);
+    EXPECT_EQ(t.to_pattern(), p) << p.name();
+  }
+}
+
+struct RoundTripCase {
+  int dims;
+  int order;
+};
+
+class TensorRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(TensorRoundTrip, RandomPatternsSurviveRoundTrip) {
+  const auto param = GetParam();
+  GeneratorConfig config;
+  config.dims = param.dims;
+  config.order = param.order;
+  const RandomStencilGenerator gen(config);
+  util::Rng rng(1000 + param.dims * 10 + param.order);
+  for (int i = 0; i < 25; ++i) {
+    const StencilPattern p = gen.generate(rng);
+    const PatternTensor t(p, 4);
+    EXPECT_EQ(t.to_pattern(), p);
+    EXPECT_EQ(t.nnz(), p.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDimsOrders, TensorRoundTrip,
+                         ::testing::Values(RoundTripCase{2, 1},
+                                           RoundTripCase{2, 2},
+                                           RoundTripCase{2, 4},
+                                           RoundTripCase{3, 1},
+                                           RoundTripCase{3, 3},
+                                           RoundTripCase{3, 4}),
+                         [](const auto& info) {
+                           return std::to_string(info.param.dims) + "d" +
+                                  std::to_string(info.param.order) + "r";
+                         });
+
+}  // namespace
+}  // namespace smart::stencil

@@ -1,0 +1,46 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace smart::util {
+namespace {
+
+TEST(Env, DoubleFallback) {
+  unsetenv("SMART_TEST_D");
+  EXPECT_DOUBLE_EQ(env_double("SMART_TEST_D", 1.5), 1.5);
+}
+
+TEST(Env, DoubleParses) {
+  setenv("SMART_TEST_D", "2.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("SMART_TEST_D", 1.5), 2.25);
+  unsetenv("SMART_TEST_D");
+}
+
+TEST(Env, DoubleGarbageFallsBack) {
+  setenv("SMART_TEST_D", "zzz", 1);
+  EXPECT_DOUBLE_EQ(env_double("SMART_TEST_D", 1.5), 1.5);
+  unsetenv("SMART_TEST_D");
+}
+
+TEST(Env, IntParses) {
+  setenv("SMART_TEST_I", "42", 1);
+  EXPECT_EQ(env_int("SMART_TEST_I", 7), 42);
+  unsetenv("SMART_TEST_I");
+}
+
+TEST(Env, IntFallback) {
+  unsetenv("SMART_TEST_I");
+  EXPECT_EQ(env_int("SMART_TEST_I", 7), 7);
+}
+
+TEST(Env, ScaledHasMinimum) {
+  EXPECT_GE(scaled(10, 3), 3);
+  EXPECT_GE(scaled(1000, 1), 1);
+}
+
+TEST(Env, ExperimentScalePositive) { EXPECT_GT(experiment_scale(), 0.0); }
+
+}  // namespace
+}  // namespace smart::util

@@ -1,0 +1,36 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace smart::util {
+namespace {
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+  std::vector<int> hits(1000, 0);
+  parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, ZeroIterationsIsNoop) {
+  std::atomic<int> calls{0};
+  parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Parallel, ThreadCountPositive) { EXPECT_GE(parallel_threads(), 1); }
+
+TEST(Parallel, DisjointWritesProduceDeterministicResult) {
+  std::vector<double> out(256);
+  parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 1.5;
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 1.5);
+  }
+}
+
+}  // namespace
+}  // namespace smart::util

@@ -1,0 +1,110 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace smart::util {
+namespace {
+
+const std::vector<double> kSimple{1.0, 2.0, 3.0, 4.0};
+
+TEST(Stats, Mean) {
+  EXPECT_DOUBLE_EQ(mean(kSimple), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, Variance) {
+  EXPECT_DOUBLE_EQ(variance(kSimple), 1.25);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Stats, Stddev) { EXPECT_NEAR(stddev(kSimple), std::sqrt(1.25), 1e-12); }
+
+TEST(Stats, Geomean) {
+  EXPECT_NEAR(geomean(std::vector<double>{1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_THROW(geomean(std::vector<double>{1.0, -1.0}), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(geomean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, MedianOdd) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Stats, MedianEven) {
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs{0.0, 10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 15.0);
+  EXPECT_THROW(percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, PearsonPerfect) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonAnti) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerate) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  const std::vector<double> ys{3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, PearsonSizeMismatch) {
+  const std::vector<double> xs{1.0};
+  const std::vector<double> ys{1.0, 2.0};
+  EXPECT_THROW(pearson(xs, ys), std::invalid_argument);
+}
+
+TEST(Stats, Mape) {
+  const std::vector<double> truth{100.0, 200.0};
+  const std::vector<double> pred{110.0, 180.0};
+  EXPECT_NEAR(mape(truth, pred), 10.0, 1e-12);
+}
+
+TEST(Stats, MapeSkipsZeroTruth) {
+  const std::vector<double> truth{0.0, 100.0};
+  const std::vector<double> pred{5.0, 150.0};
+  EXPECT_NEAR(mape(truth, pred), 50.0, 1e-12);
+}
+
+TEST(Stats, Accuracy) {
+  const std::vector<int> truth{0, 1, 2, 1};
+  const std::vector<int> pred{0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(accuracy(truth, pred), 0.75);
+}
+
+TEST(Stats, KendallTau) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> concordant{10.0, 20.0, 30.0};
+  const std::vector<double> discordant{30.0, 20.0, 10.0};
+  EXPECT_NEAR(kendall_tau(xs, concordant), 1.0, 1e-12);
+  EXPECT_NEAR(kendall_tau(xs, discordant), -1.0, 1e-12);
+}
+
+TEST(Stats, Accumulator) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  acc.add(3.0);
+  acc.add(-1.0);
+  acc.add(4.0);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.min(), -1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace smart::util

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace smart::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(1.5, 1);
+  t.row().add("b").add(20.0, 1);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("20.0"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, AddStartsRowImplicitly) {
+  Table t({"x"});
+  t.add("first");
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, IntegerFormatting) {
+  Table t({"n"});
+  t.row().add(42);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("42"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.row().add("with,comma").add("with\"quote");
+  const std::string path = testing::TempDir() + "table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string header;
+  std::string line;
+  std::getline(in, header);
+  std::getline(in, line);
+  EXPECT_EQ(header, "a,b");
+  EXPECT_EQ(line, "\"with,comma\",\"with\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(Table, CsvBadPathThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.write_csv("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace smart::util

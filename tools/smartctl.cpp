@@ -1,0 +1,16 @@
+// Thin main() around the testable CLI library (src/cli).
+#include <iostream>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    return smart::cli::run_command(smart::cli::parse_command_line(args),
+                                   std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "smartctl: " << e.what() << "\n\n" << smart::cli::usage();
+    return 1;
+  }
+}
