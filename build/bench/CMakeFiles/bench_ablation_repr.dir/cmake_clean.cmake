@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_repr.dir/bench_ablation_repr.cpp.o"
+  "CMakeFiles/bench_ablation_repr.dir/bench_ablation_repr.cpp.o.d"
+  "bench_ablation_repr"
+  "bench_ablation_repr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_repr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eventsim_crosscheck.dir/bench_eventsim_crosscheck.cpp.o"
+  "CMakeFiles/bench_eventsim_crosscheck.dir/bench_eventsim_crosscheck.cpp.o.d"
+  "bench_eventsim_crosscheck"
+  "bench_eventsim_crosscheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eventsim_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

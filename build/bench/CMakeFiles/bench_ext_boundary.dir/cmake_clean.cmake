@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_boundary.dir/bench_ext_boundary.cpp.o"
+  "CMakeFiles/bench_ext_boundary.dir/bench_ext_boundary.cpp.o.d"
+  "bench_ext_boundary"
+  "bench_ext_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_gridsize.dir/bench_ext_gridsize.cpp.o"
+  "CMakeFiles/bench_ext_gridsize.dir/bench_ext_gridsize.cpp.o.d"
+  "bench_ext_gridsize"
+  "bench_ext_gridsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_gridsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_best_oc_dist.dir/bench_fig02_best_oc_dist.cpp.o"
+  "CMakeFiles/bench_fig02_best_oc_dist.dir/bench_fig02_best_oc_dist.cpp.o.d"
+  "bench_fig02_best_oc_dist"
+  "bench_fig02_best_oc_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_best_oc_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

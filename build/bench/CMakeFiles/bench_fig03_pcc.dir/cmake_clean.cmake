@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_pcc.dir/bench_fig03_pcc.cpp.o"
+  "CMakeFiles/bench_fig03_pcc.dir/bench_fig03_pcc.cpp.o.d"
+  "bench_fig03_pcc"
+  "bench_fig03_pcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_pcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_vs_artemis.dir/bench_fig10_vs_artemis.cpp.o"
+  "CMakeFiles/bench_fig10_vs_artemis.dir/bench_fig10_vs_artemis.cpp.o.d"
+  "bench_fig10_vs_artemis"
+  "bench_fig10_vs_artemis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_vs_artemis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

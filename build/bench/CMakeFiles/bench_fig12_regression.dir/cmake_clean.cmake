@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_regression.dir/bench_fig12_regression.cpp.o"
+  "CMakeFiles/bench_fig12_regression.dir/bench_fig12_regression.cpp.o.d"
+  "bench_fig12_regression"
+  "bench_fig12_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

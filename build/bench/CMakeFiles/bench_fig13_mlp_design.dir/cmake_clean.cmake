@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_mlp_design.dir/bench_fig13_mlp_design.cpp.o"
+  "CMakeFiles/bench_fig13_mlp_design.dir/bench_fig13_mlp_design.cpp.o.d"
+  "bench_fig13_mlp_design"
+  "bench_fig13_mlp_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_mlp_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_cost_eff.dir/bench_fig15_cost_eff.cpp.o"
+  "CMakeFiles/bench_fig15_cost_eff.dir/bench_fig15_cost_eff.cpp.o.d"
+  "bench_fig15_cost_eff"
+  "bench_fig15_cost_eff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_cost_eff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_ocs.dir/bench_table1_ocs.cpp.o"
+  "CMakeFiles/bench_table1_ocs.dir/bench_table1_ocs.cpp.o.d"
+  "bench_table1_ocs"
+  "bench_table1_ocs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ocs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

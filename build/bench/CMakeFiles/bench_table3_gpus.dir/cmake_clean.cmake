@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_gpus.dir/bench_table3_gpus.cpp.o"
+  "CMakeFiles/bench_table3_gpus.dir/bench_table3_gpus.cpp.o.d"
+  "bench_table3_gpus"
+  "bench_table3_gpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_gpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tuner_strategies.dir/bench_tuner_strategies.cpp.o"
+  "CMakeFiles/bench_tuner_strategies.dir/bench_tuner_strategies.cpp.o.d"
+  "bench_tuner_strategies"
+  "bench_tuner_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tuner_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_compare.dir/autotune_compare.cpp.o"
+  "CMakeFiles/autotune_compare.dir/autotune_compare.cpp.o.d"
+  "autotune_compare"
+  "autotune_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_rental_advisor.dir/gpu_rental_advisor.cpp.o"
+  "CMakeFiles/gpu_rental_advisor.dir/gpu_rental_advisor.cpp.o.d"
+  "gpu_rental_advisor"
+  "gpu_rental_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_rental_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

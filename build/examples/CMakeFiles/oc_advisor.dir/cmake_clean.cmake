@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oc_advisor.dir/oc_advisor.cpp.o"
+  "CMakeFiles/oc_advisor.dir/oc_advisor.cpp.o.d"
+  "oc_advisor"
+  "oc_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oc_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/cli.cpp" "src/CMakeFiles/stencilmart.dir/cli/cli.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/cli/cli.cpp.o.d"
+  "/root/repo/src/codegen/cuda_codegen.cpp" "src/CMakeFiles/stencilmart.dir/codegen/cuda_codegen.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/codegen/cuda_codegen.cpp.o.d"
+  "/root/repo/src/core/advisor.cpp" "src/CMakeFiles/stencilmart.dir/core/advisor.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/core/advisor.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/CMakeFiles/stencilmart.dir/core/baselines.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/core/baselines.cpp.o.d"
+  "/root/repo/src/core/classification.cpp" "src/CMakeFiles/stencilmart.dir/core/classification.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/core/classification.cpp.o.d"
+  "/root/repo/src/core/mart.cpp" "src/CMakeFiles/stencilmart.dir/core/mart.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/core/mart.cpp.o.d"
+  "/root/repo/src/core/oc_merger.cpp" "src/CMakeFiles/stencilmart.dir/core/oc_merger.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/core/oc_merger.cpp.o.d"
+  "/root/repo/src/core/profile_dataset.cpp" "src/CMakeFiles/stencilmart.dir/core/profile_dataset.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/core/profile_dataset.cpp.o.d"
+  "/root/repo/src/core/regression.cpp" "src/CMakeFiles/stencilmart.dir/core/regression.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/core/regression.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/CMakeFiles/stencilmart.dir/core/serialize.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/core/serialize.cpp.o.d"
+  "/root/repo/src/gpusim/cost_model.cpp" "src/CMakeFiles/stencilmart.dir/gpusim/cost_model.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/gpusim/cost_model.cpp.o.d"
+  "/root/repo/src/gpusim/event_sim.cpp" "src/CMakeFiles/stencilmart.dir/gpusim/event_sim.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/gpusim/event_sim.cpp.o.d"
+  "/root/repo/src/gpusim/gpu_spec.cpp" "src/CMakeFiles/stencilmart.dir/gpusim/gpu_spec.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/gpusim/gpu_spec.cpp.o.d"
+  "/root/repo/src/gpusim/occupancy.cpp" "src/CMakeFiles/stencilmart.dir/gpusim/occupancy.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/gpusim/occupancy.cpp.o.d"
+  "/root/repo/src/gpusim/opt.cpp" "src/CMakeFiles/stencilmart.dir/gpusim/opt.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/gpusim/opt.cpp.o.d"
+  "/root/repo/src/gpusim/params.cpp" "src/CMakeFiles/stencilmart.dir/gpusim/params.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/gpusim/params.cpp.o.d"
+  "/root/repo/src/gpusim/problem.cpp" "src/CMakeFiles/stencilmart.dir/gpusim/problem.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/gpusim/problem.cpp.o.d"
+  "/root/repo/src/gpusim/simulator.cpp" "src/CMakeFiles/stencilmart.dir/gpusim/simulator.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/gpusim/simulator.cpp.o.d"
+  "/root/repo/src/gpusim/tuner.cpp" "src/CMakeFiles/stencilmart.dir/gpusim/tuner.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/gpusim/tuner.cpp.o.d"
+  "/root/repo/src/gpusim/tuner_strategies.cpp" "src/CMakeFiles/stencilmart.dir/gpusim/tuner_strategies.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/gpusim/tuner_strategies.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/CMakeFiles/stencilmart.dir/ml/dataset.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/gbdt.cpp" "src/CMakeFiles/stencilmart.dir/ml/gbdt.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/ml/gbdt.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/CMakeFiles/stencilmart.dir/ml/matrix.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/ml/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/CMakeFiles/stencilmart.dir/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/ml/metrics.cpp.o.d"
+  "/root/repo/src/ml/models.cpp" "src/CMakeFiles/stencilmart.dir/ml/models.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/ml/models.cpp.o.d"
+  "/root/repo/src/ml/nn.cpp" "src/CMakeFiles/stencilmart.dir/ml/nn.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/ml/nn.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/CMakeFiles/stencilmart.dir/ml/tree.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/ml/tree.cpp.o.d"
+  "/root/repo/src/stencil/features.cpp" "src/CMakeFiles/stencilmart.dir/stencil/features.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/stencil/features.cpp.o.d"
+  "/root/repo/src/stencil/generator.cpp" "src/CMakeFiles/stencilmart.dir/stencil/generator.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/stencil/generator.cpp.o.d"
+  "/root/repo/src/stencil/grid.cpp" "src/CMakeFiles/stencilmart.dir/stencil/grid.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/stencil/grid.cpp.o.d"
+  "/root/repo/src/stencil/pattern.cpp" "src/CMakeFiles/stencilmart.dir/stencil/pattern.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/stencil/pattern.cpp.o.d"
+  "/root/repo/src/stencil/point.cpp" "src/CMakeFiles/stencilmart.dir/stencil/point.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/stencil/point.cpp.o.d"
+  "/root/repo/src/stencil/reference.cpp" "src/CMakeFiles/stencilmart.dir/stencil/reference.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/stencil/reference.cpp.o.d"
+  "/root/repo/src/stencil/tensor_repr.cpp" "src/CMakeFiles/stencilmart.dir/stencil/tensor_repr.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/stencil/tensor_repr.cpp.o.d"
+  "/root/repo/src/util/env.cpp" "src/CMakeFiles/stencilmart.dir/util/env.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/util/env.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/stencilmart.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/stencilmart.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/stencilmart.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/stencilmart.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

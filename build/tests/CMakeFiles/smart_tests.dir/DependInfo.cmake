@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cli/cli_test.cpp" "tests/CMakeFiles/smart_tests.dir/cli/cli_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/cli/cli_test.cpp.o.d"
+  "/root/repo/tests/codegen/cuda_codegen_test.cpp" "tests/CMakeFiles/smart_tests.dir/codegen/cuda_codegen_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/codegen/cuda_codegen_test.cpp.o.d"
+  "/root/repo/tests/core/baselines_test.cpp" "tests/CMakeFiles/smart_tests.dir/core/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/core/baselines_test.cpp.o.d"
+  "/root/repo/tests/core/classification_test.cpp" "tests/CMakeFiles/smart_tests.dir/core/classification_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/core/classification_test.cpp.o.d"
+  "/root/repo/tests/core/extensions_test.cpp" "tests/CMakeFiles/smart_tests.dir/core/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/core/extensions_test.cpp.o.d"
+  "/root/repo/tests/core/facade_test.cpp" "tests/CMakeFiles/smart_tests.dir/core/facade_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/core/facade_test.cpp.o.d"
+  "/root/repo/tests/core/integration_test.cpp" "tests/CMakeFiles/smart_tests.dir/core/integration_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/core/integration_test.cpp.o.d"
+  "/root/repo/tests/core/mart_test.cpp" "tests/CMakeFiles/smart_tests.dir/core/mart_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/core/mart_test.cpp.o.d"
+  "/root/repo/tests/core/oc_merger_test.cpp" "tests/CMakeFiles/smart_tests.dir/core/oc_merger_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/core/oc_merger_test.cpp.o.d"
+  "/root/repo/tests/core/profile_dataset_test.cpp" "tests/CMakeFiles/smart_tests.dir/core/profile_dataset_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/core/profile_dataset_test.cpp.o.d"
+  "/root/repo/tests/core/regression_test.cpp" "tests/CMakeFiles/smart_tests.dir/core/regression_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/core/regression_test.cpp.o.d"
+  "/root/repo/tests/core/serialize_test.cpp" "tests/CMakeFiles/smart_tests.dir/core/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/core/serialize_test.cpp.o.d"
+  "/root/repo/tests/gpusim/cost_model_test.cpp" "tests/CMakeFiles/smart_tests.dir/gpusim/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/gpusim/cost_model_test.cpp.o.d"
+  "/root/repo/tests/gpusim/event_sim_test.cpp" "tests/CMakeFiles/smart_tests.dir/gpusim/event_sim_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/gpusim/event_sim_test.cpp.o.d"
+  "/root/repo/tests/gpusim/gpu_spec_test.cpp" "tests/CMakeFiles/smart_tests.dir/gpusim/gpu_spec_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/gpusim/gpu_spec_test.cpp.o.d"
+  "/root/repo/tests/gpusim/occupancy_test.cpp" "tests/CMakeFiles/smart_tests.dir/gpusim/occupancy_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/gpusim/occupancy_test.cpp.o.d"
+  "/root/repo/tests/gpusim/opt_test.cpp" "tests/CMakeFiles/smart_tests.dir/gpusim/opt_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/gpusim/opt_test.cpp.o.d"
+  "/root/repo/tests/gpusim/params_test.cpp" "tests/CMakeFiles/smart_tests.dir/gpusim/params_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/gpusim/params_test.cpp.o.d"
+  "/root/repo/tests/gpusim/problem_test.cpp" "tests/CMakeFiles/smart_tests.dir/gpusim/problem_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/gpusim/problem_test.cpp.o.d"
+  "/root/repo/tests/gpusim/simulator_test.cpp" "tests/CMakeFiles/smart_tests.dir/gpusim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/gpusim/simulator_test.cpp.o.d"
+  "/root/repo/tests/gpusim/tuner_strategies_test.cpp" "tests/CMakeFiles/smart_tests.dir/gpusim/tuner_strategies_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/gpusim/tuner_strategies_test.cpp.o.d"
+  "/root/repo/tests/ml/dataset_test.cpp" "tests/CMakeFiles/smart_tests.dir/ml/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/ml/dataset_test.cpp.o.d"
+  "/root/repo/tests/ml/dropout_test.cpp" "tests/CMakeFiles/smart_tests.dir/ml/dropout_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/ml/dropout_test.cpp.o.d"
+  "/root/repo/tests/ml/gbdt_test.cpp" "tests/CMakeFiles/smart_tests.dir/ml/gbdt_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/ml/gbdt_test.cpp.o.d"
+  "/root/repo/tests/ml/matrix_test.cpp" "tests/CMakeFiles/smart_tests.dir/ml/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/ml/matrix_test.cpp.o.d"
+  "/root/repo/tests/ml/metrics_test.cpp" "tests/CMakeFiles/smart_tests.dir/ml/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/ml/metrics_test.cpp.o.d"
+  "/root/repo/tests/ml/models_test.cpp" "tests/CMakeFiles/smart_tests.dir/ml/models_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/ml/models_test.cpp.o.d"
+  "/root/repo/tests/ml/nn_test.cpp" "tests/CMakeFiles/smart_tests.dir/ml/nn_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/ml/nn_test.cpp.o.d"
+  "/root/repo/tests/ml/tree_test.cpp" "tests/CMakeFiles/smart_tests.dir/ml/tree_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/ml/tree_test.cpp.o.d"
+  "/root/repo/tests/stencil/boundary_test.cpp" "tests/CMakeFiles/smart_tests.dir/stencil/boundary_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/stencil/boundary_test.cpp.o.d"
+  "/root/repo/tests/stencil/features_test.cpp" "tests/CMakeFiles/smart_tests.dir/stencil/features_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/stencil/features_test.cpp.o.d"
+  "/root/repo/tests/stencil/generator_test.cpp" "tests/CMakeFiles/smart_tests.dir/stencil/generator_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/stencil/generator_test.cpp.o.d"
+  "/root/repo/tests/stencil/pattern_test.cpp" "tests/CMakeFiles/smart_tests.dir/stencil/pattern_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/stencil/pattern_test.cpp.o.d"
+  "/root/repo/tests/stencil/point_test.cpp" "tests/CMakeFiles/smart_tests.dir/stencil/point_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/stencil/point_test.cpp.o.d"
+  "/root/repo/tests/stencil/reference_test.cpp" "tests/CMakeFiles/smart_tests.dir/stencil/reference_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/stencil/reference_test.cpp.o.d"
+  "/root/repo/tests/stencil/tensor_repr_test.cpp" "tests/CMakeFiles/smart_tests.dir/stencil/tensor_repr_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/stencil/tensor_repr_test.cpp.o.d"
+  "/root/repo/tests/util/env_test.cpp" "tests/CMakeFiles/smart_tests.dir/util/env_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/util/env_test.cpp.o.d"
+  "/root/repo/tests/util/parallel_test.cpp" "tests/CMakeFiles/smart_tests.dir/util/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/util/parallel_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/smart_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/smart_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/smart_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/smart_tests.dir/util/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stencilmart.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

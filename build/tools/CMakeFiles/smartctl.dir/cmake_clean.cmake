@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartctl.dir/smartctl.cpp.o"
+  "CMakeFiles/smartctl.dir/smartctl.cpp.o.d"
+  "smartctl"
+  "smartctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
