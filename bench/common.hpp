@@ -15,6 +15,8 @@
 #include "util/env.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/task_pool.hpp"
+#include "util/timing.hpp"
 
 namespace smart::bench {
 
@@ -24,7 +26,16 @@ inline void print_banner(const std::string& experiment,
   std::cout << "== StencilMART reproduction: " << experiment << " ==\n"
             << "   paper reference: " << paper_reference << "\n"
             << "   SMART_SCALE=" << util::experiment_scale()
-            << " (1.0 reproduces paper-sized datasets)\n\n";
+            << " (1.0 reproduces paper-sized datasets), "
+            << util::parallel_threads() << " threads\n\n";
+}
+
+/// Prints the accumulated per-phase timing counters when SMART_TIMING=1
+/// (wall time + task counts for profiling, tuning and training phases).
+inline void maybe_print_timing() {
+  if (util::env_int("SMART_TIMING", 0) == 0) return;
+  const std::string report = util::timing_report();
+  if (!report.empty()) std::cout << report << '\n';
 }
 
 /// Emits the table to stdout and optionally to $SMART_CSV_DIR/<name>.csv.
@@ -40,6 +51,7 @@ inline void emit(const util::Table& table, const std::string& name) {
       std::cout << "   [csv] skipped: " << e.what() << "\n\n";
     }
   }
+  maybe_print_timing();
 }
 
 /// Profiling configuration scaled from the paper's 500 stencils per

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the parallelism determinism gate.
+#
+# Builds the tree, runs the full test suite twice — once pinned to a single
+# thread (SMART_THREADS=1) and once unrestricted — and then diffs the
+# profiling-corpus checksum (smartctl profile --checksum 1) between the two
+# thread modes. Any divergence means a parallel loop broke the determinism
+# contract documented in src/util/task_pool.hpp.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+echo "== ctest (SMART_THREADS=1) =="
+(cd "$BUILD_DIR" && SMART_THREADS=1 ctest --output-on-failure -j"$(nproc)")
+
+echo "== ctest (unrestricted threads) =="
+(cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")
+
+echo "== determinism digest (SMART_THREADS=1 vs default) =="
+SMARTCTL="$BUILD_DIR/tools/smartctl"
+PROFILE_ARGS=(profile --dims 3 --stencils 24 --samples 3 --seed 20220530 --checksum 1)
+one=$(SMART_THREADS=1 "$SMARTCTL" "${PROFILE_ARGS[@]}" | grep '^checksum')
+many=$("$SMARTCTL" "${PROFILE_ARGS[@]}" | grep '^checksum')
+echo "  SMART_THREADS=1 -> $one"
+echo "  default         -> $many"
+if [[ "$one" != "$many" ]]; then
+  echo "FAIL: dataset checksum differs between thread modes" >&2
+  exit 1
+fi
+echo "OK: checksums identical across thread counts"

@@ -1,5 +1,6 @@
 #include "cli/cli.hpp"
 
+#include <cstdio>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -11,6 +12,8 @@
 #include "stencil/features.hpp"
 #include "stencil/tensor_repr.hpp"
 #include "util/table.hpp"
+#include "util/task_pool.hpp"
+#include "util/timing.hpp"
 
 namespace smart::cli {
 
@@ -55,7 +58,14 @@ int cmd_profile(const CommandLine& cmd, std::ostream& out) {
   out << "profiled " << dataset.stencils.size() << " stencils x "
       << core::ProfileDataset::num_ocs() << " OCs x "
       << dataset.num_gpus() << " GPUs (" << dataset.num_instances()
-      << " instances)\n";
+      << " instances, " << util::parallel_threads() << " threads)\n";
+  if (cmd.get_int("checksum", 0) != 0) {
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(core::dataset_checksum(dataset)));
+    out << "checksum " << digest << '\n';
+  }
+  if (cmd.get_int("timing", 0) != 0) out << util::timing_report();
   if (cmd.has("out")) {
     core::save_dataset(dataset, cmd.get("out", ""));
     out << "saved to " << cmd.get("out", "") << '\n';
@@ -201,8 +211,10 @@ CommandLine parse_command_line(const std::vector<std::string>& args) {
 std::string usage() {
   return
       "smartctl — StencilMART command line\n"
+      "  (SMART_THREADS caps the task pool; SMART_TIMING=1 prints counters)\n"
       "  generate --dims D --order N --count K [--seed S]   random stencils\n"
       "  profile  --dims D --stencils N [--out FILE]        build a corpus\n"
+      "           [--checksum 1] [--timing 1]               determinism digest\n"
       "  advise   --shape star|box|cross --dims D --order N\n"
       "           [--gpu NAME] [--corpus FILE]              best-OC advice\n"
       "  codegen  --shape ... --dims D --order N --oc NAME  emit CUDA\n"

@@ -1,13 +1,15 @@
 #include "core/profile_dataset.hpp"
 
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <unordered_set>
 
 #include "gpusim/opt.hpp"
 #include "stencil/generator.hpp"
-#include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/task_pool.hpp"
+#include "util/timing.hpp"
 
 namespace smart::core {
 
@@ -104,72 +106,119 @@ ProfileDataset build_profile_dataset(const ProfileConfig& config) {
   ds.gpus = gpusim::evaluation_gpus();
 
   // --- Stencil generation: orders mixed over 1..max_order --------------
-  util::Rng rng(config.seed);
-  std::unordered_set<std::uint64_t> seen;
-  ds.stencils.reserve(static_cast<std::size_t>(config.num_stencils));
-  while (static_cast<int>(ds.stencils.size()) < config.num_stencils) {
-    stencil::GeneratorConfig gc;
-    gc.dims = config.dims;
-    gc.order = 1 + static_cast<int>(rng.uniform_int(0, config.max_order - 1));
-    const stencil::RandomStencilGenerator gen(gc);
-    stencil::StencilPattern p = gen.generate(rng);
-    if (seen.insert(p.hash()).second) ds.stencils.push_back(std::move(p));
+  // Inherently sequential (one shared stream + dedup against all previous
+  // patterns), but cheap next to the measurement sweep below.
+  {
+    const util::PhaseTimer timer("profile.generate",
+                                 static_cast<std::uint64_t>(config.num_stencils));
+    util::Rng rng(config.seed);
+    std::unordered_set<std::uint64_t> seen;
+    ds.stencils.reserve(static_cast<std::size_t>(config.num_stencils));
+    while (static_cast<int>(ds.stencils.size()) < config.num_stencils) {
+      stencil::GeneratorConfig gc;
+      gc.dims = config.dims;
+      gc.order = 1 + static_cast<int>(rng.uniform_int(0, config.max_order - 1));
+      const stencil::RandomStencilGenerator gen(gc);
+      stencil::StencilPattern p = gen.generate(rng);
+      if (seen.insert(p.hash()).second) ds.stencils.push_back(std::move(p));
+    }
   }
+  const std::size_t n = ds.stencils.size();
 
   // Per-stencil problem: paper default, optionally varied in size and
-  // boundary condition (the future-work extensions).
+  // boundary condition (the future-work extensions). Each stencil seeds its
+  // own stream from (seed, pattern hash), so the loop parallelizes without
+  // changing a single draw.
   const auto candidates = gpusim::ProblemSize::size_candidates(config.dims);
-  ds.problems.reserve(ds.stencils.size());
-  for (const auto& pattern : ds.stencils) {
-    util::Rng prng(util::hash_combine(config.seed * 31, pattern.hash()));
+  ds.problems.assign(n, ds.problem);
+  util::parallel_for(n, [&](std::size_t s) {
+    util::Rng prng(util::hash_combine(config.seed * 31, ds.stencils[s].hash()));
     gpusim::ProblemSize prob = ds.problem;
     if (config.vary_problem_size) prob = prng.pick(candidates);
     if (config.vary_boundary && prng.bernoulli(0.5)) {
       prob.boundary = stencil::Boundary::kPeriodic;
     }
-    ds.problems.push_back(prob);
-  }
+    ds.problems[s] = prob;
+  });
 
   // --- Parameter settings: sampled once per (stencil, OC) ---------------
   const auto& ocs = gpusim::valid_combinations();
-  const std::size_t n = ds.stencils.size();
-  ds.settings.assign(n, {});
-  for (std::size_t s = 0; s < n; ++s) {
-    util::Rng srng(util::hash_combine(config.seed, ds.stencils[s].hash()));
-    ds.settings[s].resize(ocs.size());
-    for (std::size_t o = 0; o < ocs.size(); ++o) {
-      const gpusim::ParamSpace space(ocs[o], config.dims);
-      std::unordered_set<std::uint64_t> setting_seen;
-      auto& list = ds.settings[s][o];
-      for (int k = 0; k < config.samples_per_oc; ++k) {
-        const gpusim::ParamSetting setting = space.random_setting(srng);
-        if (setting_seen.insert(setting.hash()).second) {
-          list.push_back(setting);
+  {
+    const util::PhaseTimer timer("profile.settings", n * ocs.size());
+    ds.settings.assign(n, {});
+    util::parallel_for(n, [&](std::size_t s) {
+      util::Rng srng(util::hash_combine(config.seed, ds.stencils[s].hash()));
+      ds.settings[s].resize(ocs.size());
+      for (std::size_t o = 0; o < ocs.size(); ++o) {
+        const gpusim::ParamSpace space(ocs[o], config.dims);
+        std::unordered_set<std::uint64_t> setting_seen;
+        auto& list = ds.settings[s][o];
+        for (int k = 0; k < config.samples_per_oc; ++k) {
+          const gpusim::ParamSetting setting = space.random_setting(srng);
+          if (setting_seen.insert(setting.hash()).second) {
+            list.push_back(setting);
+          }
+        }
+      }
+    });
+  }
+
+  // --- Measurements: every setting on every GPU -------------------------
+  // Parallel over (stencil, OC): each index owns times[s][*][o], and the
+  // simulator seeds noise from the variant identity, so the sweep is
+  // bit-identical for any thread count.
+  const gpusim::Simulator sim(config.sim);
+  const std::size_t g = ds.gpus.size();
+  ds.times.assign(n, std::vector<std::vector<std::vector<double>>>(
+                         g, std::vector<std::vector<double>>(ocs.size())));
+  {
+    const util::PhaseTimer timer("profile.measure", n * ocs.size());
+    util::parallel_for(n * ocs.size(), [&](std::size_t idx) {
+      const std::size_t s = idx / ocs.size();
+      const std::size_t o = idx % ocs.size();
+      for (std::size_t gi = 0; gi < g; ++gi) {
+        auto& slot = ds.times[s][gi][o];
+        slot.reserve(ds.settings[s][o].size());
+        for (const gpusim::ParamSetting& setting : ds.settings[s][o]) {
+          const gpusim::KernelProfile prof = sim.measure(
+              ds.stencils[s], ds.problems[s], ocs[o], setting, ds.gpus[gi]);
+          slot.push_back(prof.ok ? prof.time_ms
+                                 : std::numeric_limits<double>::quiet_NaN());
+        }
+      }
+    });
+  }
+  return ds;
+}
+
+std::uint64_t dataset_checksum(const ProfileDataset& ds) {
+  // Order-sensitive FNV-1a over the dataset's identity-bearing content.
+  // NaN (crashed variant) is folded as one canonical bit pattern so the
+  // checksum is stable across compilers and thread counts.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const auto& pattern : ds.stencils) mix(pattern.hash());
+  for (const auto& per_stencil : ds.settings) {
+    for (const auto& per_oc : per_stencil) {
+      for (const auto& setting : per_oc) mix(setting.hash());
+    }
+  }
+  for (const auto& per_stencil : ds.times) {
+    for (const auto& per_gpu : per_stencil) {
+      for (const auto& per_oc : per_gpu) {
+        for (const double t : per_oc) {
+          mix(std::isnan(t) ? 0x7ff8000000000000ULL
+                            : std::bit_cast<std::uint64_t>(t));
         }
       }
     }
   }
-
-  // --- Measurements: every setting on every GPU -------------------------
-  const gpusim::Simulator sim(config.sim);
-  const std::size_t g = ds.gpus.size();
-  ds.times.assign(n, std::vector<std::vector<std::vector<double>>>(g));
-  util::parallel_for(n, [&](std::size_t s) {
-    for (std::size_t gi = 0; gi < g; ++gi) {
-      auto& per_oc = ds.times[s][gi];
-      per_oc.resize(ocs.size());
-      for (std::size_t o = 0; o < ocs.size(); ++o) {
-        per_oc[o].reserve(ds.settings[s][o].size());
-        for (const gpusim::ParamSetting& setting : ds.settings[s][o]) {
-          const gpusim::KernelProfile prof = sim.measure(
-              ds.stencils[s], ds.problems[s], ocs[o], setting, ds.gpus[gi]);
-          per_oc[o].push_back(prof.ok ? prof.time_ms
-                                      : std::numeric_limits<double>::quiet_NaN());
-        }
-      }
-    }
-  });
-  return ds;
+  return h;
 }
 
 }  // namespace smart::core

@@ -73,7 +73,13 @@ struct ProfileDataset {
   std::size_t num_instances() const;
 };
 
-/// Generates the stencils and profiles them (deterministic given config).
+/// Generates the stencils and profiles them (deterministic given config —
+/// bit-identical for any SMART_THREADS value; see util/task_pool.hpp).
 ProfileDataset build_profile_dataset(const ProfileConfig& config);
+
+/// Order-sensitive 64-bit digest of stencils, sampled settings and measured
+/// times (NaN canonicalized). scripts/check.sh diffs it between a
+/// SMART_THREADS=1 run and an unrestricted run.
+std::uint64_t dataset_checksum(const ProfileDataset& ds);
 
 }  // namespace smart::core

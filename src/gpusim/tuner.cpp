@@ -2,6 +2,9 @@
 
 #include <unordered_set>
 
+#include "util/task_pool.hpp"
+#include "util/timing.hpp"
+
 namespace smart::gpusim {
 
 TunedResult RandomSearchTuner::tune(const stencil::StencilPattern& pattern,
@@ -34,11 +37,19 @@ TunedResult RandomSearchTuner::tune(const stencil::StencilPattern& pattern,
 std::vector<TunedResult> RandomSearchTuner::tune_all(
     const stencil::StencilPattern& pattern, const ProblemSize& problem,
     const GpuSpec& gpu, util::Rng& rng) const {
-  std::vector<TunedResult> out;
-  out.reserve(valid_combinations().size());
-  for (const OptCombination& oc : valid_combinations()) {
-    out.push_back(tune(pattern, problem, oc, gpu, rng));
-  }
+  const auto& ocs = valid_combinations();
+  const util::PhaseTimer timer("tuner.tune_all", ocs.size());
+  // One independent stream per OC (Rng::split) instead of one shared
+  // sequential stream, so candidate evaluation parallelizes across OCs
+  // while the result stays bit-identical for any thread count. Advancing
+  // the caller's generator once keeps back-to-back tune_all calls on
+  // distinct split families.
+  rng();
+  std::vector<TunedResult> out(ocs.size());
+  util::parallel_for(ocs.size(), [&](std::size_t i) {
+    util::Rng oc_rng = rng.split(i);
+    out[i] = tune(pattern, problem, ocs[i], gpu, oc_rng);
+  });
   return out;
 }
 

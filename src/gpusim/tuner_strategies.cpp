@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <unordered_map>
+#include <unordered_set>
+
+#include "util/task_pool.hpp"
+#include "util/timing.hpp"
 
 namespace smart::gpusim {
 
@@ -13,17 +17,24 @@ TunedResult ExhaustiveTuner::tune(const stencil::StencilPattern& pattern,
   TunedResult result;
   result.oc = oc;
   const ParamSpace space(oc, pattern.dims());
-  for (const ParamSetting& s : space.enumerate()) {
+  const std::vector<ParamSetting> all = space.enumerate();
+  const util::PhaseTimer timer("tuner.exhaustive", all.size());
+  // Measure in parallel (the simulator is a pure function of the variant),
+  // then fold in enumeration order — identical to the serial sweep.
+  std::vector<KernelProfile> profiles(all.size());
+  util::parallel_for(all.size(), [&](std::size_t i) {
+    profiles[i] = sim_->measure(pattern, problem, oc, all[i], gpu);
+  });
+  for (std::size_t i = 0; i < all.size(); ++i) {
     ++result.samples_tried;
-    const KernelProfile prof = sim_->measure(pattern, problem, oc, s, gpu);
-    if (!prof.ok) {
+    if (!profiles[i].ok) {
       ++result.samples_crashed;
       continue;
     }
-    result.measurements.emplace_back(s, prof.time_ms);
-    if (!result.best_setting || prof.time_ms < result.best_time_ms) {
-      result.best_setting = s;
-      result.best_time_ms = prof.time_ms;
+    result.measurements.emplace_back(all[i], profiles[i].time_ms);
+    if (!result.best_setting || profiles[i].time_ms < result.best_time_ms) {
+      result.best_setting = all[i];
+      result.best_time_ms = profiles[i].time_ms;
     }
   }
   return result;
@@ -83,6 +94,10 @@ TunedResult GeneticTuner::tune(const stencil::StencilPattern& pattern,
   TunedResult result;
   result.oc = oc;
   const ParamSpace space(oc, pattern.dims());
+  const util::PhaseTimer timer(
+      "tuner.genetic",
+      static_cast<std::uint64_t>(config_.population) *
+          static_cast<std::uint64_t>(config_.generations));
 
   struct Individual {
     ParamSetting setting;
@@ -91,31 +106,56 @@ TunedResult GeneticTuner::tune(const stencil::StencilPattern& pattern,
 
   // Memoize fitness so re-evaluated individuals do not consume budget —
   // the same trick csTuner uses to keep the GA's measurement count low.
+  // Each generation is evaluated as one batch: the simulator runs the
+  // uncached settings in parallel, then the results fold into the cache in
+  // batch order, so samples_tried / measurements / best are identical to a
+  // one-at-a-time serial evaluation at any thread count.
   std::unordered_map<std::uint64_t, double> cache;
-  auto evaluate = [&](const ParamSetting& s) {
-    const auto [it, inserted] = cache.try_emplace(s.hash(), 0.0);
-    if (inserted) {
+  auto evaluate_batch = [&](const std::vector<ParamSetting>& batch) {
+    std::vector<std::size_t> fresh;  // first occurrence of each new setting
+    std::unordered_set<std::uint64_t> batch_seen;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (cache.count(batch[i].hash()) != 0) continue;
+      if (batch_seen.insert(batch[i].hash()).second) fresh.push_back(i);
+    }
+    std::vector<KernelProfile> profiles(fresh.size());
+    util::parallel_for(fresh.size(), [&](std::size_t j) {
+      profiles[j] = sim_->measure(pattern, problem, oc, batch[fresh[j]], gpu);
+    });
+    for (std::size_t j = 0; j < fresh.size(); ++j) {
+      const ParamSetting& s = batch[fresh[j]];
       ++result.samples_tried;
-      const KernelProfile prof = sim_->measure(pattern, problem, oc, s, gpu);
-      if (!prof.ok) {
+      if (!profiles[j].ok) {
         ++result.samples_crashed;
-        it->second = std::numeric_limits<double>::infinity();
-      } else {
-        it->second = prof.time_ms;
-        result.measurements.emplace_back(s, prof.time_ms);
-        if (!result.best_setting || prof.time_ms < result.best_time_ms) {
-          result.best_setting = s;
-          result.best_time_ms = prof.time_ms;
-        }
+        cache[s.hash()] = std::numeric_limits<double>::infinity();
+        continue;
+      }
+      cache[s.hash()] = profiles[j].time_ms;
+      result.measurements.emplace_back(s, profiles[j].time_ms);
+      if (!result.best_setting || profiles[j].time_ms < result.best_time_ms) {
+        result.best_setting = s;
+        result.best_time_ms = profiles[j].time_ms;
       }
     }
-    return it->second;
+    std::vector<double> times(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      times[i] = cache.at(batch[i].hash());
+    }
+    return times;
   };
 
   std::vector<Individual> population(static_cast<std::size_t>(config_.population));
-  for (auto& ind : population) {
-    ind.setting = space.random_setting(rng);
-    ind.time_ms = evaluate(ind.setting);
+  {
+    std::vector<ParamSetting> seeds;
+    seeds.reserve(population.size());
+    for (auto& ind : population) {
+      ind.setting = space.random_setting(rng);
+      seeds.push_back(ind.setting);
+    }
+    const std::vector<double> times = evaluate_batch(seeds);
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      population[i].time_ms = times[i];
+    }
   }
 
   auto tournament_pick = [&]() -> const Individual& {
@@ -137,13 +177,22 @@ TunedResult GeneticTuner::tune(const stencil::StencilPattern& pattern,
               });
     std::vector<Individual> next(population.begin(),
                                  population.begin() + config_.elite);
-    while (static_cast<int>(next.size()) < config_.population) {
+    // Breeding consumes the shared rng sequentially (selection only reads
+    // the previous generation's fitness, so deferring evaluation to the
+    // batch below draws the exact same stream the serial loop drew).
+    std::vector<ParamSetting> children;
+    children.reserve(static_cast<std::size_t>(config_.population) - next.size());
+    while (next.size() + children.size() <
+           static_cast<std::size_t>(config_.population)) {
       ParamSetting child = rng.bernoulli(config_.crossover_prob)
                                ? crossover(tournament_pick().setting,
                                            tournament_pick().setting, space, rng)
                                : tournament_pick().setting;
-      child = mutate(child, space, config_.mutation_prob, rng);
-      next.push_back({child, evaluate(child)});
+      children.push_back(mutate(child, space, config_.mutation_prob, rng));
+    }
+    const std::vector<double> times = evaluate_batch(children);
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      next.push_back({children[i], times[i]});
     }
     population = std::move(next);
   }

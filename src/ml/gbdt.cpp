@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/task_pool.hpp"
+#include "util/timing.hpp"
+
 namespace smart::ml {
 
 namespace {
@@ -44,6 +47,8 @@ void GbdtRegressor::fit(const Matrix& x, std::span<const float> y) {
   if (x.rows() != y.size() || x.rows() == 0) {
     throw std::invalid_argument("GbdtRegressor::fit: bad shapes");
   }
+  const util::PhaseTimer fit_timer(
+      "ml.gbdt.fit", static_cast<std::uint64_t>(params_.rounds) * x.rows());
   trees_.clear();
   binner_.fit(x);
   const std::vector<std::uint8_t> binned = binner_.bin_matrix(x);
@@ -63,9 +68,9 @@ void GbdtRegressor::fit(const Matrix& x, std::span<const float> y) {
     const auto rows = subsample_rows(x.rows(), params_.subsample, rng);
     RegressionTree tree;
     tree.fit(x, binned, binner_, g, h, rows, params_.tree);
-    for (std::size_t r = 0; r < x.rows(); ++r) {
+    util::parallel_for(x.rows(), [&](std::size_t r) {
       pred[r] += params_.learning_rate * tree.predict_row(x.row(r));
-    }
+    });
     trees_.push_back(std::move(tree));
   }
 }
@@ -80,7 +85,8 @@ double GbdtRegressor::predict_row(std::span<const float> features) const {
 
 std::vector<double> GbdtRegressor::predict(const Matrix& x) const {
   std::vector<double> out(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_row(x.row(r));
+  util::parallel_for(x.rows(),
+                     [&](std::size_t r) { out[r] = predict_row(x.row(r)); });
   return out;
 }
 
@@ -94,6 +100,8 @@ void GbdtClassifier::fit(const Matrix& x, std::span<const int> labels,
       throw std::invalid_argument("GbdtClassifier::fit: label out of range");
     }
   }
+  const util::PhaseTimer fit_timer(
+      "ml.gbdt.fit", static_cast<std::uint64_t>(params_.rounds) * x.rows());
   num_classes_ = num_classes;
   trees_.clear();
   binner_.fit(x);
@@ -121,29 +129,28 @@ void GbdtClassifier::fit(const Matrix& x, std::span<const int> labels,
 
   std::vector<double> g(n);
   std::vector<double> h(n);
-  std::vector<double> probs(static_cast<std::size_t>(num_classes));
   for (int round = 0; round < params_.rounds; ++round) {
     const auto rows = subsample_rows(n, params_.subsample, rng);
     for (int k = 0; k < num_classes; ++k) {
-      for (std::size_t r = 0; r < n; ++r) {
+      // Per-row softmax gradients write disjoint g[r]/h[r] slots.
+      util::parallel_for(n, [&](std::size_t r) {
         const double* srow = &scores[r * static_cast<std::size_t>(num_classes)];
         double max_score = srow[0];
         for (int j = 1; j < num_classes; ++j) max_score = std::max(max_score, srow[j]);
         double denom = 0.0;
         for (int j = 0; j < num_classes; ++j) {
-          probs[static_cast<std::size_t>(j)] = std::exp(srow[j] - max_score);
-          denom += probs[static_cast<std::size_t>(j)];
+          denom += std::exp(srow[j] - max_score);
         }
-        const double pk = probs[static_cast<std::size_t>(k)] / denom;
+        const double pk = std::exp(srow[k] - max_score) / denom;
         g[r] = pk - (labels[r] == k ? 1.0 : 0.0);
         h[r] = std::max(1e-6, pk * (1.0 - pk));
-      }
+      });
       RegressionTree tree;
       tree.fit(x, binned, binner_, g, h, rows, params_.tree);
-      for (std::size_t r = 0; r < n; ++r) {
+      util::parallel_for(n, [&](std::size_t r) {
         scores[r * static_cast<std::size_t>(num_classes) + static_cast<std::size_t>(k)] +=
             params_.learning_rate * tree.predict_row(x.row(r));
-      }
+      });
       trees_.push_back(std::move(tree));
     }
   }
@@ -175,7 +182,8 @@ int GbdtClassifier::predict_row(std::span<const float> features) const {
 
 std::vector<int> GbdtClassifier::predict(const Matrix& x) const {
   std::vector<int> out(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_row(x.row(r));
+  util::parallel_for(x.rows(),
+                     [&](std::size_t r) { out[r] = predict_row(x.row(r)); });
   return out;
 }
 

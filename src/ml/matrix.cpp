@@ -4,7 +4,22 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/task_pool.hpp"
+
 namespace smart::ml {
+
+namespace {
+
+/// Fan a matmul's independent output rows over the task pool only when the
+/// product is big enough to amortize the loop dispatch. Each output element
+/// accumulates in the same operand order as the serial loop, so results are
+/// bit-identical for any thread count.
+inline bool worth_parallel(std::size_t rows, std::size_t inner,
+                           std::size_t cols) {
+  return rows >= 16 && rows * inner * cols >= (1u << 15);
+}
+
+}  // namespace
 
 Matrix Matrix::from_rows(const std::vector<std::vector<float>>& rows) {
   if (rows.empty()) return {};
@@ -37,7 +52,7 @@ Matrix Matrix::gather_rows(std::span<const std::size_t> indices) const {
 Matrix matmul(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
   Matrix c(a.rows(), b.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
+  const auto row_kernel = [&](std::size_t i) {
     float* crow = c.row(i).data();
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const float aik = a.at(i, k);
@@ -47,6 +62,11 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
         crow[j] += aik * brow[j];
       }
     }
+  };
+  if (worth_parallel(a.rows(), a.cols(), b.cols())) {
+    util::parallel_for(a.rows(), row_kernel);
+  } else {
+    for (std::size_t i = 0; i < a.rows(); ++i) row_kernel(i);
   }
   return c;
 }
@@ -54,7 +74,7 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
 Matrix matmul_bt(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.cols()) throw std::invalid_argument("matmul_bt: shape mismatch");
   Matrix c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
+  const auto row_kernel = [&](std::size_t i) {
     const float* arow = a.row(i).data();
     for (std::size_t j = 0; j < b.rows(); ++j) {
       const float* brow = b.row(j).data();
@@ -62,6 +82,11 @@ Matrix matmul_bt(const Matrix& a, const Matrix& b) {
       for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
       c.at(i, j) = acc;
     }
+  };
+  if (worth_parallel(a.rows(), a.cols(), b.rows())) {
+    util::parallel_for(a.rows(), row_kernel);
+  } else {
+    for (std::size_t i = 0; i < a.rows(); ++i) row_kernel(i);
   }
   return c;
 }
@@ -69,17 +94,24 @@ Matrix matmul_bt(const Matrix& a, const Matrix& b) {
 Matrix matmul_at(const Matrix& a, const Matrix& b) {
   if (a.rows() != b.rows()) throw std::invalid_argument("matmul_at: shape mismatch");
   Matrix c(a.cols(), b.cols());
-  for (std::size_t n = 0; n < a.rows(); ++n) {
-    const float* arow = a.row(n).data();
-    const float* brow = b.row(n).data();
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const float ai = arow[i];
+  // Output rows of c = columns of a, so iterating i outermost makes the
+  // writes disjoint per task. Per element the accumulation still runs over
+  // n ascending — the exact FP order of the old n-outermost loop.
+  const auto col_kernel = [&](std::size_t i) {
+    float* crow = c.row(i).data();
+    for (std::size_t n = 0; n < a.rows(); ++n) {
+      const float ai = a.row(n).data()[i];
       if (ai == 0.0f) continue;
-      float* crow = c.row(i).data();
+      const float* brow = b.row(n).data();
       for (std::size_t j = 0; j < b.cols(); ++j) {
         crow[j] += ai * brow[j];
       }
     }
+  };
+  if (worth_parallel(a.cols(), a.rows(), b.cols())) {
+    util::parallel_for(a.cols(), col_kernel);
+  } else {
+    for (std::size_t i = 0; i < a.cols(); ++i) col_kernel(i);
   }
   return c;
 }

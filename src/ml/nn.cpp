@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/task_pool.hpp"
+
 namespace smart::ml {
 
 // ----- Dense ---------------------------------------------------------------
@@ -125,7 +127,8 @@ Matrix Conv2D::forward(const Matrix& x) {
   const std::size_t OH = oh();
   const std::size_t OW = ow();
   Matrix y(x.rows(), static_cast<std::size_t>(out_c_) * OH * OW);
-  for (std::size_t n = 0; n < x.rows(); ++n) {
+  // Each batch row writes its own output row: parallel and bit-stable.
+  util::parallel_for(x.rows(), [&](std::size_t n) {
     const float* in = x.row(n).data();
     float* out = y.row(n).data();
     for (int oc = 0; oc < out_c_; ++oc) {
@@ -152,7 +155,7 @@ Matrix Conv2D::forward(const Matrix& x) {
         }
       }
     }
-  }
+  });
   return y;
 }
 
@@ -224,7 +227,8 @@ Matrix Conv3D::forward(const Matrix& x) {
   const std::size_t OW = ow();
   const std::size_t HW = static_cast<std::size_t>(h_) * static_cast<std::size_t>(w_);
   Matrix y(x.rows(), static_cast<std::size_t>(out_c_) * OD * OH * OW);
-  for (std::size_t n = 0; n < x.rows(); ++n) {
+  // Each batch row writes its own output row: parallel and bit-stable.
+  util::parallel_for(x.rows(), [&](std::size_t n) {
     const float* in = x.row(n).data();
     float* out = y.row(n).data();
     for (int oc = 0; oc < out_c_; ++oc) {
@@ -254,7 +258,7 @@ Matrix Conv3D::forward(const Matrix& x) {
         }
       }
     }
-  }
+  });
   return y;
 }
 

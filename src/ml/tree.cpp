@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/task_pool.hpp"
+
 namespace smart::ml {
 
 void FeatureBinner::fit(const Matrix& x, int max_bins) {
@@ -92,15 +94,17 @@ int RegressionTree::build(const Matrix& x, std::span<const std::uint8_t> binned,
     return node_index;
   }
 
-  // Best split: one histogram pass per feature.
+  // Best split: one histogram pass per feature. Features are independent,
+  // so big nodes fan the search over the task pool; folding the per-feature
+  // candidates in feature order with a strict > comparison picks exactly
+  // the split the serial scan picks (ties keep the lowest feature index).
   const double parent_score = g_total * g_total / (h_total + params.lambda);
-  SplitChoice best;
   const std::size_t width = x.cols();
-  std::vector<double> gh(static_cast<std::size_t>(kMaxBins) * 2);
-  std::vector<int> counts(kMaxBins);
-  for (std::size_t f = 0; f < width; ++f) {
+  const auto best_for_feature = [&](std::size_t f, std::vector<double>& gh,
+                                    std::vector<int>& counts) {
+    SplitChoice choice;
     const int nbins = binner.bins(f);
-    if (nbins < 2) continue;
+    if (nbins < 2) return choice;
     std::fill(gh.begin(), gh.end(), 0.0);
     std::fill(counts.begin(), counts.end(), 0);
     for (std::size_t r : rows) {
@@ -125,11 +129,32 @@ int RegressionTree::build(const Matrix& x, std::span<const std::uint8_t> binned,
       const double hr = h_total - hl;
       const double gain = gl * gl / (hl + params.lambda) +
                           gr * gr / (hr + params.lambda) - parent_score;
-      if (gain > best.gain) {
-        best.feature = static_cast<int>(f);
-        best.bin = b;
-        best.gain = gain;
+      if (gain > choice.gain) {
+        choice.feature = static_cast<int>(f);
+        choice.bin = b;
+        choice.gain = gain;
       }
+    }
+    return choice;
+  };
+  const auto pick = [](SplitChoice a, SplitChoice b) {
+    return b.gain > a.gain ? b : a;
+  };
+  SplitChoice best;
+  if (rows.size() >= 2048 && width > 1) {
+    best = util::parallel_reduce(
+        width, SplitChoice{},
+        [&](std::size_t f) {
+          std::vector<double> gh(static_cast<std::size_t>(kMaxBins) * 2);
+          std::vector<int> counts(kMaxBins);
+          return best_for_feature(f, gh, counts);
+        },
+        pick);
+  } else {
+    std::vector<double> gh(static_cast<std::size_t>(kMaxBins) * 2);
+    std::vector<int> counts(kMaxBins);
+    for (std::size_t f = 0; f < width; ++f) {
+      best = pick(best, best_for_feature(f, gh, counts));
     }
   }
   if (best.feature < 0 || best.gain < params.min_gain) return node_index;

@@ -110,6 +110,20 @@ class Rng {
     return mean + stddev * normal();
   }
 
+  /// Derives an independent stream for parallel task `index`. The child
+  /// depends only on this generator's current state and the index — never
+  /// on which thread runs the task or in which order tasks are claimed —
+  /// so seeding one split per loop index keeps parallel results
+  /// bit-identical for any thread count (see util/task_pool.hpp). Does not
+  /// advance this generator; advance it explicitly (one operator() call)
+  /// between consecutive split families that must differ.
+  Rng split(std::uint64_t index) const noexcept {
+    const std::uint64_t mixed =
+        hash_combine(hash_combine(state_[0], state_[1]),
+                     hash_combine(state_[2] ^ state_[3], index));
+    return Rng(mixed);
+  }
+
   /// Pick a uniformly random element of a non-empty span.
   template <typename T>
   const T& pick(std::span<const T> items) {

@@ -1,0 +1,131 @@
+#include "util/task_pool.hpp"
+
+#include <algorithm>
+
+#include "util/env.hpp"
+
+namespace smart::util {
+
+thread_local int SerialSection::depth_ = 0;
+
+/// One parallel loop in flight. Chunks are claimed through `next`; `running`
+/// counts threads currently inside work_on so the caller knows when every
+/// helper has drained. Workers hold a shared_ptr, so a Task outlives its
+/// entry in the pool queue; the range functor pointer is only dereferenced
+/// while unclaimed chunks remain, which the caller's completion wait
+/// guarantees cannot happen after run_chunked returns.
+struct TaskPool::Task {
+  const std::function<void(std::size_t, std::size_t)>* range = nullptr;
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  std::atomic<std::size_t> next{0};
+  std::atomic<int> running{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex mu;
+  std::condition_variable done;
+};
+
+int TaskPool::decide_threads(int requested) {
+  long long n = requested;
+  if (n <= 0) n = env_int("SMART_THREADS", 0);
+  if (n <= 0) n = static_cast<long long>(std::thread::hardware_concurrency());
+  return static_cast<int>(std::clamp<long long>(n, 1, 256));
+}
+
+TaskPool& TaskPool::global() {
+  static TaskPool pool;
+  return pool;
+}
+
+TaskPool::TaskPool(int threads) {
+  const int total = decide_threads(threads);
+  workers_.reserve(static_cast<std::size_t>(total - 1));
+  for (int t = 1; t < total; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void TaskPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Task> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // predicate held, so stop_ is set
+      task = queue_.front();
+    }
+    work_on(*task);
+    // Drop the task from the queue once its chunks are all claimed, so idle
+    // workers stop revisiting it. The issuing thread also erases it; the
+    // double erase is resolved by the find.
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = std::find(queue_.begin(), queue_.end(), task);
+    if (it != queue_.end() &&
+        task->next.load(std::memory_order_relaxed) >= task->n) {
+      queue_.erase(it);
+    }
+  }
+}
+
+void TaskPool::work_on(Task& t) {
+  t.running.fetch_add(1, std::memory_order_acq_rel);
+  for (;;) {
+    const std::size_t begin = t.next.fetch_add(t.chunk, std::memory_order_relaxed);
+    if (begin >= t.n) break;
+    const std::size_t end = std::min(t.n, begin + t.chunk);
+    if (t.failed.load(std::memory_order_relaxed)) continue;  // drain, skip work
+    try {
+      (*t.range)(begin, end);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(t.mu);
+      if (!t.failed.exchange(true)) t.error = std::current_exception();
+    }
+  }
+  if (t.running.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last one out: wake the caller (lock pairs with its predicate check).
+    const std::lock_guard<std::mutex> lock(t.mu);
+    t.done.notify_all();
+  }
+}
+
+void TaskPool::run_chunked(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& range) {
+  const auto task = std::make_shared<Task>();
+  task->range = &range;
+  task->n = n;
+  // ~8 chunks per participant: low claiming overhead, but enough slack that
+  // finished threads steal the tail from slow ones.
+  const std::size_t parts = static_cast<std::size_t>(num_threads()) * 8;
+  task->chunk = std::max<std::size_t>(1, (n + parts - 1) / parts);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(task);
+  }
+  cv_.notify_all();
+  work_on(*task);  // the caller participates
+  {
+    std::unique_lock<std::mutex> lock(task->mu);
+    task->done.wait(lock, [&] {
+      return task->next.load(std::memory_order_acquire) >= task->n &&
+             task->running.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = std::find(queue_.begin(), queue_.end(), task);
+    if (it != queue_.end()) queue_.erase(it);
+  }
+  if (task->error) std::rethrow_exception(task->error);
+}
+
+}  // namespace smart::util

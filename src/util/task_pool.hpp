@@ -1,0 +1,154 @@
+// Fixed thread pool with chunked, self-scheduling parallel loops — the
+// parallel substrate for the profiling + training pipeline (replaces the
+// OpenMP-only parallel.hpp shim).
+//
+// Determinism contract:
+//  * parallel_for invokes body(i) exactly once per index and requires
+//    disjoint writes per index, so outputs are bit-identical for any
+//    thread count (including SMART_THREADS=1).
+//  * parallel_reduce decomposes [0, n) into a block grid that depends only
+//    on n — never on the thread count — computes each block sequentially
+//    and combines partials in block order, so its result is also
+//    independent of the thread count.
+//  * Randomized parallel work must derive one generator per index via
+//    util::Rng::split (rng.hpp) instead of sharing a sequential stream.
+//
+// Scheduling: loops are split into ~8 chunks per participating thread and
+// claimed through an atomic cursor, so threads that finish early steal the
+// remaining tail from slow ones. The calling thread always participates,
+// which also makes nested parallel_for safe (an inner loop completes on
+// its caller even when every pool worker is busy in the outer loop).
+//
+// Exceptions: the first exception thrown by any body is rethrown on the
+// caller once the loop drains; remaining chunks are skipped (their bodies
+// may never run), so state touched by a throwing loop is unspecified.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace smart::util {
+
+/// RAII guard: while any SerialSection is alive on a thread, every parallel
+/// loop issued from that thread runs inline on it. This is how the
+/// determinism tests (and scripts/check.sh) obtain a 1-thread run without
+/// restarting the process with SMART_THREADS=1.
+class SerialSection {
+ public:
+  SerialSection() noexcept { ++depth_; }
+  ~SerialSection() { --depth_; }
+  SerialSection(const SerialSection&) = delete;
+  SerialSection& operator=(const SerialSection&) = delete;
+  static bool active() noexcept { return depth_ > 0; }
+
+ private:
+  static thread_local int depth_;
+};
+
+class TaskPool {
+ public:
+  /// Thread count the pool starts for `requested`: a positive request wins,
+  /// otherwise the SMART_THREADS env var, otherwise hardware concurrency.
+  static int decide_threads(int requested = 0);
+
+  /// The process-wide pool (sized by decide_threads(0) at first use).
+  static TaskPool& global();
+
+  explicit TaskPool(int threads = 0);
+  ~TaskPool();
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Threads participating in a loop: pool workers + the calling thread.
+  int num_threads() const noexcept {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Invokes body(i) exactly once for every i in [0, n). Bodies must write
+  /// disjoint state per index. The first exception is rethrown here.
+  template <typename Body>
+  void for_each(std::size_t n, Body&& body) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1 || SerialSection::active()) {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    const std::function<void(std::size_t, std::size_t)> range =
+        [&body](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) body(i);
+        };
+    run_chunked(n, range);
+  }
+
+  /// Deterministic reduction: folds combine(acc, map(i)) over a block grid
+  /// fixed by n alone, then folds the per-block partials in block order.
+  /// Requires combine(identity, x) == x. The result is identical for any
+  /// thread count (though the FP rounding may differ from a single
+  /// left-to-right fold — it matches the fixed block decomposition).
+  template <typename T, typename Map, typename Combine>
+  T reduce(std::size_t n, T identity, Map&& map, Combine&& combine) {
+    if (n == 0) return identity;
+    const std::size_t blocks = reduce_blocks(n);
+    std::vector<T> partials(blocks, identity);
+    for_each(blocks, [&](std::size_t b) {
+      const std::size_t begin = b * n / blocks;
+      const std::size_t end = (b + 1) * n / blocks;
+      T acc = std::move(partials[b]);
+      for (std::size_t i = begin; i < end; ++i) {
+        acc = combine(std::move(acc), map(i));
+      }
+      partials[b] = std::move(acc);
+    });
+    T out = std::move(partials[0]);
+    for (std::size_t b = 1; b < blocks; ++b) {
+      out = combine(std::move(out), std::move(partials[b]));
+    }
+    return out;
+  }
+
+  /// Block count reduce() uses for n items — a function of n only.
+  static std::size_t reduce_blocks(std::size_t n) noexcept {
+    return n < kReduceBlocks ? n : kReduceBlocks;
+  }
+
+ private:
+  struct Task;
+  static constexpr std::size_t kReduceBlocks = 64;
+
+  void run_chunked(std::size_t n,
+                   const std::function<void(std::size_t, std::size_t)>& range);
+  void work_on(Task& task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Task>> queue_;
+  bool stop_ = false;
+};
+
+/// Threads the global pool's loops use.
+inline int parallel_threads() { return TaskPool::global().num_threads(); }
+
+/// Global-pool frontends — the common call sites.
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body) {
+  TaskPool::global().for_each(n, std::forward<Body>(body));
+}
+
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t n, T identity, Map&& map, Combine&& combine) {
+  return TaskPool::global().reduce(n, identity, std::forward<Map>(map),
+                                   std::forward<Combine>(combine));
+}
+
+}  // namespace smart::util

@@ -1,0 +1,128 @@
+// Locks in the task-pool determinism contract at the pipeline level: the
+// profiling corpus and the tuners must produce bit-identical results
+// whether the loops run on one thread or on the whole pool. SerialSection
+// forces the 1-thread path in-process, so both runs share one binary and
+// one global pool (see util/task_pool.hpp).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "core/profile_dataset.hpp"
+#include "gpusim/tuner.hpp"
+#include "stencil/pattern.hpp"
+#include "util/task_pool.hpp"
+
+namespace smart::core {
+namespace {
+
+ProfileConfig small_config(int dims) {
+  ProfileConfig cfg;
+  cfg.dims = dims;
+  cfg.num_stencils = 10;
+  cfg.samples_per_oc = 3;
+  cfg.seed = 424242;
+  return cfg;
+}
+
+/// Bitwise comparison that treats any-NaN-pattern as its canonical bits —
+/// the same canonicalization dataset_checksum applies.
+std::uint64_t time_bits(double t) {
+  return std::isnan(t) ? 0x7ff8000000000000ULL : std::bit_cast<std::uint64_t>(t);
+}
+
+TEST(Determinism, ProfileDatasetBitIdenticalSerialVsParallel) {
+  const auto parallel = build_profile_dataset(small_config(3));
+  ProfileDataset serial;
+  {
+    util::SerialSection force_serial;
+    serial = build_profile_dataset(small_config(3));
+  }
+
+  ASSERT_EQ(parallel.stencils.size(), serial.stencils.size());
+  for (std::size_t s = 0; s < parallel.stencils.size(); ++s) {
+    EXPECT_EQ(parallel.stencils[s], serial.stencils[s]);
+    ASSERT_EQ(parallel.settings[s].size(), serial.settings[s].size());
+    for (std::size_t oc = 0; oc < parallel.settings[s].size(); ++oc) {
+      EXPECT_EQ(parallel.settings[s][oc], serial.settings[s][oc]);
+    }
+    for (std::size_t g = 0; g < parallel.num_gpus(); ++g) {
+      for (std::size_t oc = 0; oc < ProfileDataset::num_ocs(); ++oc) {
+        const auto& pt = parallel.times[s][g][oc];
+        const auto& st = serial.times[s][g][oc];
+        ASSERT_EQ(pt.size(), st.size());
+        for (std::size_t k = 0; k < pt.size(); ++k) {
+          ASSERT_EQ(time_bits(pt[k]), time_bits(st[k]))
+              << "stencil " << s << " gpu " << g << " oc " << oc << " sample "
+              << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(Determinism, DatasetChecksumThreadCountInvariant) {
+  const auto parallel = build_profile_dataset(small_config(2));
+  std::uint64_t serial_sum = 0;
+  {
+    util::SerialSection force_serial;
+    serial_sum = dataset_checksum(build_profile_dataset(small_config(2)));
+  }
+  EXPECT_EQ(dataset_checksum(parallel), serial_sum);
+  // Stable across repeated parallel builds too.
+  EXPECT_EQ(dataset_checksum(build_profile_dataset(small_config(2))),
+            serial_sum);
+}
+
+TEST(Determinism, RandomSearchTunerTuneAllThreadCountInvariant) {
+  const gpusim::Simulator sim;
+  const gpusim::RandomSearchTuner tuner(sim, 6);
+  const auto pattern = stencil::make_star(3, 2);
+  const auto problem = gpusim::ProblemSize::paper_default(3);
+  const auto& gpu = gpusim::gpu_by_name("V100");
+
+  util::Rng rng_par(77);
+  const auto parallel = tuner.tune_all(pattern, problem, gpu, rng_par);
+
+  std::vector<gpusim::TunedResult> serial;
+  {
+    util::SerialSection force_serial;
+    util::Rng rng_ser(77);
+    serial = tuner.tune_all(pattern, problem, gpu, rng_ser);
+  }
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    const auto& a = parallel[i];
+    const auto& b = serial[i];
+    EXPECT_EQ(a.oc.name(), b.oc.name());
+    EXPECT_EQ(a.samples_tried, b.samples_tried);
+    EXPECT_EQ(a.samples_crashed, b.samples_crashed);
+    ASSERT_EQ(a.best_setting.has_value(), b.best_setting.has_value());
+    if (a.best_setting) {
+      EXPECT_EQ(*a.best_setting, *b.best_setting);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a.best_time_ms),
+                std::bit_cast<std::uint64_t>(b.best_time_ms));
+    }
+    ASSERT_EQ(a.measurements.size(), b.measurements.size());
+    for (std::size_t k = 0; k < a.measurements.size(); ++k) {
+      EXPECT_EQ(a.measurements[k].first, b.measurements[k].first);
+      EXPECT_EQ(time_bits(a.measurements[k].second),
+                time_bits(b.measurements[k].second));
+    }
+  }
+  // Both rngs must have advanced identically, so a follow-up draw agrees.
+  util::Rng probe_a(77);
+  util::Rng probe_b(77);
+  {
+    auto r1 = tuner.tune_all(pattern, problem, gpu, probe_a);
+    util::SerialSection force_serial;
+    auto r2 = tuner.tune_all(pattern, problem, gpu, probe_b);
+    (void)r1;
+    (void)r2;
+  }
+  EXPECT_EQ(probe_a.uniform_int(0, 1 << 30), probe_b.uniform_int(0, 1 << 30));
+}
+
+}  // namespace
+}  // namespace smart::core

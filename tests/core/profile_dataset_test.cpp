@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace smart::core {
 namespace {
@@ -117,6 +118,68 @@ TEST(ProfileDataset, InstancesCounted) {
   // At most stencils x OCs x samples distinct instances.
   EXPECT_LE(ds.num_instances(),
             8u * ProfileDataset::num_ocs() * 2u);
+}
+
+TEST(ProfileDataset, AllNanOcReportsCrashedSentinels) {
+  // Synthetic dataset: OC 0 crashed on every sampled setting, OC 1 has one
+  // survivor. The crashed-variant accessors must report the documented
+  // sentinels (+inf best time, -1 best setting, ok == false).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  ProfileDataset ds;
+  ds.gpus = {gpusim::gpu_by_name("V100")};
+  ds.stencils = {stencil::make_star(2, 1)};
+  // One time vector per valid OC (best_oc scans all of them): OC 0 crashed
+  // on both samples, OC 1 survived once, the rest are slow-but-alive.
+  ds.settings.assign(
+      1, std::vector<std::vector<gpusim::ParamSetting>>(
+             ProfileDataset::num_ocs(), {gpusim::ParamSetting{},
+                                         gpusim::ParamSetting{}}));
+  ds.times.assign(1, {std::vector<std::vector<double>>(
+                         ProfileDataset::num_ocs(), {50.0, 60.0})});
+  ds.times[0][0][0] = {nan, nan};
+  ds.times[0][0][1] = {nan, 3.5};
+
+  EXPECT_FALSE(ds.oc_ok(0, 0, 0));
+  EXPECT_EQ(ds.oc_best_time(0, 0, 0), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(ds.oc_best_setting(0, 0, 0), -1);
+
+  EXPECT_TRUE(ds.oc_ok(0, 0, 1));
+  EXPECT_DOUBLE_EQ(ds.oc_best_time(0, 0, 1), 3.5);
+  EXPECT_EQ(ds.oc_best_setting(0, 0, 1), 1);
+
+  EXPECT_EQ(ds.best_oc(0, 0), 1);
+  EXPECT_DOUBLE_EQ(ds.best_time(0, 0), 3.5);
+}
+
+TEST(ProfileDataset, CrashedSentinelsConsistentUnderParallelBuild) {
+  // Scan a parallel-built 3D corpus (3D is where SH/MB combinations crash;
+  // see simulator.hpp) and require the crashed-variant trio to agree for
+  // every (stencil, gpu, oc) cell the parallel build produced.
+  ProfileConfig cfg = tiny_config(3);
+  cfg.num_stencils = 16;
+  const auto ds = build_profile_dataset(cfg);
+  std::size_t all_nan_cells = 0;
+  for (std::size_t s = 0; s < ds.stencils.size(); ++s) {
+    for (std::size_t g = 0; g < ds.num_gpus(); ++g) {
+      for (std::size_t oc = 0; oc < ProfileDataset::num_ocs(); ++oc) {
+        const bool ok = ds.oc_ok(s, g, oc);
+        const double best = ds.oc_best_time(s, g, oc);
+        const int k = ds.oc_best_setting(s, g, oc);
+        if (ok) {
+          ASSERT_GE(k, 0);
+          ASSERT_TRUE(std::isfinite(best));
+          EXPECT_DOUBLE_EQ(ds.times[s][g][oc][static_cast<std::size_t>(k)],
+                           best);
+        } else {
+          ++all_nan_cells;
+          EXPECT_EQ(k, -1);
+          EXPECT_EQ(best, std::numeric_limits<double>::infinity());
+          for (double t : ds.times[s][g][oc]) EXPECT_TRUE(std::isnan(t));
+        }
+      }
+    }
+  }
+  EXPECT_GT(all_nan_cells, 0u) << "expected at least one all-crashed OC cell";
 }
 
 TEST(ProfileDataset, CrashesPresentFor3d) {

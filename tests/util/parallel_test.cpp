@@ -1,4 +1,4 @@
-#include "util/parallel.hpp"
+#include "util/task_pool.hpp"
 
 #include <gtest/gtest.h>
 

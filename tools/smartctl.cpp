@@ -3,12 +3,21 @@
 #include <vector>
 
 #include "cli/cli.hpp"
+#include "util/env.hpp"
+#include "util/timing.hpp"
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   try {
-    return smart::cli::run_command(smart::cli::parse_command_line(args),
-                                   std::cout);
+    const int rc = smart::cli::run_command(smart::cli::parse_command_line(args),
+                                           std::cout);
+    // SMART_TIMING=1 dumps the per-phase counters every command accumulated
+    // (wall time + task counts for profiling, tuning and training phases).
+    if (smart::util::env_int("SMART_TIMING", 0) != 0) {
+      const std::string report = smart::util::timing_report();
+      if (!report.empty()) std::cout << '\n' << report;
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "smartctl: " << e.what() << "\n\n" << smart::cli::usage();
     return 1;
