@@ -32,3 +32,11 @@ if [[ "$one" != "$many" ]]; then
   exit 1
 fi
 echo "OK: checksums identical across thread counts"
+
+echo "== bench smoke: batched advisor inference =="
+# Small corpus (SMART_SCALE) keeps this a smoke test; the bench itself
+# fails (exit 1) if any batched prediction is not bit-identical to the
+# per-variant call, and appends a trajectory point to BENCH_advisor.json.
+SMART_SCALE=${SMART_BENCH_SCALE:-0.05} \
+  SMART_BENCH_JSON="$PWD/BENCH_advisor.json" \
+  "$BUILD_DIR/bench/bench_advisor_batch"

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/timing.hpp"
+
 namespace smart::core {
 
 AdvisorResult GpuAdvisor::pure_performance(std::size_t max_instances) const {
@@ -26,38 +28,43 @@ AdvisorResult GpuAdvisor::run(bool cost_weighted,
   std::vector<std::size_t> hit_counts(ds.num_gpus(), 0);
   std::size_t overall_hits = 0;
 
-  // Walk distinct (stencil, oc, setting) triples: instances_ contains one
-  // entry per GPU the triple ran on, ordered by GPU within a triple, so a
-  // triple's first occurrence marks it.
-  std::size_t examined = 0;
-  const auto& instances = task_->instances();
-  for (std::size_t idx = 0; idx < instances.size(); ++idx) {
-    const RegressionInstance& ins = instances[idx];
-    if (idx > 0) {
-      const RegressionInstance& prev = instances[idx - 1];
-      if (prev.stencil == ins.stencil && prev.oc == ins.oc &&
-          prev.setting == ins.setting) {
-        continue;  // same triple, later GPU
-      }
+  // Pass 1: select the examined triples. triple_starts() gives each
+  // distinct (stencil, oc, setting)'s first instance (the grouping is
+  // validated at RegressionTask construction); a triple participates when
+  // its variant ran on at least two pooled GPUs — a crash on one
+  // architecture, e.g. P100's 48 KB smem/block limit, makes the others the
+  // only viable rentals, exactly the decision the case study informs.
+  std::vector<std::size_t> selected;
+  for (std::size_t idx : task_->triple_starts()) {
+    if (max_instances > 0 && selected.size() >= max_instances) break;
+    int viable = 0;
+    for (std::size_t g : gpu_pool) {
+      if (!std::isnan(task_->measured(idx, g))) ++viable;
     }
-    if (max_instances > 0 && examined >= max_instances) break;
+    if (viable >= 2) selected.push_back(idx);
+  }
 
-    // Ground truth and prediction over the GPUs where the variant ran
-    // (a crash on one architecture, e.g. P100's 48 KB smem/block limit,
-    // makes the others the only viable rentals — exactly the decision the
-    // case study informs). Requires at least two viable GPUs.
+  // Pass 2: one batched prediction sweep over selected triples x pooled
+  // GPUs (each cell bit-identical to a per-row predict() call, so the
+  // argmin decisions below match the old per-call loop exactly).
+  const util::PhaseTimer timer("advisor.run",
+                               selected.size() * gpu_pool.size());
+  const PredictionTable table = task_->predict_table(selected, gpu_pool);
+
+  // Pass 3: serial argmin scoring per triple.
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const std::size_t idx = selected[i];
     std::size_t truth_best = 0;
     std::size_t pred_best = 0;
     double truth_score = std::numeric_limits<double>::infinity();
     double pred_score = std::numeric_limits<double>::infinity();
-    int viable = 0;
-    for (std::size_t g : gpu_pool) {
+    for (std::size_t gi = 0; gi < gpu_pool.size(); ++gi) {
+      const std::size_t g = gpu_pool[gi];
       const double measured = task_->measured(idx, g);
       if (std::isnan(measured)) continue;
-      ++viable;
       const double weight = cost_weighted ? ds.gpus[g].rental_usd_hr : 1.0;
       const double t_score = measured * weight;
-      const double p_score = task_->predict(idx, g) * weight;
+      const double p_score = table.at(i, gi) * weight;
       if (t_score < truth_score) {
         truth_score = t_score;
         truth_best = g;
@@ -67,14 +74,13 @@ AdvisorResult GpuAdvisor::run(bool cost_weighted,
         pred_best = g;
       }
     }
-    if (viable < 2) continue;
-    ++examined;
     ++truth_counts[truth_best];
     if (pred_best == truth_best) {
       ++hit_counts[truth_best];
       ++overall_hits;
     }
   }
+  const std::size_t examined = selected.size();
 
   result.instances = examined;
   result.overall_accuracy =

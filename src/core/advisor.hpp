@@ -37,6 +37,10 @@ class GpuAdvisor {
   AdvisorResult cost_efficiency(std::size_t max_instances = 0) const;
 
  private:
+  /// Three passes: serial triple selection, one batched
+  /// RegressionTask::predict_table sweep over triples x pooled GPUs, serial
+  /// argmin scoring. Decisions are bit-identical to per-instance predict()
+  /// calls (the batched predictions are), just much cheaper.
   AdvisorResult run(bool cost_weighted, std::size_t max_instances) const;
 
   const RegressionTask* task_;

@@ -1,0 +1,112 @@
+#include "core/encoding_cache.hpp"
+
+#include <algorithm>
+
+#include "gpusim/opt.hpp"
+#include "gpusim/params.hpp"
+#include "stencil/features.hpp"
+#include "stencil/tensor_repr.hpp"
+#include "util/task_pool.hpp"
+#include "util/timing.hpp"
+
+namespace smart::core {
+
+namespace {
+
+/// Narrows a double feature vector into a float destination exactly as the
+/// old per-row std::vector<float>::insert did (static_cast per element).
+void narrow_into(const std::vector<double>& src, float* dst) {
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = static_cast<float>(src[i]);
+  }
+}
+
+}  // namespace
+
+EncodingCache::EncodingCache(const ProfileDataset& ds) {
+  num_stencils_ = ds.stencils.size();
+  num_ocs_ = ProfileDataset::num_ocs();
+  const int max_order = ds.config.max_order;
+  stencil_dim_ = static_cast<std::size_t>(3 + 2 * max_order);
+  std::size_t extent = static_cast<std::size_t>(2 * max_order + 1);
+  tensor_dim_ = 1;
+  for (int d = 0; d < ds.config.dims; ++d) tensor_dim_ *= extent;
+  oc_dim_ = static_cast<std::size_t>(gpusim::kNumOpts);
+  setting_dim_ = gpusim::ParamSetting{}.to_feature_vector().size();
+  gpu_dim_ = gpusim::GpuSpec{}.feature_vector().size();
+  problem_dim_ = gpusim::ProblemSize{}.feature_vector().size();
+
+  const util::PhaseTimer encode_timer("infer.encode", num_stencils_);
+
+  // OC flag rows (one per valid combination).
+  const auto& ocs = gpusim::valid_combinations();
+  oc_flags_.resize(num_ocs_ * oc_dim_);
+  for (std::size_t oc = 0; oc < num_ocs_; ++oc) {
+    for (int b = 0; b < gpusim::kNumOpts; ++b) {
+      oc_flags_[oc * oc_dim_ + static_cast<std::size_t>(b)] =
+          ocs[oc].has(static_cast<gpusim::Opt>(b)) ? 1.0f : 0.0f;
+    }
+  }
+
+  // GPU hardware feature rows.
+  gpu_feats_.resize(ds.gpus.size() * gpu_dim_);
+  for (std::size_t g = 0; g < ds.gpus.size(); ++g) {
+    narrow_into(ds.gpus[g].feature_vector(), gpu_feats_.data() + g * gpu_dim_);
+  }
+
+  // Setting-row offsets: serial prefix sum (counts may vary per OC), then
+  // the per-stencil fills below write disjoint ranges in parallel.
+  setting_offsets_.resize(num_stencils_ * num_ocs_);
+  std::size_t total_settings = 0;
+  for (std::size_t s = 0; s < num_stencils_; ++s) {
+    for (std::size_t oc = 0; oc < num_ocs_; ++oc) {
+      setting_offsets_[s * num_ocs_ + oc] = total_settings * setting_dim_;
+      total_settings += ds.settings[s][oc].size();
+    }
+  }
+  setting_feats_.resize(total_settings * setting_dim_);
+
+  stencil_feats_.resize(num_stencils_ * stencil_dim_);
+  tensors_.resize(num_stencils_ * tensor_dim_);
+  problem_feats_.resize(num_stencils_ * problem_dim_);
+
+  util::parallel_for(num_stencils_, [&](std::size_t s) {
+    narrow_into(
+        stencil::extract_features(ds.stencils[s], max_order).to_vector(),
+        stencil_feats_.data() + s * stencil_dim_);
+    const std::vector<float> t =
+        stencil::PatternTensor(ds.stencils[s], max_order).to_floats();
+    std::copy(t.begin(), t.end(), tensors_.begin() + static_cast<std::ptrdiff_t>(
+                                      s * tensor_dim_));
+    narrow_into(ds.problems[s].feature_vector(),
+                problem_feats_.data() + s * problem_dim_);
+    for (std::size_t oc = 0; oc < num_ocs_; ++oc) {
+      float* base = setting_feats_.data() + setting_offsets_[s * num_ocs_ + oc];
+      for (std::size_t k = 0; k < ds.settings[s][oc].size(); ++k) {
+        narrow_into(ds.settings[s][oc][k].to_feature_vector(),
+                    base + k * setting_dim_);
+      }
+    }
+  });
+}
+
+void EncodingCache::assemble_aux_row(std::span<float> dst, std::size_t stencil,
+                                     std::size_t oc, std::size_t setting,
+                                     std::size_t gpu,
+                                     bool include_stencil_features) const {
+  float* out = dst.data();
+  if (include_stencil_features) {
+    const auto sf = stencil_features(stencil);
+    out = std::copy(sf.begin(), sf.end(), out);
+  }
+  const auto of = oc_flags(oc);
+  out = std::copy(of.begin(), of.end(), out);
+  const auto pf = setting_features(stencil, oc, setting);
+  out = std::copy(pf.begin(), pf.end(), out);
+  const auto gf = gpu_features(gpu);
+  out = std::copy(gf.begin(), gf.end(), out);
+  const auto prob_f = problem_features(stencil);
+  std::copy(prob_f.begin(), prob_f.end(), out);
+}
+
+}  // namespace smart::core

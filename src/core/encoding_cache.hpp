@@ -1,0 +1,95 @@
+// Per-stencil encoding cache for the batched inference engine: the Table II
+// feature vector, the (2N+1)^d binary tensor, the per-instance parameter
+// setting features and the per-OC / per-GPU / per-problem segments of a
+// regression feature row are each computed ONCE per dataset entity, not
+// once per (stencil, OC, setting, GPU) instance. Feature rows then assemble
+// by copying cached float segments, which removes all per-row recomputation
+// and heap churn from RegressionTask's feature building and from the GPU
+// advisor's prediction sweeps.
+//
+// Every cached value is the same double->float narrowing of the same
+// deterministic function the uncached per-row path evaluated, so assembled
+// rows are bit-identical to RegressionTask::feature_row output.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/profile_dataset.hpp"
+
+namespace smart::core {
+
+class EncodingCache {
+ public:
+  /// Encodes every stencil/OC/GPU of `ds` (parallel over stencils; each
+  /// stencil writes disjoint ranges, so the build is thread-count
+  /// invariant). Records the "infer.encode" timing phase.
+  explicit EncodingCache(const ProfileDataset& ds);
+
+  std::size_t num_stencils() const noexcept { return num_stencils_; }
+
+  /// Table II feature-vector length (3 + 2 * max_order).
+  std::size_t stencil_dim() const noexcept { return stencil_dim_; }
+  /// Binary tensor length (2 * max_order + 1)^dims.
+  std::size_t tensor_dim() const noexcept { return tensor_dim_; }
+  /// Full auxiliary feature-row length, with or without the leading
+  /// Table II segment (ConvMLP consumes the tensor instead).
+  std::size_t aux_dim(bool include_stencil_features) const noexcept {
+    return (include_stencil_features ? stencil_dim_ : 0) + oc_dim_ +
+           setting_dim_ + gpu_dim_ + problem_dim_;
+  }
+
+  std::span<const float> stencil_features(std::size_t stencil) const {
+    return {stencil_feats_.data() + stencil * stencil_dim_, stencil_dim_};
+  }
+  std::span<const float> tensor(std::size_t stencil) const {
+    return {tensors_.data() + stencil * tensor_dim_, tensor_dim_};
+  }
+  std::span<const float> oc_flags(std::size_t oc) const {
+    return {oc_flags_.data() + oc * oc_dim_, oc_dim_};
+  }
+  std::span<const float> setting_features(std::size_t stencil, std::size_t oc,
+                                          std::size_t k) const {
+    return {setting_feats_.data() +
+                setting_offsets_[stencil * num_ocs_ + oc] + k * setting_dim_,
+            setting_dim_};
+  }
+  std::span<const float> gpu_features(std::size_t gpu) const {
+    return {gpu_feats_.data() + gpu * gpu_dim_, gpu_dim_};
+  }
+  std::span<const float> problem_features(std::size_t stencil) const {
+    return {problem_feats_.data() + stencil * problem_dim_, problem_dim_};
+  }
+
+  /// Assembles the auxiliary feature row of one profiled (stencil, OC,
+  /// setting, GPU) instance into `dst` (length aux_dim(...)). The segment
+  /// order matches RegressionTask::feature_row: [stencil features?]
+  /// [OC flags] [setting] [GPU] [problem].
+  void assemble_aux_row(std::span<float> dst, std::size_t stencil,
+                        std::size_t oc, std::size_t setting, std::size_t gpu,
+                        bool include_stencil_features) const;
+
+ private:
+  std::size_t num_stencils_ = 0;
+  std::size_t num_ocs_ = 0;
+  std::size_t stencil_dim_ = 0;
+  std::size_t tensor_dim_ = 0;
+  std::size_t oc_dim_ = 0;
+  std::size_t setting_dim_ = 0;
+  std::size_t gpu_dim_ = 0;
+  std::size_t problem_dim_ = 0;
+
+  // Flattened row-major segment pools (strides = the *_dim_ fields).
+  std::vector<float> stencil_feats_;
+  std::vector<float> tensors_;
+  std::vector<float> oc_flags_;
+  std::vector<float> setting_feats_;
+  std::vector<float> gpu_feats_;
+  std::vector<float> problem_feats_;
+  /// Absolute float offset of (stencil, oc)'s first setting row in
+  /// setting_feats_ (settings per OC may vary, so offsets are prefix sums).
+  std::vector<std::size_t> setting_offsets_;
+};
+
+}  // namespace smart::core

@@ -69,6 +69,12 @@ class StencilMart {
  private:
   std::size_t gpu_index(const std::string& name) const;
 
+  /// Classification + tuning for one GPU, without the regression estimate
+  /// (predicted_time_ms stays 0). advise() adds a single prediction;
+  /// recommend_gpu() batches the predictions of all GPUs into one call.
+  OcAdvice advise_variant(const stencil::StencilPattern& pattern,
+                          std::size_t g) const;
+
   MartConfig config_;
   bool trained_ = false;
   std::unique_ptr<ProfileDataset> dataset_;

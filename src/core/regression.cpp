@@ -3,14 +3,26 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <tuple>
 
 #include "gpusim/opt.hpp"
 #include "ml/dataset.hpp"
 #include "stencil/features.hpp"
 #include "stencil/tensor_repr.hpp"
 #include "util/stats.hpp"
+#include "util/task_pool.hpp"
+#include "util/timing.hpp"
 
 namespace smart::core {
+
+namespace {
+
+/// Rows per batched-inference block: bounds the transient feature/tensor
+/// matrices (a ConvMLP tensor row is (2N+1)^d floats) while keeping model
+/// calls large enough to amortize their fixed cost.
+constexpr std::size_t kPredictRows = 512;
+
+}  // namespace
 
 std::string to_string(RegressorKind kind) {
   switch (kind) {
@@ -23,7 +35,7 @@ std::string to_string(RegressorKind kind) {
 
 RegressionTask::RegressionTask(const ProfileDataset& dataset,
                                RegressionConfig config)
-    : dataset_(&dataset), config_(config) {
+    : dataset_(&dataset), config_(config), cache_(dataset) {
   for (std::size_t s = 0; s < dataset.stencils.size(); ++s) {
     for (std::size_t oc = 0; oc < ProfileDataset::num_ocs(); ++oc) {
       for (std::size_t k = 0; k < dataset.settings[s][oc].size(); ++k) {
@@ -45,6 +57,34 @@ RegressionTask::RegressionTask(const ProfileDataset& dataset,
     for (std::size_t i : keep) subset.push_back(instances_[i]);
     instances_ = std::move(subset);
   }
+  validate_instance_grouping();
+}
+
+void RegressionTask::validate_instance_grouping() const {
+  for (std::size_t i = 1; i < instances_.size(); ++i) {
+    const RegressionInstance& p = instances_[i - 1];
+    const RegressionInstance& c = instances_[i];
+    const auto pt = std::tie(p.stencil, p.oc, p.setting);
+    const auto ct = std::tie(c.stencil, c.oc, c.setting);
+    if (ct < pt || (ct == pt && c.gpu <= p.gpu)) {
+      throw std::logic_error(
+          "RegressionTask: instances not grouped by (stencil, OC, setting) "
+          "with strictly increasing GPU — GpuAdvisor and triple_starts() "
+          "rely on triple-major ordering");
+    }
+  }
+}
+
+std::vector<std::size_t> RegressionTask::triple_starts() const {
+  std::vector<std::size_t> starts;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (i == 0 || instances_[i].stencil != instances_[i - 1].stencil ||
+        instances_[i].oc != instances_[i - 1].oc ||
+        instances_[i].setting != instances_[i - 1].setting) {
+      starts.push_back(i);
+    }
+  }
+  return starts;
 }
 
 double RegressionTask::measured(std::size_t idx, std::size_t gpu) const {
@@ -52,46 +92,18 @@ double RegressionTask::measured(std::size_t idx, std::size_t gpu) const {
   return dataset_->times[ins.stencil][gpu][ins.oc][ins.setting];
 }
 
-std::vector<float> RegressionTask::feature_row(
-    const stencil::StencilPattern& pattern, const gpusim::ProblemSize& problem,
-    std::size_t oc_idx, const gpusim::ParamSetting& setting, std::size_t gpu,
-    bool include_stencil_features) const {
-  const auto& ocs = gpusim::valid_combinations();
-  std::vector<float> f;
-  if (include_stencil_features) {
-    const auto sf =
-        stencil::extract_features(pattern, dataset_->config.max_order)
-            .to_vector();
-    f.insert(f.end(), sf.begin(), sf.end());
-  }
-  const gpusim::OptCombination& oc = ocs[oc_idx];
-  for (int b = 0; b < gpusim::kNumOpts; ++b) {
-    f.push_back(oc.has(static_cast<gpusim::Opt>(b)) ? 1.0f : 0.0f);
-  }
-  const auto pf = setting.to_feature_vector();
-  f.insert(f.end(), pf.begin(), pf.end());
-  const auto gf = dataset_->gpus[gpu].feature_vector();
-  f.insert(f.end(), gf.begin(), gf.end());
-  // Grid-size + boundary model inputs (future-work extension; constant
-  // columns when the dataset does not vary them, which MaxAbs scaling and
-  // tree splits both tolerate).
-  const auto prob_f = problem.feature_vector();
-  f.insert(f.end(), prob_f.begin(), prob_f.end());
-  return f;
-}
-
 ml::Matrix RegressionTask::build_aux_features(
     const std::vector<RegressionInstance>& rows,
     bool include_stencil_features) const {
-  std::vector<std::vector<float>> out;
-  out.reserve(rows.size());
-  for (const RegressionInstance& ins : rows) {
-    out.push_back(feature_row(dataset_->stencils[ins.stencil],
-                              dataset_->problems[ins.stencil], ins.oc,
-                              dataset_->settings[ins.stencil][ins.oc][ins.setting],
-                              ins.gpu, include_stencil_features));
-  }
-  return ml::Matrix::from_rows(out);
+  // Rows assemble from cached segments (bit-identical to feature_row) and
+  // write disjoint matrix rows, so the fill is thread-count invariant.
+  ml::Matrix out(rows.size(), cache_.aux_dim(include_stencil_features));
+  util::parallel_for(rows.size(), [&](std::size_t i) {
+    const RegressionInstance& ins = rows[i];
+    cache_.assemble_aux_row(out.row(i), ins.stencil, ins.oc, ins.setting,
+                            ins.gpu, include_stencil_features);
+  });
+  return out;
 }
 
 double RegressionTask::predict_variant(const stencil::StencilPattern& pattern,
@@ -99,35 +111,107 @@ double RegressionTask::predict_variant(const stencil::StencilPattern& pattern,
                                        std::size_t oc,
                                        const gpusim::ParamSetting& setting,
                                        std::size_t gpu) const {
+  const VariantQuery query{&pattern, problem, oc, setting, gpu};
+  return predict_variants({&query, 1})[0];
+}
+
+std::vector<double> RegressionTask::predict_variants(
+    std::span<const VariantQuery> queries) const {
   if (!fitted_) throw std::logic_error("predict_variant before fit_full");
-  double pred_log = 0.0;
-  if (fitted_kind_ == RegressorKind::kGbr) {
-    const auto row = feature_row(pattern, problem, oc, setting, gpu, true);
-    pred_log = gbr_->predict_row(row);
-  } else if (fitted_kind_ == RegressorKind::kMlp) {
-    const ml::Matrix x = aux_scaler_.transform(
-        ml::Matrix::from_rows({feature_row(pattern, problem, oc, setting, gpu, true)}));
-    pred_log = mlp_->predict(x)[0];
-  } else {
-    const ml::Matrix aux = aux_scaler_.transform(
-        ml::Matrix::from_rows({feature_row(pattern, problem, oc, setting, gpu, false)}));
-    const ml::Matrix tensors = ml::Matrix::from_rows(
-        {stencil::PatternTensor(pattern, dataset_->config.max_order).to_floats()});
-    pred_log = convmlp_->predict(tensors, aux)[0];
+  const util::PhaseTimer timer("infer.predict_batch", queries.size());
+  const bool include_sf = fitted_kind_ != RegressorKind::kConvMlp;
+  const bool want_tensor = fitted_kind_ == RegressorKind::kConvMlp;
+  const std::size_t dim = cache_.aux_dim(include_sf);
+
+  // Per-call pattern memo: a one-pattern sweep over GPUs/settings (the
+  // facade's recommend_gpu) encodes the stencil once, not once per query.
+  struct PatternEncoding {
+    const stencil::StencilPattern* pattern = nullptr;
+    std::vector<float> features;
+    std::vector<float> tensor;
+  };
+  std::vector<PatternEncoding> memo;
+  auto encode = [&](const stencil::StencilPattern* p) -> std::size_t {
+    for (std::size_t m = 0; m < memo.size(); ++m) {
+      if (memo[m].pattern == p) return m;
+    }
+    PatternEncoding e;
+    e.pattern = p;
+    if (include_sf) {
+      const auto sf =
+          stencil::extract_features(*p, dataset_->config.max_order).to_vector();
+      e.features.reserve(sf.size());
+      for (double v : sf) e.features.push_back(static_cast<float>(v));
+    }
+    if (want_tensor) {
+      e.tensor =
+          stencil::PatternTensor(*p, dataset_->config.max_order).to_floats();
+    }
+    memo.push_back(std::move(e));
+    return memo.size() - 1;
+  };
+
+  std::vector<double> out(queries.size());
+  ml::Matrix aux;
+  ml::Matrix tensors;
+  // memo index -> block-local tensor row (-1 = not yet in this block).
+  std::vector<int> memo_slot;
+  std::vector<std::size_t> tensor_row;
+  for (std::size_t begin = 0; begin < queries.size(); begin += kPredictRows) {
+    const std::size_t n = std::min(queries.size() - begin, kPredictRows);
+    aux.resize(n, dim);
+    if (want_tensor) tensor_row.resize(n);
+    std::vector<std::size_t> uniq;  // memo indices, first-appearance order
+    for (std::size_t i = 0; i < n; ++i) {
+      const VariantQuery& q = queries[begin + i];
+      const std::size_t mi = encode(q.pattern);
+      const PatternEncoding& enc = memo[mi];
+      float* dst = aux.row(i).data();
+      if (include_sf) {
+        dst = std::copy(enc.features.begin(), enc.features.end(), dst);
+      }
+      const auto of = cache_.oc_flags(q.oc);
+      dst = std::copy(of.begin(), of.end(), dst);
+      for (double v : q.setting.to_feature_vector()) {
+        *dst++ = static_cast<float>(v);
+      }
+      const auto gf = cache_.gpu_features(q.gpu);
+      dst = std::copy(gf.begin(), gf.end(), dst);
+      for (double v : q.problem.feature_vector()) {
+        *dst++ = static_cast<float>(v);
+      }
+      if (want_tensor) {
+        memo_slot.resize(memo.size(), -1);
+        if (memo_slot[mi] < 0) {
+          memo_slot[mi] = static_cast<int>(uniq.size());
+          uniq.push_back(mi);
+        }
+        tensor_row[i] = static_cast<std::size_t>(memo_slot[mi]);
+      }
+    }
+    if (want_tensor) {
+      tensors.resize(uniq.size(), cache_.tensor_dim());
+      for (std::size_t u = 0; u < uniq.size(); ++u) {
+        const auto& t = memo[uniq[u]].tensor;
+        std::copy(t.begin(), t.end(), tensors.row(u).begin());
+      }
+      for (const std::size_t mi : uniq) memo_slot[mi] = -1;
+    }
+    const std::vector<double> preds =
+        predict_block_log(aux, &tensors, tensor_row);
+    for (std::size_t i = 0; i < n; ++i) out[begin + i] = std::exp2(preds[i]);
   }
-  return std::exp2(pred_log);
+  return out;
 }
 
 ml::Matrix RegressionTask::build_tensor_features(
     const std::vector<RegressionInstance>& rows) const {
-  std::vector<std::vector<float>> out;
-  out.reserve(rows.size());
-  for (const RegressionInstance& ins : rows) {
-    out.push_back(stencil::PatternTensor(dataset_->stencils[ins.stencil],
-                                         dataset_->config.max_order)
-                      .to_floats());
-  }
-  return ml::Matrix::from_rows(out);
+  ml::Matrix out(rows.size(), cache_.tensor_dim());
+  util::parallel_for(rows.size(), [&](std::size_t i) {
+    const auto t = cache_.tensor(rows[i].stencil);
+    std::copy(t.begin(), t.end(), out.row(i).begin());
+  });
+  return out;
 }
 
 std::vector<float> RegressionTask::build_targets(
@@ -253,25 +337,109 @@ void RegressionTask::fit_full(RegressorKind kind) {
   fitted_ = true;
 }
 
-double RegressionTask::predict(std::size_t idx, std::size_t gpu) const {
-  if (!fitted_) throw std::logic_error("RegressionTask::predict before fit_full");
-  RegressionInstance probe = instances_[idx];
-  probe.gpu = gpu;
-  const std::vector<RegressionInstance> rows{probe};
-  double pred_log = 0.0;
+std::vector<double> RegressionTask::predict_block_log(
+    const ml::Matrix& aux, const ml::Matrix* unique_tensors,
+    std::span<const std::size_t> tensor_row) const {
   if (fitted_kind_ == RegressorKind::kGbr) {
-    const ml::Matrix x = build_aux_features(rows, true);
-    pred_log = gbr_->predict_row(x.row(0));
-  } else if (fitted_kind_ == RegressorKind::kMlp) {
-    const ml::Matrix x = aux_scaler_.transform(build_aux_features(rows, true));
-    pred_log = mlp_->predict(x)[0];
-  } else {
-    const ml::Matrix aux =
-        aux_scaler_.transform(build_aux_features(rows, false));
-    const ml::Matrix tensors = build_tensor_features(rows);
-    pred_log = convmlp_->predict(tensors, aux)[0];
+    // GBR consumes raw (unscaled) features, matching fit_full.
+    return gbr_->predict(aux);
   }
-  return std::exp2(pred_log);
+  if (fitted_kind_ == RegressorKind::kMlp) {
+    return mlp_->predict(aux_scaler_.transform(aux));
+  }
+  return convmlp_->predict_gathered(*unique_tensors, tensor_row,
+                                    aux_scaler_.transform(aux));
+}
+
+void RegressionTask::predict_pairs(
+    std::span<const std::pair<std::size_t, std::size_t>> pairs,
+    std::span<double> out_ms) const {
+  if (!fitted_) throw std::logic_error("RegressionTask::predict before fit_full");
+  const util::PhaseTimer timer("infer.predict_batch", pairs.size());
+  const bool include_sf = fitted_kind_ != RegressorKind::kConvMlp;
+  const std::size_t dim = cache_.aux_dim(include_sf);
+  ml::Matrix aux;
+  ml::Matrix tensors;
+  // stencil -> block-local tensor row; reset (for touched entries only)
+  // after each block.
+  std::vector<int> stencil_slot;
+  if (fitted_kind_ == RegressorKind::kConvMlp) {
+    stencil_slot.assign(cache_.num_stencils(), -1);
+  }
+  std::vector<std::size_t> tensor_row;
+  for (std::size_t begin = 0; begin < pairs.size(); begin += kPredictRows) {
+    const std::size_t n = std::min(pairs.size() - begin, kPredictRows);
+    aux.resize(n, dim);
+    util::parallel_for(n, [&](std::size_t i) {
+      const auto& [idx, gpu] = pairs[begin + i];
+      const RegressionInstance& ins = instances_[idx];
+      cache_.assemble_aux_row(aux.row(i), ins.stencil, ins.oc, ins.setting,
+                              gpu, include_sf);
+    });
+    if (fitted_kind_ == RegressorKind::kConvMlp) {
+      // An advisor sweep repeats each stencil across many OC/setting/GPU
+      // rows: the conv branch only needs each distinct tensor once.
+      tensor_row.resize(n);
+      std::vector<std::size_t> uniq;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t s = instances_[pairs[begin + i].first].stencil;
+        if (stencil_slot[s] < 0) {
+          stencil_slot[s] = static_cast<int>(uniq.size());
+          uniq.push_back(s);
+        }
+        tensor_row[i] = static_cast<std::size_t>(stencil_slot[s]);
+      }
+      tensors.resize(uniq.size(), cache_.tensor_dim());
+      util::parallel_for(uniq.size(), [&](std::size_t u) {
+        const auto t = cache_.tensor(uniq[u]);
+        std::copy(t.begin(), t.end(), tensors.row(u).begin());
+      });
+      for (const std::size_t s : uniq) stencil_slot[s] = -1;
+    }
+    const std::vector<double> preds =
+        predict_block_log(aux, &tensors, tensor_row);
+    for (std::size_t i = 0; i < n; ++i) out_ms[begin + i] = std::exp2(preds[i]);
+  }
+}
+
+double RegressionTask::predict(std::size_t idx, std::size_t gpu) const {
+  const std::pair<std::size_t, std::size_t> pair{idx, gpu};
+  double out = 0.0;
+  predict_pairs({&pair, 1}, {&out, 1});
+  return out;
+}
+
+std::vector<double> RegressionTask::predict_batch(
+    std::span<const std::size_t> idxs, std::size_t gpu) const {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(idxs.size());
+  for (std::size_t idx : idxs) pairs.emplace_back(idx, gpu);
+  std::vector<double> out(idxs.size());
+  predict_pairs(pairs, out);
+  return out;
+}
+
+PredictionTable RegressionTask::predict_table(
+    std::span<const std::size_t> idxs, std::span<const std::size_t> gpus) const {
+  PredictionTable table;
+  table.instance_indices.assign(idxs.begin(), idxs.end());
+  table.gpu_indices.assign(gpus.begin(), gpus.end());
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(idxs.size() * gpus.size());
+  for (std::size_t idx : idxs) {
+    for (std::size_t g : gpus) pairs.emplace_back(idx, g);
+  }
+  table.time_ms.resize(pairs.size());
+  predict_pairs(pairs, table.time_ms);
+  return table;
+}
+
+PredictionTable RegressionTask::predict_table() const {
+  std::vector<std::size_t> idxs(instances_.size());
+  for (std::size_t i = 0; i < idxs.size(); ++i) idxs[i] = i;
+  std::vector<std::size_t> gpus(dataset_->num_gpus());
+  for (std::size_t g = 0; g < gpus.size(); ++g) gpus[g] = g;
+  return predict_table(idxs, gpus);
 }
 
 }  // namespace smart::core

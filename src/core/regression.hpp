@@ -9,9 +9,12 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/encoding_cache.hpp"
 #include "core/profile_dataset.hpp"
 #include "ml/gbdt.hpp"
 #include "ml/matrix.hpp"
@@ -51,6 +54,32 @@ struct RegressionCvResult {
   std::vector<double> mape_per_gpu;  // aligned with dataset.gpus
 };
 
+/// Dense instances x GPUs prediction matrix produced by
+/// RegressionTask::predict_table (double precision so every cell is
+/// bit-identical to the corresponding per-row predict() call).
+struct PredictionTable {
+  std::vector<std::size_t> instance_indices;  // row order
+  std::vector<std::size_t> gpu_indices;       // column order
+  std::vector<double> time_ms;                // row-major, rows x cols
+
+  std::size_t rows() const noexcept { return instance_indices.size(); }
+  std::size_t cols() const noexcept { return gpu_indices.size(); }
+  double at(std::size_t row, std::size_t col) const {
+    return time_ms[row * gpu_indices.size() + col];
+  }
+};
+
+/// One out-of-dataset prediction request for predict_variants(): an
+/// arbitrary (pattern, problem, OC, setting, GPU) variant. `pattern` must
+/// outlive the call; repeated pattern pointers are encoded once.
+struct VariantQuery {
+  const stencil::StencilPattern* pattern = nullptr;
+  gpusim::ProblemSize problem{};
+  std::size_t oc = 0;
+  gpusim::ParamSetting setting{};
+  std::size_t gpu = 0;
+};
+
 class RegressionTask {
  public:
   RegressionTask(const ProfileDataset& dataset, RegressionConfig config);
@@ -62,32 +91,52 @@ class RegressionTask {
   void fit_full(RegressorKind kind);
 
   /// Predicted time (ms) of instance `idx`'s (stencil, OC, setting) on an
-  /// arbitrary GPU of the dataset. Requires fit_full() first.
+  /// arbitrary GPU of the dataset. Requires fit_full() first. Delegates to
+  /// the batched path, so it is bit-identical to predict_batch/predict_table.
   double predict(std::size_t idx, std::size_t gpu) const;
+
+  /// Batched form of predict(): one model invocation per feature block
+  /// instead of one per instance. out[i] corresponds to (idxs[i], gpu) and
+  /// is bit-identical to predict(idxs[i], gpu). Requires fit_full().
+  std::vector<double> predict_batch(std::span<const std::size_t> idxs,
+                                    std::size_t gpu) const;
+
+  /// Fills an instances x GPUs prediction matrix in one batched pass (the
+  /// GPU advisor's sweep). Every cell is bit-identical to the per-row
+  /// predict() call. Requires fit_full().
+  PredictionTable predict_table(std::span<const std::size_t> idxs,
+                                std::span<const std::size_t> gpus) const;
+  /// All instances x all dataset GPUs.
+  PredictionTable predict_table() const;
 
   const std::vector<RegressionInstance>& instances() const noexcept {
     return instances_;
   }
   const ProfileDataset& dataset() const noexcept { return *dataset_; }
+  const EncodingCache& encoding_cache() const noexcept { return cache_; }
+
+  /// First instance index of each distinct (stencil, OC, setting) triple,
+  /// in instance order (the grouping is validated at construction).
+  std::vector<std::size_t> triple_starts() const;
 
   /// Measured time of instance idx's triple on `gpu` (NaN if crashed).
   double measured(std::size_t idx, std::size_t gpu) const;
 
   /// Predicted time (ms) for an arbitrary variant that need not be in the
   /// dataset — the entry point the StencilMart facade uses for unseen
-  /// stencils. Requires fit_full().
+  /// stencils. Requires fit_full(). Delegates to predict_variants().
   double predict_variant(const stencil::StencilPattern& pattern,
                          const gpusim::ProblemSize& problem, std::size_t oc,
                          const gpusim::ParamSetting& setting,
                          std::size_t gpu) const;
 
+  /// Batched form of predict_variant(): out[i] is bit-identical to the
+  /// per-query call. Distinct patterns are encoded once per call, so a
+  /// one-pattern x many-GPU sweep (recommend_gpu) encodes the stencil once.
+  std::vector<double> predict_variants(
+      std::span<const VariantQuery> queries) const;
+
  private:
-  std::vector<float> feature_row(const stencil::StencilPattern& pattern,
-                                 const gpusim::ProblemSize& problem,
-                                 std::size_t oc,
-                                 const gpusim::ParamSetting& setting,
-                                 std::size_t gpu,
-                                 bool include_stencil_features) const;
   ml::Matrix build_aux_features(const std::vector<RegressionInstance>& rows,
                                 bool include_stencil_features) const;
   ml::Matrix build_tensor_features(
@@ -95,9 +144,27 @@ class RegressionTask {
   std::vector<float> build_targets(
       const std::vector<RegressionInstance>& rows) const;
 
+  /// Throws std::logic_error unless instances_ is triple-major: (stencil,
+  /// OC, setting) lexicographically non-decreasing, GPU strictly increasing
+  /// within a triple. GpuAdvisor and triple_starts() rely on this.
+  void validate_instance_grouping() const;
+
+  /// Runs the fitted model over one pre-assembled feature block and returns
+  /// log2(time_ms) per row. ConvMLP reads `unique_tensors` (each distinct
+  /// pattern tensor once) indexed per aux row by `tensor_row`; the other
+  /// kinds ignore both.
+  std::vector<double> predict_block_log(
+      const ml::Matrix& aux, const ml::Matrix* unique_tensors,
+      std::span<const std::size_t> tensor_row) const;
+  /// Shared batched core: pairs[i] = (instance index, GPU index);
+  /// out_ms[i] = predicted milliseconds.
+  void predict_pairs(std::span<const std::pair<std::size_t, std::size_t>> pairs,
+                     std::span<double> out_ms) const;
+
   const ProfileDataset* dataset_;
   RegressionConfig config_;
   std::vector<RegressionInstance> instances_;
+  EncodingCache cache_;
 
   // Fitted state (fit_full).
   RegressorKind fitted_kind_ = RegressorKind::kMlp;

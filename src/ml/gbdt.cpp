@@ -29,6 +29,11 @@ std::vector<double> importance_from_trees(
   return gains;
 }
 
+/// Rows per block of the batched ensemble prediction: small enough that the
+/// block's accumulators stay cache-resident while a tree streams over them,
+/// large enough to amortize the per-tree loop overhead.
+constexpr std::size_t kPredictBlock = 256;
+
 std::vector<std::size_t> subsample_rows(std::size_t n, double fraction,
                                         util::Rng& rng) {
   const auto k = static_cast<std::size_t>(
@@ -85,8 +90,20 @@ double GbdtRegressor::predict_row(std::span<const float> features) const {
 
 std::vector<double> GbdtRegressor::predict(const Matrix& x) const {
   std::vector<double> out(x.rows());
-  util::parallel_for(x.rows(),
-                     [&](std::size_t r) { out[r] = predict_row(x.row(r)); });
+  const std::size_t blocks = (x.rows() + kPredictBlock - 1) / kPredictBlock;
+  // Trees-outer/rows-inner per block: each out[r] adds the trees in
+  // ensemble order, so it is bit-identical to predict_row(x.row(r)); blocks
+  // write disjoint ranges, so the loop is thread-count invariant.
+  util::parallel_for(blocks, [&](std::size_t blk) {
+    const std::size_t begin = blk * kPredictBlock;
+    const std::size_t end = std::min(x.rows(), begin + kPredictBlock);
+    for (std::size_t r = begin; r < end; ++r) out[r] = base_;
+    for (const RegressionTree& t : trees_) {
+      for (std::size_t r = begin; r < end; ++r) {
+        out[r] += params_.learning_rate * t.predict_row(x.row(r));
+      }
+    }
+  });
   return out;
 }
 
@@ -156,34 +173,79 @@ void GbdtClassifier::fit(const Matrix& x, std::span<const int> labels,
   }
 }
 
-std::vector<double> GbdtClassifier::predict_proba_row(
-    std::span<const float> features) const {
-  std::vector<double> scores = base_scores_;
-  for (std::size_t i = 0; i < trees_.size(); ++i) {
-    const int k = static_cast<int>(i % static_cast<std::size_t>(num_classes_));
-    scores[static_cast<std::size_t>(k)] +=
-        params_.learning_rate * trees_[i].predict_row(features);
+void GbdtClassifier::predict_proba_into(std::span<const float> features,
+                                        std::span<double> out) const {
+  if (out.size() != base_scores_.size()) {
+    throw std::invalid_argument("predict_proba_into: bad output size");
   }
-  double max_score = scores[0];
-  for (double s : scores) max_score = std::max(max_score, s);
+  std::copy(base_scores_.begin(), base_scores_.end(), out.begin());
+  for (std::size_t i = 0; i < trees_.size(); ++i) {
+    const std::size_t k = i % static_cast<std::size_t>(num_classes_);
+    out[k] += params_.learning_rate * trees_[i].predict_row(features);
+  }
+  double max_score = out[0];
+  for (double s : out) max_score = std::max(max_score, s);
   double denom = 0.0;
-  for (double& s : scores) {
+  for (double& s : out) {
     s = std::exp(s - max_score);
     denom += s;
   }
-  for (double& s : scores) s /= denom;
+  for (double& s : out) s /= denom;
+}
+
+std::vector<double> GbdtClassifier::predict_proba_row(
+    std::span<const float> features) const {
+  std::vector<double> scores(base_scores_.size());
+  predict_proba_into(features, scores);
   return scores;
 }
 
 int GbdtClassifier::predict_row(std::span<const float> features) const {
-  const std::vector<double> p = predict_proba_row(features);
-  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+  // Small-class ensembles (merged OC groups, raw OCs) fit in a stack
+  // buffer, so the per-row call performs no heap allocation.
+  constexpr std::size_t kStackClasses = 32;
+  double stack_buf[kStackClasses];
+  std::vector<double> heap;
+  std::span<double> scratch;
+  const auto k = static_cast<std::size_t>(num_classes_);
+  if (k <= kStackClasses) {
+    scratch = {stack_buf, k};
+  } else {
+    heap.resize(k);
+    scratch = heap;
+  }
+  predict_proba_into(features, scratch);
+  return static_cast<int>(std::max_element(scratch.begin(), scratch.end()) -
+                          scratch.begin());
 }
 
 std::vector<int> GbdtClassifier::predict(const Matrix& x) const {
   std::vector<int> out(x.rows());
-  util::parallel_for(x.rows(),
-                     [&](std::size_t r) { out[r] = predict_row(x.row(r)); });
+  const auto num_k = static_cast<std::size_t>(num_classes_);
+  const std::size_t blocks = (x.rows() + kPredictBlock - 1) / kPredictBlock;
+  util::parallel_for(blocks, [&](std::size_t blk) {
+    const std::size_t begin = blk * kPredictBlock;
+    const std::size_t end = std::min(x.rows(), begin + kPredictBlock);
+    // One score buffer per block, reused across its rows.
+    std::vector<double> scores((end - begin) * num_k);
+    for (std::size_t r = begin; r < end; ++r) {
+      std::copy(base_scores_.begin(), base_scores_.end(),
+                scores.begin() + static_cast<std::ptrdiff_t>((r - begin) * num_k));
+    }
+    for (std::size_t i = 0; i < trees_.size(); ++i) {
+      const std::size_t k = i % num_k;
+      for (std::size_t r = begin; r < end; ++r) {
+        scores[(r - begin) * num_k + k] +=
+            params_.learning_rate * trees_[i].predict_row(x.row(r));
+      }
+    }
+    for (std::size_t r = begin; r < end; ++r) {
+      // Softmax is strictly monotone, so the argmax of the raw scores
+      // equals the argmax of predict_proba_row (first-max ties included).
+      const double* srow = &scores[(r - begin) * num_k];
+      out[r] = static_cast<int>(std::max_element(srow, srow + num_k) - srow);
+    }
+  });
   return out;
 }
 

@@ -26,6 +26,9 @@ class GbdtRegressor {
 
   void fit(const Matrix& x, std::span<const float> y);
   double predict_row(std::span<const float> features) const;
+  /// Batched prediction: iterates trees-outer/rows-inner over cache-sized
+  /// row blocks. Each row adds the trees in ensemble order, so every output
+  /// is bit-identical to predict_row on that row for any thread count.
   std::vector<double> predict(const Matrix& x) const;
 
   std::size_t num_trees() const noexcept { return trees_.size(); }
@@ -49,7 +52,15 @@ class GbdtClassifier {
 
   /// Class probabilities (softmax over per-class ensemble scores).
   std::vector<double> predict_proba_row(std::span<const float> features) const;
+  /// Allocation-free variant: writes the probabilities into `out`
+  /// (out.size() must equal num_classes()).
+  void predict_proba_into(std::span<const float> features,
+                          std::span<double> out) const;
   int predict_row(std::span<const float> features) const;
+  /// Batched argmax prediction, trees-outer/rows-inner over row blocks with
+  /// one score buffer per block (no per-row allocation). Labels equal
+  /// predict_row on every row: the scores accumulate in ensemble order and
+  /// softmax is strictly monotone, so the argmax is unchanged.
   std::vector<int> predict(const Matrix& x) const;
 
   int num_classes() const noexcept { return num_classes_; }

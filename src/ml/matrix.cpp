@@ -49,25 +49,97 @@ Matrix Matrix::gather_rows(std::span<const std::size_t> indices) const {
   return out;
 }
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
-  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
-  Matrix c(a.rows(), b.cols());
-  const auto row_kernel = [&](std::size_t i) {
-    float* crow = c.row(i).data();
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const float aik = a.at(i, k);
-      if (aik == 0.0f) continue;
-      const float* brow = b.row(k).data();
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        crow[j] += aik * brow[j];
+namespace {
+
+/// Output-tile width of the register-tiled matmul kernel: each k step
+/// broadcasts a(i,k) into kJTile accumulators that live in registers, so
+/// the C row is written once per tile instead of re-loaded per k.
+constexpr std::size_t kJTile = 8;
+
+/// Rows per register block. One row's accumulators form a single
+/// dependency chain per k step; interleaving kITile independent rows hides
+/// the FMA latency that chain would otherwise serialize on. Batched
+/// inference (many rows) gets the full effect; a 1-row call degenerates to
+/// the plain tiled kernel.
+constexpr std::size_t kITile = 4;
+
+/// NR output rows of C = A * B, j-tiled. Per output element the
+/// accumulation runs over k ascending (zero a(i,k) skipped), exactly like
+/// the untiled i-k-j loop this replaces — blocking only changes where
+/// partial sums live and which elements progress together, never the order
+/// one element's partial sums are combined in, so results are bit-identical
+/// for any NR and identical to the single-row kernel.
+template <std::size_t NR>
+inline void matmul_rows_tiled(const Matrix& a, const Matrix& b, Matrix& c,
+                              std::size_t i0) {
+  const std::size_t inner = a.cols();
+  const std::size_t cols = b.cols();
+  const float* arow[NR];
+  float* crow[NR];
+  for (std::size_t r = 0; r < NR; ++r) {
+    arow[r] = a.row(i0 + r).data();
+    crow[r] = c.row(i0 + r).data();
+  }
+  std::size_t j0 = 0;
+  for (; j0 + kJTile <= cols; j0 += kJTile) {
+    float acc[NR][kJTile] = {};
+    for (std::size_t k = 0; k < inner; ++k) {
+      const float* brow = b.row(k).data() + j0;
+      for (std::size_t r = 0; r < NR; ++r) {
+        const float aik = arow[r][k];
+        if (aik == 0.0f) continue;
+        for (std::size_t t = 0; t < kJTile; ++t) acc[r][t] += aik * brow[t];
       }
     }
-  };
-  if (worth_parallel(a.rows(), a.cols(), b.cols())) {
-    util::parallel_for(a.rows(), row_kernel);
-  } else {
-    for (std::size_t i = 0; i < a.rows(); ++i) row_kernel(i);
+    for (std::size_t r = 0; r < NR; ++r) {
+      for (std::size_t t = 0; t < kJTile; ++t) crow[r][j0 + t] = acc[r][t];
+    }
   }
+  if (j0 < cols) {
+    const std::size_t width = cols - j0;
+    float acc[NR][kJTile] = {};
+    for (std::size_t k = 0; k < inner; ++k) {
+      const float* brow = b.row(k).data() + j0;
+      for (std::size_t r = 0; r < NR; ++r) {
+        const float aik = arow[r][k];
+        if (aik == 0.0f) continue;
+        for (std::size_t t = 0; t < width; ++t) acc[r][t] += aik * brow[t];
+      }
+    }
+    for (std::size_t r = 0; r < NR; ++r) {
+      for (std::size_t t = 0; t < width; ++t) crow[r][j0 + t] = acc[r][t];
+    }
+  }
+}
+
+/// All rows of the block [i0, i0 + n): full kITile groups, then singles.
+inline void matmul_block(const Matrix& a, const Matrix& b, Matrix& c,
+                         std::size_t i0, std::size_t n) {
+  std::size_t i = i0;
+  for (; i + kITile <= i0 + n; i += kITile) matmul_rows_tiled<kITile>(a, b, c, i);
+  for (; i < i0 + n; ++i) matmul_rows_tiled<1>(a, b, c, i);
+}
+
+}  // namespace
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
+  c.resize(a.rows(), b.cols());
+  if (worth_parallel(a.rows(), a.cols(), b.cols())) {
+    // One task per kITile row group (disjoint writes, any thread count).
+    const std::size_t groups = (a.rows() + kITile - 1) / kITile;
+    util::parallel_for(groups, [&](std::size_t gidx) {
+      const std::size_t i0 = gidx * kITile;
+      matmul_block(a, b, c, i0, std::min(kITile, a.rows() - i0));
+    });
+  } else {
+    matmul_block(a, b, c, 0, a.rows());
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul_into(a, b, c);
   return c;
 }
 

@@ -39,6 +39,15 @@ class Matrix {
 
   void fill(float value) { std::fill(data_.begin(), data_.end(), value); }
 
+  /// Reshapes in place to rows x cols, all elements set to `value`. Keeps
+  /// the existing allocation when it is large enough — the inference paths
+  /// call this once per batch on long-lived scratch matrices.
+  void resize(std::size_t rows, std::size_t cols, float value = 0.0f) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, value);
+  }
+
   /// He-uniform initialization for layer weights (fan_in = rows()).
   void init_he(util::Rng& rng);
 
@@ -55,6 +64,12 @@ class Matrix {
 
 /// C = A * B. Shapes must agree ((n x k) * (k x m)).
 Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A * B written into a caller-owned matrix (resized as needed) so hot
+/// inference loops reuse one allocation. Uses a register-tiled i-k-j kernel;
+/// every output element still accumulates over k in ascending order, so the
+/// result is bit-identical to matmul() and independent of the tiling.
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c);
 
 /// C = A * B^T ((n x k) * (m x k) -> n x m).
 Matrix matmul_bt(const Matrix& a, const Matrix& b);

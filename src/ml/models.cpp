@@ -172,7 +172,7 @@ double NnClassifier::fit(const Matrix& x, std::span<const int> labels) {
 
 std::vector<int> NnClassifier::predict(const Matrix& x) {
   net_.set_training(false);
-  return argmax_rows(net_.forward(x));
+  return argmax_rows(net_.infer(x));
 }
 
 // ----- NnRegressor -----------------------------------------------------------
@@ -217,7 +217,7 @@ double NnRegressor::fit(const Matrix& x, std::span<const float> targets) {
 
 std::vector<double> NnRegressor::predict(const Matrix& x) {
   net_.set_training(false);
-  const Matrix preds = net_.forward(x);
+  const Matrix& preds = net_.infer(x);
   std::vector<double> out(preds.rows());
   for (std::size_t r = 0; r < preds.rows(); ++r) out[r] = preds.at(r, 0);
   return out;
@@ -310,7 +310,41 @@ double ConvMlpRegressor::fit(const Matrix& tensors, const Matrix& aux,
 
 std::vector<double> ConvMlpRegressor::predict(const Matrix& tensors,
                                               const Matrix& aux) {
-  const Matrix preds = forward(tensors, aux);
+  // Inference-only forward: both branches and the head reuse their scratch
+  // activations, and `joint_` persists across calls.
+  const Matrix& za = conv_branch_.infer(tensors);
+  const Matrix& zb = mlp_branch_.infer(aux);
+  joint_.resize(za.rows(), conv_out_ + mlp_out_);
+  for (std::size_t r = 0; r < za.rows(); ++r) {
+    std::copy(za.row(r).begin(), za.row(r).end(), joint_.row(r).begin());
+    std::copy(zb.row(r).begin(), zb.row(r).end(),
+              joint_.row(r).begin() + static_cast<std::ptrdiff_t>(conv_out_));
+  }
+  const Matrix& preds = head_.infer(joint_);
+  std::vector<double> out(preds.rows());
+  for (std::size_t r = 0; r < preds.rows(); ++r) out[r] = preds.at(r, 0);
+  return out;
+}
+
+std::vector<double> ConvMlpRegressor::predict_gathered(
+    const Matrix& unique_tensors, std::span<const std::size_t> tensor_row,
+    const Matrix& aux) {
+  if (tensor_row.size() != aux.rows()) {
+    throw std::invalid_argument("predict_gathered: tensor_row/aux mismatch");
+  }
+  // The conv branch only sees each distinct tensor once; its per-row output
+  // equals the expanded-matrix result because every layer treats rows
+  // independently, so gathering rows afterwards is exact.
+  const Matrix& za = conv_branch_.infer(unique_tensors);
+  const Matrix& zb = mlp_branch_.infer(aux);
+  joint_.resize(aux.rows(), conv_out_ + mlp_out_);
+  for (std::size_t r = 0; r < aux.rows(); ++r) {
+    const auto conv = za.row(tensor_row[r]);
+    std::copy(conv.begin(), conv.end(), joint_.row(r).begin());
+    std::copy(zb.row(r).begin(), zb.row(r).end(),
+              joint_.row(r).begin() + static_cast<std::ptrdiff_t>(conv_out_));
+  }
+  const Matrix& preds = head_.infer(joint_);
   std::vector<double> out(preds.rows());
   for (std::size_t r = 0; r < preds.rows(); ++r) out[r] = preds.at(r, 0);
   return out;

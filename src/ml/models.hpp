@@ -78,6 +78,15 @@ class ConvMlpRegressor {
              std::span<const float> targets);
   std::vector<double> predict(const Matrix& tensors, const Matrix& aux);
 
+  /// Batched prediction over rows that share tensors: `unique_tensors`
+  /// holds each distinct pattern tensor once and `tensor_row[i]` names the
+  /// tensor row of aux row i. The conv branch runs once per distinct
+  /// tensor instead of once per row; every layer is row-independent, so the
+  /// result is bit-identical to predict() on the expanded tensor matrix.
+  std::vector<double> predict_gathered(const Matrix& unique_tensors,
+                                       std::span<const std::size_t> tensor_row,
+                                       const Matrix& aux);
+
  private:
   Matrix forward(const Matrix& tensors, const Matrix& aux);
   void backward(const Matrix& grad_head_in);
@@ -85,6 +94,7 @@ class ConvMlpRegressor {
   Sequential conv_branch_;
   Sequential mlp_branch_;
   Sequential head_;
+  Matrix joint_;  // reusable concat buffer for predict()
   std::size_t conv_out_ = 0;
   std::size_t mlp_out_ = 0;
   TrainConfig config_;

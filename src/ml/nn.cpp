@@ -24,6 +24,13 @@ Matrix Dense::forward(const Matrix& x) {
   return y;
 }
 
+void Dense::infer(const Matrix& x, Matrix& out) {
+  matmul_into(x, w_, out);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) out.at(r, c) += b_.at(0, c);
+  }
+}
+
 Matrix Dense::backward(const Matrix& grad_out) {
   const Matrix dw = matmul_at(input_, grad_out);
   for (std::size_t i = 0; i < dw.rows(); ++i) {
@@ -59,6 +66,14 @@ Matrix ReLU::forward(const Matrix& x) {
     }
   }
   return y;
+}
+
+void ReLU::infer(const Matrix& x, Matrix& out) {
+  out.resize(x.rows(), x.cols());
+  const float* src = x.data();
+  float* dst = out.data();
+  const std::size_t n = x.rows() * x.cols();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
 }
 
 Matrix ReLU::backward(const Matrix& grad_out) {
@@ -124,9 +139,19 @@ Conv2D::Conv2D(int in_c, int out_c, int h, int w, int k, util::Rng& rng)
 
 Matrix Conv2D::forward(const Matrix& x) {
   input_ = x;
+  Matrix y(x.rows(), output_size(0));
+  run_forward(x, y);
+  return y;
+}
+
+void Conv2D::infer(const Matrix& x, Matrix& out) {
+  out.resize(x.rows(), output_size(0));
+  run_forward(x, out);
+}
+
+void Conv2D::run_forward(const Matrix& x, Matrix& y) const {
   const std::size_t OH = oh();
   const std::size_t OW = ow();
-  Matrix y(x.rows(), static_cast<std::size_t>(out_c_) * OH * OW);
   // Each batch row writes its own output row: parallel and bit-stable.
   util::parallel_for(x.rows(), [&](std::size_t n) {
     const float* in = x.row(n).data();
@@ -156,7 +181,6 @@ Matrix Conv2D::forward(const Matrix& x) {
       }
     }
   });
-  return y;
 }
 
 Matrix Conv2D::backward(const Matrix& grad_out) {
@@ -222,11 +246,21 @@ Conv3D::Conv3D(int in_c, int out_c, int d, int h, int w, int k, util::Rng& rng)
 
 Matrix Conv3D::forward(const Matrix& x) {
   input_ = x;
+  Matrix y(x.rows(), output_size(0));
+  run_forward(x, y);
+  return y;
+}
+
+void Conv3D::infer(const Matrix& x, Matrix& out) {
+  out.resize(x.rows(), output_size(0));
+  run_forward(x, out);
+}
+
+void Conv3D::run_forward(const Matrix& x, Matrix& y) const {
   const std::size_t OD = od();
   const std::size_t OH = oh();
   const std::size_t OW = ow();
   const std::size_t HW = static_cast<std::size_t>(h_) * static_cast<std::size_t>(w_);
-  Matrix y(x.rows(), static_cast<std::size_t>(out_c_) * OD * OH * OW);
   // Each batch row writes its own output row: parallel and bit-stable.
   util::parallel_for(x.rows(), [&](std::size_t n) {
     const float* in = x.row(n).data();
@@ -259,7 +293,6 @@ Matrix Conv3D::forward(const Matrix& x) {
       }
     }
   });
-  return y;
 }
 
 Matrix Conv3D::backward(const Matrix& grad_out) {
@@ -322,6 +355,20 @@ Matrix Sequential::forward(const Matrix& x) {
   Matrix cur = x;
   for (auto& layer : layers_) cur = layer->forward(cur);
   return cur;
+}
+
+const Matrix& Sequential::infer(const Matrix& x) {
+  if (layers_.empty()) {
+    infer_a_ = x;
+    return infer_a_;
+  }
+  const Matrix* cur = &x;
+  for (auto& layer : layers_) {
+    Matrix& dst = (cur == &infer_a_) ? infer_b_ : infer_a_;
+    layer->infer(*cur, dst);
+    cur = &dst;
+  }
+  return *cur;
 }
 
 Matrix Sequential::backward(const Matrix& grad_out) {

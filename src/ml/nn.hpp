@@ -27,6 +27,11 @@ class Layer {
   virtual ~Layer() = default;
   /// Forward pass; implementations cache what backward() needs.
   virtual Matrix forward(const Matrix& x) = 0;
+  /// Inference-only forward: writes the output into `out` (resized in
+  /// place) without caching backward() state, so a long-lived `out` makes
+  /// repeated prediction allocation-free. Values are bit-identical to
+  /// forward() in inference mode. The default delegates to forward().
+  virtual void infer(const Matrix& x, Matrix& out) { out = forward(x); }
   /// Backward pass: gradient w.r.t. this layer's input. Parameter
   /// gradients are accumulated into the ParamRef grads.
   virtual Matrix backward(const Matrix& grad_out) = 0;
@@ -40,6 +45,7 @@ class Dense final : public Layer {
  public:
   Dense(std::size_t in, std::size_t out, util::Rng& rng);
   Matrix forward(const Matrix& x) override;
+  void infer(const Matrix& x, Matrix& out) override;
   Matrix backward(const Matrix& grad_out) override;
   void collect_params(std::vector<ParamRef>& out) override;
   std::size_t output_size(std::size_t) const override { return w_.cols(); }
@@ -52,6 +58,7 @@ class Dense final : public Layer {
 class ReLU final : public Layer {
  public:
   Matrix forward(const Matrix& x) override;
+  void infer(const Matrix& x, Matrix& out) override;
   Matrix backward(const Matrix& grad_out) override;
   std::size_t output_size(std::size_t input_size) const override {
     return input_size;
@@ -68,6 +75,9 @@ class Dropout final : public Layer {
  public:
   Dropout(double rate, std::uint64_t seed);
   Matrix forward(const Matrix& x) override;
+  /// Inference pass-through (inverted dropout keeps activations unbiased);
+  /// never consumes randomness regardless of the training flag.
+  void infer(const Matrix& x, Matrix& out) override { out = x; }
   Matrix backward(const Matrix& grad_out) override;
   std::size_t output_size(std::size_t input_size) const override {
     return input_size;
@@ -86,6 +96,7 @@ class Conv2D final : public Layer {
  public:
   Conv2D(int in_c, int out_c, int h, int w, int k, util::Rng& rng);
   Matrix forward(const Matrix& x) override;
+  void infer(const Matrix& x, Matrix& out) override;
   Matrix backward(const Matrix& grad_out) override;
   void collect_params(std::vector<ParamRef>& out) override;
   std::size_t output_size(std::size_t) const override {
@@ -95,6 +106,8 @@ class Conv2D final : public Layer {
   std::size_t ow() const { return static_cast<std::size_t>(w_ - k_ + 1); }
 
  private:
+  void run_forward(const Matrix& x, Matrix& y) const;
+
   int in_c_, out_c_, h_, w_, k_;
   Matrix weights_, bias_, dweights_, dbias_;  // weights_: out_c x (in_c*k*k)
   Matrix input_;
@@ -105,6 +118,7 @@ class Conv3D final : public Layer {
  public:
   Conv3D(int in_c, int out_c, int d, int h, int w, int k, util::Rng& rng);
   Matrix forward(const Matrix& x) override;
+  void infer(const Matrix& x, Matrix& out) override;
   Matrix backward(const Matrix& grad_out) override;
   void collect_params(std::vector<ParamRef>& out) override;
   std::size_t output_size(std::size_t) const override {
@@ -115,6 +129,8 @@ class Conv3D final : public Layer {
   std::size_t ow() const { return static_cast<std::size_t>(w_ - k_ + 1); }
 
  private:
+  void run_forward(const Matrix& x, Matrix& y) const;
+
   int in_c_, out_c_, d_, h_, w_, k_;
   Matrix weights_, bias_, dweights_, dbias_;  // weights_: out_c x (in_c*k^3)
   Matrix input_;
@@ -129,6 +145,12 @@ class Sequential {
   void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
 
   Matrix forward(const Matrix& x);
+  /// Inference-only forward pass ping-ponging between two internal scratch
+  /// activations, so repeated prediction performs no per-layer allocations
+  /// after the first call. Values are bit-identical to forward() (call
+  /// set_training(false) first when the net has stochastic layers). The
+  /// returned reference is valid until the next forward/infer call.
+  const Matrix& infer(const Matrix& x);
   Matrix backward(const Matrix& grad_out);
   std::vector<ParamRef> params();
   void set_training(bool training);
@@ -137,6 +159,7 @@ class Sequential {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  Matrix infer_a_, infer_b_;  // reusable activation buffers for infer()
 };
 
 /// Softmax + cross-entropy on logits. Returns mean loss; writes the
