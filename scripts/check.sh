@@ -33,6 +33,44 @@ if [[ "$one" != "$many" ]]; then
 fi
 echo "OK: checksums identical across thread counts"
 
+echo "== train-once/serve-many round trip =="
+# A model artifact served with `advise --model` must print advice identical
+# to training in-process from the same corpus, and the serve side must not
+# profile or train (no profile.* / *.fit timing phases).
+ARTDIR=$(mktemp -d)
+trap 'rm -rf "$ARTDIR"' EXIT
+"$SMARTCTL" profile --dims 2 --stencils 8 --samples 2 --out "$ARTDIR/corpus.txt" >/dev/null
+"$SMARTCTL" train --corpus "$ARTDIR/corpus.txt" --out "$ARTDIR/model.smart" >/dev/null
+ADVISE_ARGS=(advise --shape star --dims 2 --order 2 --gpu V100)
+"$SMARTCTL" "${ADVISE_ARGS[@]}" --corpus "$ARTDIR/corpus.txt" > "$ARTDIR/from_corpus.txt"
+"$SMARTCTL" "${ADVISE_ARGS[@]}" --model "$ARTDIR/model.smart" --timing 1 > "$ARTDIR/from_model.txt"
+if ! diff <(head -n "$(wc -l < "$ARTDIR/from_corpus.txt")" "$ARTDIR/from_model.txt") \
+          "$ARTDIR/from_corpus.txt"; then
+  echo "FAIL: advise --model output differs from advise --corpus" >&2
+  exit 1
+fi
+if grep -qE 'profile\.|\.fit' "$ARTDIR/from_model.txt"; then
+  echo "FAIL: serving a model artifact ran profiling or training phases" >&2
+  exit 1
+fi
+echo "OK: served advice matches corpus training; serve side is inference-only"
+
+echo "== corrupt-artifact rejection =="
+# Truncation and a flipped payload byte must both be refused.
+head -c "$(( $(wc -c < "$ARTDIR/model.smart") / 2 ))" "$ARTDIR/model.smart" > "$ARTDIR/truncated.smart"
+if "$SMARTCTL" "${ADVISE_ARGS[@]}" --model "$ARTDIR/truncated.smart" >/dev/null 2>&1; then
+  echo "FAIL: truncated artifact was accepted" >&2
+  exit 1
+fi
+mid=$(( $(wc -c < "$ARTDIR/model.smart") / 2 ))
+{ head -c "$mid" "$ARTDIR/model.smart"; printf '#'; tail -c "+$(( mid + 2 ))" "$ARTDIR/model.smart"; } \
+  > "$ARTDIR/flipped.smart"
+if "$SMARTCTL" "${ADVISE_ARGS[@]}" --model "$ARTDIR/flipped.smart" >/dev/null 2>&1; then
+  echo "FAIL: checksum-corrupted artifact was accepted" >&2
+  exit 1
+fi
+echo "OK: truncated and corrupted artifacts are rejected"
+
 echo "== bench smoke: batched advisor inference =="
 # Small corpus (SMART_SCALE) keeps this a smoke test; the bench itself
 # fails (exit 1) if any batched prediction is not bit-identical to the

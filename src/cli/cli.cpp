@@ -1,6 +1,8 @@
 #include "cli/cli.hpp"
 
 #include <cstdio>
+#include <limits>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -11,6 +13,7 @@
 #include "core/stencilmart.hpp"
 #include "stencil/features.hpp"
 #include "stencil/tensor_repr.hpp"
+#include "util/serialize_io.hpp"
 #include "util/table.hpp"
 #include "util/task_pool.hpp"
 #include "util/timing.hpp"
@@ -35,7 +38,7 @@ int cmd_generate(const CommandLine& cmd, std::ostream& out) {
   config.dims = cmd.get_int("dims", 2);
   config.order = cmd.get_int("order", 4);
   const stencil::RandomStencilGenerator generator(config);
-  util::Rng rng(static_cast<std::uint64_t>(cmd.get_int("seed", 1)));
+  util::Rng rng(cmd.get_u64("seed", 1));
   const int count = cmd.get_int("count", 3);
   for (int i = 0; i < count; ++i) {
     const auto pattern = generator.generate(rng);
@@ -53,7 +56,7 @@ int cmd_profile(const CommandLine& cmd, std::ostream& out) {
   config.dims = cmd.get_int("dims", 2);
   config.num_stencils = cmd.get_int("stencils", 40);
   config.samples_per_oc = cmd.get_int("samples", 4);
-  config.seed = static_cast<std::uint64_t>(cmd.get_int("seed", 1234));
+  config.seed = cmd.get_u64("seed", 1234);
   const auto dataset = core::build_profile_dataset(config);
   out << "profiled " << dataset.stencils.size() << " stencils x "
       << core::ProfileDataset::num_ocs() << " OCs x "
@@ -98,29 +101,73 @@ int cmd_gpus(std::ostream& out) {
   return 0;
 }
 
+/// The shared train/advise MartConfig: both CLI paths must agree on every
+/// field (notably the regression instance cap) so a model trained by
+/// `smartctl train` predicts bit-identically to an in-process `advise
+/// --corpus` run over the same corpus.
+core::MartConfig mart_config(const CommandLine& cmd, int dims) {
+  core::MartConfig config;
+  config.profile.dims = dims;
+  config.profile.num_stencils = cmd.get_int("stencils", 40);
+  config.profile.seed = cmd.get_u64("seed", 99);
+  config.regression.instance_cap = 3000;
+  return config;
+}
+
+int cmd_train(const CommandLine& cmd, std::ostream& out) {
+  if (!cmd.has("out")) {
+    throw std::invalid_argument("train: --out FILE is required");
+  }
+  core::MartConfig config = mart_config(cmd, cmd.get_int("dims", 2));
+  core::StencilMart mart(config);
+  if (cmd.has("corpus")) {
+    mart.train(core::load_dataset(cmd.get("corpus", "")));
+  } else {
+    mart.train();
+  }
+  core::save_model(mart, cmd.get("out", ""));
+  out << "trained " << core::to_string(mart.config().regressor) << " on "
+      << mart.dataset().stencils.size() << " stencils; model saved to "
+      << cmd.get("out", "") << '\n';
+  if (cmd.get_int("timing", 0) != 0) out << util::timing_report();
+  return 0;
+}
+
 int cmd_advise(const CommandLine& cmd, std::ostream& out) {
   const auto pattern = shape_from_options(cmd);
-  core::MartConfig config;
-  config.profile.dims = pattern.dims();
-  config.profile.num_stencils = cmd.get_int("stencils", 40);
-  config.profile.seed = static_cast<std::uint64_t>(cmd.get_int("seed", 99));
-  config.regression.instance_cap = 3000;
-  core::StencilMart mart(config);
-
-  if (cmd.has("corpus")) {
-    // A pre-profiled corpus makes training reproducible across calls; the
-    // facade still trains the models itself.
-    const auto dataset = core::load_dataset(cmd.get("corpus", ""));
-    if (dataset.config.dims != pattern.dims()) {
-      throw std::invalid_argument("corpus dimensionality mismatch");
-    }
-    config.profile = dataset.config;
-    mart = core::StencilMart(config);
+  if (cmd.has("model") && cmd.has("corpus")) {
+    throw std::invalid_argument(
+        "advise: --model and --corpus are mutually exclusive");
   }
-  mart.train();
+
+  std::optional<core::StencilMart> mart;
+  if (cmd.has("model")) {
+    // Serve-only path: no profiling, no training — just deserialize.
+    mart.emplace(core::load_model(cmd.get("model", "")));
+    if (mart->config().profile.dims != pattern.dims()) {
+      throw std::runtime_error(
+          "advise: the model was trained for " +
+          std::to_string(mart->config().profile.dims) +
+          "-D stencils but the query stencil is " +
+          std::to_string(pattern.dims()) + "-D");
+    }
+  } else {
+    mart.emplace(mart_config(cmd, pattern.dims()));
+    if (cmd.has("corpus")) {
+      // Train on the corpus's measured times (reproducible across calls,
+      // and on real hardware: no re-profiling).
+      const auto dataset = core::load_dataset(cmd.get("corpus", ""));
+      if (dataset.config.dims != pattern.dims()) {
+        throw std::invalid_argument("corpus dimensionality mismatch");
+      }
+      mart->train(dataset);
+    } else {
+      mart->train();
+    }
+  }
 
   const std::string gpu = cmd.get("gpu", "V100");
-  const auto advice = mart.advise(pattern, gpu);
+  const auto advice = mart->advise(pattern, gpu);
   out << "stencil " << pattern.name() << " on " << gpu << ":\n"
       << "  group        " << advice.group_name << '\n'
       << "  OC           " << advice.oc.name() << '\n'
@@ -129,9 +176,10 @@ int cmd_advise(const CommandLine& cmd, std::ostream& out) {
       << " ms (simulated)\n"
       << "  model est.   " << util::format_double(advice.predicted_time_ms, 3)
       << " ms\n";
-  const auto rec = mart.recommend_gpu(pattern);
+  const auto rec = mart->recommend_gpu(pattern);
   out << "  fastest GPU  " << rec.fastest_gpu << "\n  best rental  "
       << rec.cheapest_gpu << '\n';
+  if (cmd.get_int("timing", 0) != 0) out << util::timing_report();
   return 0;
 }
 
@@ -152,7 +200,7 @@ int cmd_codegen(const CommandLine& cmd, std::ostream& out) {
   if (!found) throw std::invalid_argument("unknown --oc '" + oc_name + "'");
 
   const gpusim::ParamSpace space(oc, pattern.dims());
-  util::Rng rng(static_cast<std::uint64_t>(cmd.get_int("seed", 5)));
+  util::Rng rng(cmd.get_u64("seed", 5));
   const auto setting = space.random_setting(rng);
   const codegen::CudaKernelGenerator generator;
   const auto kernel = generator.generate(pattern, oc, setting, problem);
@@ -185,7 +233,27 @@ std::string CommandLine::get(const std::string& key,
 int CommandLine::get_int(const std::string& key, int fallback) const {
   const auto it = options.find(key);
   if (it == options.end()) return fallback;
-  return std::stoi(it->second);
+  long long value = 0;
+  if (!util::parse_i64_strict(it->second, value) ||
+      value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
+    throw std::invalid_argument("option --" + key + ": invalid integer '" +
+                                it->second + "'");
+  }
+  return static_cast<int>(value);
+}
+
+std::uint64_t CommandLine::get_u64(const std::string& key,
+                                   std::uint64_t fallback) const {
+  const auto it = options.find(key);
+  if (it == options.end()) return fallback;
+  std::uint64_t value = 0;
+  if (!util::parse_u64_strict(it->second, value)) {
+    throw std::invalid_argument("option --" + key +
+                                ": invalid unsigned integer '" + it->second +
+                                "'");
+  }
+  return value;
 }
 
 CommandLine parse_command_line(const std::vector<std::string>& args) {
@@ -215,8 +283,10 @@ std::string usage() {
       "  generate --dims D --order N --count K [--seed S]   random stencils\n"
       "  profile  --dims D --stencils N [--out FILE]        build a corpus\n"
       "           [--checksum 1] [--timing 1]               determinism digest\n"
+      "  train    --out MODEL [--corpus FILE] [--timing 1]  fit + save a model\n"
       "  advise   --shape star|box|cross --dims D --order N\n"
-      "           [--gpu NAME] [--corpus FILE]              best-OC advice\n"
+      "           [--gpu NAME] [--corpus FILE] [--timing 1] best-OC advice\n"
+      "           [--model MODEL]                           serve a saved model\n"
       "  codegen  --shape ... --dims D --order N --oc NAME  emit CUDA\n"
       "  features --shape ... --dims D --order N            Table II vector\n"
       "  ocs                                                Table I OCs\n"
@@ -228,6 +298,7 @@ int run_command(const CommandLine& cmd, std::ostream& out) {
   if (cmd.command == "profile") return cmd_profile(cmd, out);
   if (cmd.command == "ocs") return cmd_ocs(out);
   if (cmd.command == "gpus") return cmd_gpus(out);
+  if (cmd.command == "train") return cmd_train(cmd, out);
   if (cmd.command == "advise") return cmd_advise(cmd, out);
   if (cmd.command == "codegen") return cmd_codegen(cmd, out);
   if (cmd.command == "features") return cmd_features(cmd, out);

@@ -4,6 +4,8 @@
 //   smartctl profile  --dims 2 --stencils 40 --out corpus.txt
 //   smartctl ocs                          # list Table I combinations
 //   smartctl gpus                         # list Table III GPUs
+//   smartctl train    --corpus corpus.txt --out model.smart
+//   smartctl advise   --model model.smart --shape star --order 2 --gpu V100
 //   smartctl advise   --corpus corpus.txt --shape star --order 2 --gpu V100
 //   smartctl codegen  --shape box --dims 3 --order 2 --oc ST_RT [--out dir]
 //
@@ -11,6 +13,7 @@
 // unit-testable; tools/smartctl.cpp is a thin main().
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -25,7 +28,11 @@ struct CommandLine {
 
   bool has(const std::string& key) const { return options.contains(key); }
   std::string get(const std::string& key, const std::string& fallback) const;
+  /// Strict integer option: the whole value must parse and fit in int.
+  /// Throws std::invalid_argument naming the option on "2x", "", overflow.
   int get_int(const std::string& key, int fallback) const;
+  /// Strict unsigned 64-bit option (seeds): rejects negatives and overflow.
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
 };
 
 /// Parses argv into a CommandLine. Throws std::invalid_argument for

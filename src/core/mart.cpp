@@ -13,6 +13,19 @@ StencilMart::StencilMart(MartConfig config) : config_(std::move(config)) {}
 void StencilMart::train() {
   dataset_ = std::make_unique<ProfileDataset>(
       build_profile_dataset(config_.profile));
+  fit_models();
+}
+
+void StencilMart::train(const ProfileDataset& dataset) {
+  if (dataset.stencils.empty()) {
+    throw std::invalid_argument("StencilMart::train: empty corpus");
+  }
+  dataset_ = std::make_unique<ProfileDataset>(dataset);
+  config_.profile = dataset_->config;
+  fit_models();
+}
+
+void StencilMart::fit_models() {
   merger_.fit(*dataset_);
 
   // One classifier per GPU (the paper trains per target architecture).

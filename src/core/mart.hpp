@@ -10,6 +10,7 @@
 //   // -> best-performance GPU and most cost-efficient rental
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
@@ -52,6 +53,11 @@ class StencilMart {
   /// Profiles the training corpus and fits the OC merger, one per-GPU
   /// GBDT classifier, and the cross-architecture regressor.
   void train();
+  /// Trains from an already-profiled corpus (e.g. load_dataset output):
+  /// skips profiling entirely and fits all models on the corpus's measured
+  /// times. The corpus's ProfileConfig replaces config.profile so advice
+  /// uses the geometry and simulator settings the corpus was built with.
+  void train(const ProfileDataset& dataset);
   bool trained() const noexcept { return trained_; }
 
   /// Best-OC advice for a (possibly unseen) stencil on a named GPU.
@@ -65,9 +71,18 @@ class StencilMart {
 
   const ProfileDataset& dataset() const { return *dataset_; }
   const OcMerger& merger() const { return merger_; }
+  const MartConfig& config() const noexcept { return config_; }
 
  private:
   std::size_t gpu_index(const std::string& name) const;
+
+  /// Fits merger, per-GPU classifiers and the regressor on *dataset_.
+  void fit_models();
+
+  // Model artifact (de)serialization (core/serialize) assembles/injects the
+  // trained state directly.
+  friend void save_model(const StencilMart& mart, std::ostream& out);
+  friend StencilMart load_model(std::istream& in);
 
   /// Classification + tuning for one GPU, without the regression estimate
   /// (predicted_time_ms stays 0). advise() adds a single prediction;

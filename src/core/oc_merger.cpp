@@ -4,9 +4,11 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <ostream>
 #include <set>
 #include <stdexcept>
 
+#include "util/serialize_io.hpp"
 #include "util/stats.hpp"
 
 namespace smart::core {
@@ -214,6 +216,42 @@ std::vector<int> OcMerger::members(int group) const {
     if (group_[oc] == group) out.push_back(static_cast<int>(oc));
   }
   return out;
+}
+
+void OcMerger::save(std::ostream& out) const {
+  out << "ocmerger " << num_groups_ << ' ' << group_.size();
+  for (int g : group_) out << ' ' << g;
+  for (int r : representatives_) out << ' ' << r;
+  out << '\n';
+}
+
+OcMerger OcMerger::load(std::istream& in) {
+  util::expect_word(in, "ocmerger", "OcMerger::load");
+  const int num_groups = util::read_int(in, "ocmerger group count");
+  const std::size_t num_ocs = util::read_size(in, "ocmerger oc count");
+  if (num_groups < 1) {
+    throw std::runtime_error("OcMerger::load: no groups");
+  }
+  OcMerger merger;
+  merger.num_groups_ = num_groups;
+  merger.group_.resize(num_ocs);
+  for (int& g : merger.group_) {
+    g = util::read_int(in, "ocmerger group id");
+    if (g < 0 || g >= num_groups) {
+      throw std::runtime_error("OcMerger::load: group id out of range");
+    }
+  }
+  merger.representatives_.resize(static_cast<std::size_t>(num_groups));
+  for (int gid = 0; gid < num_groups; ++gid) {
+    const int rep = util::read_int(in, "ocmerger representative");
+    if (rep < 0 || static_cast<std::size_t>(rep) >= num_ocs ||
+        merger.group_[static_cast<std::size_t>(rep)] != gid) {
+      throw std::runtime_error(
+          "OcMerger::load: representative not a member of its group");
+    }
+    merger.representatives_[static_cast<std::size_t>(gid)] = rep;
+  }
+  return merger;
 }
 
 std::string OcMerger::group_name(int group) const {

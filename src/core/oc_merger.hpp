@@ -10,6 +10,7 @@
 // that is best for the most (stencil, GPU) cases (paper Fig. 2).
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,13 @@ class OcMerger {
   }
   /// Fraction of pairs common to every GPU's top-K list (paper: ~28%).
   double intersection_fraction() const noexcept { return intersection_fraction_; }
+
+  /// Persists the fitted grouping (group map + representatives). The PCC
+  /// diagnostics (top_pccs_per_gpu, intersection_fraction) are fit-time
+  /// analysis, not needed to classify, and are not persisted. Throws
+  /// std::runtime_error on malformed or inconsistent input.
+  void save(std::ostream& out) const;
+  static OcMerger load(std::istream& in);
 
  private:
   int num_groups_ = 0;

@@ -9,6 +9,7 @@
 #include "ml/dataset.hpp"
 #include "stencil/features.hpp"
 #include "stencil/tensor_repr.hpp"
+#include "util/serialize_io.hpp"
 #include "util/stats.hpp"
 #include "util/task_pool.hpp"
 #include "util/timing.hpp"
@@ -31,6 +32,13 @@ std::string to_string(RegressorKind kind) {
     case RegressorKind::kGbr: return "GBRegressor";
   }
   return "?";
+}
+
+RegressorKind regressor_kind_from_string(const std::string& name) {
+  if (name == "MLP") return RegressorKind::kMlp;
+  if (name == "ConvMLP") return RegressorKind::kConvMlp;
+  if (name == "GBRegressor") return RegressorKind::kGbr;
+  throw std::runtime_error("unknown regressor kind '" + name + "'");
 }
 
 RegressionTask::RegressionTask(const ProfileDataset& dataset,
@@ -334,6 +342,53 @@ void RegressionTask::fit_full(RegressorKind kind) {
         dataset_->config.dims, dataset_->config.max_order, aux.cols(), tc);
     convmlp_->fit(tensors, aux, y);
   }
+  fitted_ = true;
+}
+
+void RegressionTask::save_fitted(std::ostream& out) const {
+  if (!fitted_) {
+    throw std::logic_error("RegressionTask::save_fitted before fit_full");
+  }
+  out << "fitted " << to_string(fitted_kind_) << '\n';
+  aux_scaler_.save(out);
+  if (fitted_kind_ == RegressorKind::kGbr) {
+    gbr_->save(out);
+  } else if (fitted_kind_ == RegressorKind::kMlp) {
+    mlp_->save(out);
+  } else {
+    convmlp_->save(out);
+  }
+}
+
+void RegressionTask::load_fitted(std::istream& in) {
+  util::expect_word(in, "fitted", "RegressionTask::load_fitted");
+  const RegressorKind kind =
+      regressor_kind_from_string(util::read_token(in, "regressor kind"));
+  ml::MaxAbsScaler scaler = ml::MaxAbsScaler::load(in);
+  // The NN kinds scale their inputs, so the scaler width is the model's
+  // feature width — compare it against this dataset's encoding. (GBR
+  // consumes raw features and saves an unfitted, zero-width scaler.)
+  if (!scaler.scales().empty()) {
+    const bool include_sf = kind != RegressorKind::kConvMlp;
+    if (scaler.scales().size() != cache_.aux_dim(include_sf)) {
+      throw std::runtime_error(
+          "RegressionTask::load_fitted: feature width mismatch — the model "
+          "was trained under a different dims/max_order geometry");
+    }
+  }
+  gbr_.reset();
+  mlp_.reset();
+  convmlp_.reset();
+  if (kind == RegressorKind::kGbr) {
+    gbr_ = std::make_unique<ml::GbdtRegressor>(ml::GbdtRegressor::load(in));
+  } else if (kind == RegressorKind::kMlp) {
+    mlp_ = std::make_unique<ml::NnRegressor>(ml::NnRegressor::load(in));
+  } else {
+    convmlp_ =
+        std::make_unique<ml::ConvMlpRegressor>(ml::ConvMlpRegressor::load(in));
+  }
+  aux_scaler_ = std::move(scaler);
+  fitted_kind_ = kind;
   fitted_ = true;
 }
 

@@ -25,6 +25,8 @@ namespace smart::core {
 enum class RegressorKind { kMlp, kConvMlp, kGbr };
 
 std::string to_string(RegressorKind kind);
+/// Inverse of to_string; throws std::runtime_error on an unknown name.
+RegressorKind regressor_kind_from_string(const std::string& name);
 
 struct RegressionConfig {
   int folds = 5;
@@ -135,6 +137,17 @@ class RegressionTask {
   /// one-pattern x many-GPU sweep (recommend_gpu) encodes the stencil once.
   std::vector<double> predict_variants(
       std::span<const VariantQuery> queries) const;
+
+  /// Persists the fitted state (regressor kind, aux scaler, model weights).
+  /// Requires fit_full(); the loaded task predicts bit-identically.
+  void save_fitted(std::ostream& out) const;
+  /// Injects fitted state written by save_fitted() into this task. The task
+  /// may be built over any dataset sharing the training corpus's dims,
+  /// max_order and GPU table — including a zero-stencil serving dataset —
+  /// since variant prediction only reads OC flags, GPU features and the
+  /// config geometry. Throws std::runtime_error when the model's feature
+  /// width disagrees with this dataset's encoding (dims/max_order mismatch).
+  void load_fitted(std::istream& in);
 
  private:
   ml::Matrix build_aux_features(const std::vector<RegressionInstance>& rows,

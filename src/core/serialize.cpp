@@ -1,16 +1,29 @@
 #include "core/serialize.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/serialize_io.hpp"
+#include "util/timing.hpp"
 
 namespace smart::core {
 
 namespace {
 
 constexpr const char* kMagic = "stencilmart-dataset-v1";
+constexpr const char* kModelMagic = "stencilmart-model-v1";
+constexpr const char* kModelMagicPrefix = "stencilmart-model-";
+
+std::string checksum_hex(std::string_view bytes) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(util::fnv1a64(bytes)));
+  return buf;
+}
 
 std::string encode_offsets(const stencil::StencilPattern& pattern) {
   std::ostringstream os;
@@ -62,6 +75,7 @@ void expect(bool condition, const std::string& what) {
 }  // namespace
 
 void save_dataset(const ProfileDataset& ds, std::ostream& out) {
+  const util::PhaseTimer timer("serialize.save_corpus");
   out << kMagic << '\n';
   out << std::setprecision(17);
   out << ds.config.dims << ' ' << ds.config.max_order << ' '
@@ -111,6 +125,7 @@ void save_dataset(const ProfileDataset& dataset, const std::string& path) {
 }
 
 ProfileDataset load_dataset(std::istream& in) {
+  const util::PhaseTimer timer("serialize.load_corpus");
   std::string magic;
   std::getline(in, magic);
   expect(magic == kMagic, "bad magic '" + magic + "'");
@@ -171,7 +186,14 @@ ProfileDataset load_dataset(std::istream& in) {
       if (value == "crash") {
         ts.push_back(std::numeric_limits<double>::quiet_NaN());
       } else {
-        ts.push_back(std::strtod(value.c_str(), nullptr));
+        // Strict parse: a half-parsed token silently becoming 0.0 (or a
+        // smuggled NaN/inf) would corrupt every model trained on the corpus.
+        double time_ms = 0.0;
+        expect(util::parse_f64_strict(value, time_ms),
+               "bad time value '" + value + "'");
+        expect(std::isfinite(time_ms) && time_ms > 0.0,
+               "non-finite or non-positive time value '" + value + "'");
+        ts.push_back(time_ms);
       }
     } else {
       throw std::runtime_error("load_dataset: unknown tag '" + tag + "'");
@@ -185,6 +207,167 @@ ProfileDataset load_dataset(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("load_dataset: cannot open " + path);
   return load_dataset(in);
+}
+
+// ----- model artifacts -------------------------------------------------------
+
+void save_model(const StencilMart& mart, std::ostream& out) {
+  const util::PhaseTimer timer("serialize.save");
+  if (!mart.trained()) {
+    throw std::logic_error("save_model: StencilMart is not trained");
+  }
+
+  std::ostringstream payload;
+  const MartConfig& c = mart.config_;
+  payload << "config " << c.profile.dims << ' ' << c.profile.max_order << ' '
+          << c.profile.num_stencils << ' ' << c.profile.samples_per_oc << ' '
+          << c.profile.seed << ' ';
+  util::write_f64(payload, c.profile.sim.noise_sigma);
+  payload << ' ' << c.profile.sim.seed << ' '
+          << (c.profile.vary_problem_size ? 1 : 0) << ' '
+          << (c.profile.vary_boundary ? 1 : 0) << '\n';
+  const RegressionConfig& r = c.regression;
+  payload << "regconfig " << r.folds << ' ' << r.epochs << ' ' << r.batch_size
+          << ' ';
+  util::write_f64(payload, r.learning_rate);
+  payload << ' ' << r.mlp_hidden_layers << ' ' << r.mlp_width << ' '
+          << r.instance_cap << ' ' << r.seed << '\n';
+  payload << "regressor " << to_string(c.regressor) << ' ' << c.tuning_samples
+          << '\n';
+  mart.merger_.save(payload);
+  payload << "classifiers " << mart.classifiers_.size() << '\n';
+  for (const auto& clf : mart.classifiers_) clf.save(payload);
+  mart.regression_->save_fitted(payload);
+
+  const std::string bytes = payload.str();
+  out << kModelMagic << '\n';
+  out << "payload " << bytes.size() << '\n';
+  out << bytes;
+  out << "checksum " << checksum_hex(bytes) << '\n';
+  if (!out) throw std::runtime_error("save_model: stream write failed");
+}
+
+void save_model(const StencilMart& mart, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_model: cannot open " + path);
+  save_model(mart, out);
+}
+
+StencilMart load_model(std::istream& in) {
+  const util::PhaseTimer timer("serialize.load");
+  std::string magic;
+  if (!std::getline(in, magic)) {
+    throw std::runtime_error("load_model: empty stream");
+  }
+  if (magic != kModelMagic) {
+    if (magic.rfind(kModelMagicPrefix, 0) == 0) {
+      throw std::runtime_error("load_model: unsupported model format version '" +
+                               magic + "' (this build reads " +
+                               std::string(kModelMagic) + ")");
+    }
+    throw std::runtime_error(
+        "load_model: not a StencilMART model artifact (bad magic)");
+  }
+  util::expect_word(in, "payload", "load_model payload header");
+  const std::size_t payload_size =
+      util::read_size(in, "load_model payload size");
+  if (in.get() != '\n') {
+    throw std::runtime_error("load_model: malformed payload header");
+  }
+  std::string bytes(payload_size, '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(payload_size));
+  if (static_cast<std::size_t>(in.gcount()) != payload_size) {
+    throw std::runtime_error(
+        "load_model: truncated artifact (payload cut short)");
+  }
+  util::expect_word(in, "checksum", "load_model checksum header");
+  const std::string digest = util::read_token(in, "load_model checksum");
+  if (digest != checksum_hex(bytes)) {
+    throw std::runtime_error(
+        "load_model: checksum mismatch — the artifact is corrupted");
+  }
+
+  std::istringstream payload(bytes);
+  MartConfig config;
+  util::expect_word(payload, "config", "load_model config section");
+  config.profile.dims = util::read_int(payload, "config dims");
+  config.profile.max_order = util::read_int(payload, "config max_order");
+  config.profile.num_stencils = util::read_int(payload, "config num_stencils");
+  config.profile.samples_per_oc =
+      util::read_int(payload, "config samples_per_oc");
+  config.profile.seed = util::read_u64(payload, "config seed");
+  config.profile.sim.noise_sigma =
+      util::read_f64(payload, "config noise_sigma");
+  config.profile.sim.seed = util::read_u64(payload, "config sim seed");
+  config.profile.vary_problem_size =
+      util::read_int(payload, "config vary_problem_size") != 0;
+  config.profile.vary_boundary =
+      util::read_int(payload, "config vary_boundary") != 0;
+  if (config.profile.dims != 2 && config.profile.dims != 3) {
+    throw std::runtime_error("load_model: config dims out of range");
+  }
+  util::expect_word(payload, "regconfig", "load_model regression config");
+  RegressionConfig& r = config.regression;
+  r.folds = util::read_int(payload, "regconfig folds");
+  r.epochs = util::read_int(payload, "regconfig epochs");
+  r.batch_size = util::read_int(payload, "regconfig batch_size");
+  r.learning_rate = util::read_f64(payload, "regconfig learning_rate");
+  r.mlp_hidden_layers = util::read_int(payload, "regconfig mlp_hidden_layers");
+  r.mlp_width = util::read_size(payload, "regconfig mlp_width");
+  r.instance_cap = util::read_size(payload, "regconfig instance_cap");
+  r.seed = util::read_u64(payload, "regconfig seed");
+  util::expect_word(payload, "regressor", "load_model regressor section");
+  config.regressor =
+      regressor_kind_from_string(util::read_token(payload, "regressor kind"));
+  config.tuning_samples = util::read_int(payload, "regressor tuning_samples");
+
+  StencilMart mart(config);
+  // Serving needs no profiled stencils: classification, tuning and variant
+  // prediction only read the config geometry, the static OC table and the
+  // GPU table, so the loaded mart carries a zero-stencil dataset.
+  ProfileDataset serving;
+  serving.config = config.profile;
+  serving.problem = gpusim::ProblemSize::paper_default(config.profile.dims);
+  serving.gpus = gpusim::evaluation_gpus();
+  mart.dataset_ = std::make_unique<ProfileDataset>(std::move(serving));
+
+  mart.merger_ = OcMerger::load(payload);
+  if (mart.merger_.groups().size() != ProfileDataset::num_ocs()) {
+    throw std::runtime_error(
+        "load_model: OC count does not match this build's OC table");
+  }
+  util::expect_word(payload, "classifiers", "load_model classifier section");
+  const std::size_t num_classifiers =
+      util::read_size(payload, "classifier count");
+  if (num_classifiers != mart.dataset_->gpus.size()) {
+    throw std::runtime_error(
+        "load_model: classifier count does not match the GPU table");
+  }
+  mart.classifiers_.clear();
+  mart.classifiers_.reserve(num_classifiers);
+  for (std::size_t g = 0; g < num_classifiers; ++g) {
+    mart.classifiers_.push_back(ml::GbdtClassifier::load(payload));
+    if (mart.classifiers_.back().num_classes() != mart.merger_.num_groups()) {
+      throw std::runtime_error(
+          "load_model: classifier class count does not match the OC grouping");
+    }
+  }
+  mart.regression_ =
+      std::make_unique<RegressionTask>(*mart.dataset_, config.regression);
+  mart.regression_->load_fitted(payload);
+  std::string extra;
+  if (payload >> extra) {
+    throw std::runtime_error(
+        "load_model: trailing data after the regression section");
+  }
+  mart.trained_ = true;
+  return mart;
+}
+
+StencilMart load_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_model: cannot open " + path);
+  return load_model(in);
 }
 
 }  // namespace smart::core

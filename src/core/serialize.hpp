@@ -1,17 +1,34 @@
-// Dataset (de)serialization: profiling is the expensive step of the
-// pipeline on real hardware (hours of kernel measurements), so StencilMART
-// persists profiled corpora to a plain-text format that is stable across
-// runs and diff-friendly. The format is sectioned:
+// Dataset and model (de)serialization. Profiling and training are the
+// expensive steps of the pipeline (on real hardware: hours of kernel
+// measurements, then model fitting), so StencilMART persists both:
+//
+// Profiled corpora use a plain-text sectioned format that is stable across
+// runs and diff-friendly:
 //
 //   [header]   dims max_order num_stencils samples_per_oc seed noise_sigma
 //   [stencil]  dims nx ny nz boundary offsets(x:y:z;...)
 //   [settings] stencil_idx oc_idx block_x block_y ... tb_depth
 //   [times]    stencil_idx gpu_idx oc_idx setting_idx time_ms|crash
+//
+// Trained models use a versioned, checksummed artifact (the train-once /
+// serve-many path):
+//
+//   stencilmart-model-v1          <- magic + format version
+//   payload <byte count>
+//   <payload bytes>               <- config / merger / classifiers /
+//                                    regression sections, hexfloat weights
+//   checksum <16-hex FNV-1a 64>   <- digest of the payload bytes
+//
+// The envelope makes the failure modes distinguishable: a wrong magic, an
+// unsupported version, a truncated payload, and a corrupted payload each
+// raise a distinct std::runtime_error. Weights are written as hexfloat
+// tokens, so a loaded model predicts bit-identically to the saved one.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "core/mart.hpp"
 #include "core/profile_dataset.hpp"
 
 namespace smart::core {
@@ -25,5 +42,21 @@ void save_dataset(const ProfileDataset& dataset, const std::string& path);
 /// result is bit-identical to the saved dataset (validated by tests).
 ProfileDataset load_dataset(std::istream& in);
 ProfileDataset load_dataset(const std::string& path);
+
+/// Writes a trained StencilMart (config, OC merger, per-GPU classifiers,
+/// fitted regressor) as a versioned model artifact. Throws std::logic_error
+/// before train() and std::runtime_error on I/O failure. Records the
+/// "serialize.save" timing phase.
+void save_model(const StencilMart& mart, std::ostream& out);
+void save_model(const StencilMart& mart, const std::string& path);
+
+/// Reads a model artifact back into a ready-to-serve StencilMart: advise()
+/// and recommend_gpu() work immediately, predict bit-identically to the
+/// saved instance, and need no profiling corpus (the loaded mart carries a
+/// zero-stencil serving dataset). Throws std::runtime_error with a distinct
+/// message for bad magic, unsupported version, truncation, checksum
+/// mismatch, and malformed payload. Records "serialize.load".
+StencilMart load_model(std::istream& in);
+StencilMart load_model(const std::string& path);
 
 }  // namespace smart::core

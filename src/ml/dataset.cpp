@@ -1,7 +1,10 @@
 #include "ml/dataset.hpp"
 
 #include <cmath>
+#include <ostream>
 #include <stdexcept>
+
+#include "util/serialize_io.hpp"
 
 namespace smart::ml {
 
@@ -42,6 +45,26 @@ Matrix MaxAbsScaler::transform(const Matrix& x) const {
     }
   }
   return out;
+}
+
+void MaxAbsScaler::save(std::ostream& out) const {
+  out << "scaler " << scales_.size();
+  for (float s : scales_) {
+    out << ' ';
+    util::write_f32(out, s);
+  }
+  out << '\n';
+}
+
+MaxAbsScaler MaxAbsScaler::load(std::istream& in) {
+  util::expect_word(in, "scaler", "MaxAbsScaler::load");
+  const std::size_t n = util::read_size(in, "scaler width");
+  MaxAbsScaler scaler;
+  scaler.scales_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaler.scales_[i] = util::read_f32(in, "scaler scale");
+  }
+  return scaler;
 }
 
 std::vector<FoldSplit> kfold_splits(std::size_t n, int folds, util::Rng& rng) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -36,6 +37,11 @@ class MaxAbsScaler {
     return transform(x);
   }
   std::span<const float> scales() const noexcept { return scales_; }
+
+  /// Persists the fitted scales (hexfloat); the loaded scaler transforms
+  /// bit-identically. Throws std::runtime_error on malformed input.
+  void save(std::ostream& out) const;
+  static MaxAbsScaler load(std::istream& in);
 
  private:
   std::vector<float> scales_;

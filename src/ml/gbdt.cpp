@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <ostream>
 #include <stdexcept>
 
+#include "util/serialize_io.hpp"
 #include "util/task_pool.hpp"
 #include "util/timing.hpp"
 
@@ -33,6 +35,32 @@ std::vector<double> importance_from_trees(
 /// block's accumulators stay cache-resident while a tree streams over them,
 /// large enough to amortize the per-tree loop overhead.
 constexpr std::size_t kPredictBlock = 256;
+
+void save_params(std::ostream& out, const GbdtParams& p) {
+  out << p.rounds << ' ';
+  util::write_f64(out, p.learning_rate);
+  out << ' ';
+  util::write_f64(out, p.subsample);
+  out << ' ' << p.seed << ' ' << p.tree.max_depth << ' '
+      << p.tree.min_samples_leaf << ' ';
+  util::write_f64(out, p.tree.lambda);
+  out << ' ';
+  util::write_f64(out, p.tree.min_gain);
+  out << '\n';
+}
+
+GbdtParams load_params(std::istream& in) {
+  GbdtParams p;
+  p.rounds = util::read_int(in, "gbdt rounds");
+  p.learning_rate = util::read_f64(in, "gbdt learning_rate");
+  p.subsample = util::read_f64(in, "gbdt subsample");
+  p.seed = util::read_u64(in, "gbdt seed");
+  p.tree.max_depth = util::read_int(in, "gbdt max_depth");
+  p.tree.min_samples_leaf = util::read_int(in, "gbdt min_samples_leaf");
+  p.tree.lambda = util::read_f64(in, "gbdt lambda");
+  p.tree.min_gain = util::read_f64(in, "gbdt min_gain");
+  return p;
+}
 
 std::vector<std::size_t> subsample_rows(std::size_t n, double fraction,
                                         util::Rng& rng) {
@@ -247,6 +275,61 @@ std::vector<int> GbdtClassifier::predict(const Matrix& x) const {
     }
   });
   return out;
+}
+
+void GbdtRegressor::save(std::ostream& out) const {
+  out << "gbr ";
+  save_params(out, params_);
+  util::write_f64(out, base_);
+  out << ' ' << trees_.size() << '\n';
+  for (const RegressionTree& t : trees_) t.save(out);
+}
+
+GbdtRegressor GbdtRegressor::load(std::istream& in) {
+  util::expect_word(in, "gbr", "GbdtRegressor::load");
+  GbdtRegressor model(load_params(in));
+  model.base_ = util::read_f64(in, "gbr base score");
+  const std::size_t num_trees = util::read_size(in, "gbr tree count");
+  model.trees_.reserve(num_trees);
+  for (std::size_t i = 0; i < num_trees; ++i) {
+    model.trees_.push_back(RegressionTree::load(in));
+  }
+  return model;
+}
+
+void GbdtClassifier::save(std::ostream& out) const {
+  out << "gbc ";
+  save_params(out, params_);
+  out << num_classes_;
+  for (double b : base_scores_) {
+    out << ' ';
+    util::write_f64(out, b);
+  }
+  out << '\n' << trees_.size() << '\n';
+  for (const RegressionTree& t : trees_) t.save(out);
+}
+
+GbdtClassifier GbdtClassifier::load(std::istream& in) {
+  util::expect_word(in, "gbc", "GbdtClassifier::load");
+  GbdtClassifier model(load_params(in));
+  model.num_classes_ = util::read_int(in, "gbc num_classes");
+  if (model.num_classes_ < 2) {
+    throw std::runtime_error("GbdtClassifier::load: bad class count");
+  }
+  model.base_scores_.resize(static_cast<std::size_t>(model.num_classes_));
+  for (double& b : model.base_scores_) {
+    b = util::read_f64(in, "gbc base score");
+  }
+  const std::size_t num_trees = util::read_size(in, "gbc tree count");
+  if (num_trees % static_cast<std::size_t>(model.num_classes_) != 0) {
+    throw std::runtime_error(
+        "GbdtClassifier::load: tree count not a multiple of classes");
+  }
+  model.trees_.reserve(num_trees);
+  for (std::size_t i = 0; i < num_trees; ++i) {
+    model.trees_.push_back(RegressionTree::load(in));
+  }
+  return model;
 }
 
 std::vector<double> GbdtRegressor::feature_importance(

@@ -4,6 +4,7 @@
 // time prediction, Sec. IV-E).
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
 #include "ml/dataset.hpp"
@@ -36,6 +37,12 @@ class GbdtRegressor {
   /// Gain-based importance per input feature, normalized to sum to 1
   /// (all-zero if no split was ever made).
   std::vector<double> feature_importance(std::size_t num_features) const;
+
+  /// Persists the fitted ensemble (params, base score, trees). The loaded
+  /// model predicts bit-identically; the feature binner is NOT persisted
+  /// (fit() rebuilds it), so artifacts are inference-ready, not resumable.
+  void save(std::ostream& out) const;
+  static GbdtRegressor load(std::istream& in);
 
  private:
   GbdtParams params_;
@@ -71,6 +78,12 @@ class GbdtClassifier {
   std::size_t num_rounds() const noexcept {
     return num_classes_ == 0 ? 0 : trees_.size() / static_cast<std::size_t>(num_classes_);
   }
+
+  /// Persists the fitted ensemble (params, base scores, trees); the loaded
+  /// classifier predicts bit-identically. Binner not persisted (see
+  /// GbdtRegressor::save).
+  void save(std::ostream& out) const;
+  static GbdtClassifier load(std::istream& in);
 
  private:
   GbdtParams params_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <ostream>
 #include <stdexcept>
 
+#include "util/serialize_io.hpp"
 #include "util/task_pool.hpp"
 
 namespace smart::ml {
@@ -38,6 +40,24 @@ void Matrix::init_he(util::Rng& rng) {
   for (float& w : data_) {
     w = static_cast<float>(rng.uniform(-bound, bound));
   }
+}
+
+void Matrix::save(std::ostream& out) const {
+  out << "mat " << rows_ << ' ' << cols_;
+  for (float v : data_) {
+    out << ' ';
+    util::write_f32(out, v);
+  }
+  out << '\n';
+}
+
+Matrix Matrix::load(std::istream& in) {
+  util::expect_word(in, "mat", "Matrix::load");
+  const std::size_t rows = util::read_size(in, "Matrix::load rows");
+  const std::size_t cols = util::read_size(in, "Matrix::load cols");
+  Matrix m(rows, cols);
+  for (float& v : m.data_) v = util::read_f32(in, "Matrix::load element");
+  return m;
 }
 
 Matrix Matrix::gather_rows(std::span<const std::size_t> indices) const {

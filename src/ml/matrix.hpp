@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -53,6 +54,12 @@ class Matrix {
 
   /// Gathers a subset of rows (for minibatching / k-fold splits).
   Matrix gather_rows(std::span<const std::size_t> indices) const;
+
+  /// Writes `mat rows cols` + hexfloat elements (one token each). load()
+  /// reproduces every element bit-exactly and throws std::runtime_error on
+  /// malformed input or non-finite values (a NaN weight must never load).
+  void save(std::ostream& out) const;
+  static Matrix load(std::istream& in);
 
   friend bool operator==(const Matrix&, const Matrix&) = default;
 

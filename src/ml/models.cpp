@@ -1,7 +1,10 @@
 #include "ml/models.hpp"
 
 #include <memory>
+#include <ostream>
 #include <stdexcept>
+
+#include "util/serialize_io.hpp"
 
 namespace smart::ml {
 
@@ -57,6 +60,26 @@ double run_epochs(std::size_t n, const TrainConfig& config, util::Rng& rng,
 }
 
 }  // namespace
+
+void save_train_config(std::ostream& out, const TrainConfig& config) {
+  out << "tc " << config.epochs << ' ' << config.batch_size << ' ';
+  util::write_f64(out, config.learning_rate);
+  out << ' ' << config.seed << ' ';
+  util::write_f64(out, config.validation_fraction);
+  out << ' ' << config.patience << '\n';
+}
+
+TrainConfig load_train_config(std::istream& in) {
+  util::expect_word(in, "tc", "load_train_config");
+  TrainConfig config;
+  config.epochs = util::read_int(in, "tc epochs");
+  config.batch_size = util::read_int(in, "tc batch_size");
+  config.learning_rate = util::read_f64(in, "tc learning_rate");
+  config.seed = util::read_u64(in, "tc seed");
+  config.validation_fraction = util::read_f64(in, "tc validation_fraction");
+  config.patience = util::read_int(in, "tc patience");
+  return config;
+}
 
 Sequential make_conv_trunk(int dims, int max_order, int channels1,
                            int channels2, util::Rng& rng) {
@@ -175,6 +198,18 @@ std::vector<int> NnClassifier::predict(const Matrix& x) {
   return argmax_rows(net_.infer(x));
 }
 
+void NnClassifier::save(std::ostream& out) const {
+  out << "nncls\n";
+  save_train_config(out, config_);
+  net_.save(out);
+}
+
+NnClassifier NnClassifier::load(std::istream& in) {
+  util::expect_word(in, "nncls", "NnClassifier::load");
+  TrainConfig config = load_train_config(in);
+  return NnClassifier(Sequential::load(in), config);
+}
+
 // ----- NnRegressor -----------------------------------------------------------
 
 NnRegressor::NnRegressor(Sequential net, TrainConfig config)
@@ -221,6 +256,18 @@ std::vector<double> NnRegressor::predict(const Matrix& x) {
   std::vector<double> out(preds.rows());
   for (std::size_t r = 0; r < preds.rows(); ++r) out[r] = preds.at(r, 0);
   return out;
+}
+
+void NnRegressor::save(std::ostream& out) const {
+  out << "nnreg\n";
+  save_train_config(out, config_);
+  net_.save(out);
+}
+
+NnRegressor NnRegressor::load(std::istream& in) {
+  util::expect_word(in, "nnreg", "NnRegressor::load");
+  TrainConfig config = load_train_config(in);
+  return NnRegressor(Sequential::load(in), config);
 }
 
 // ----- ConvMlpRegressor -------------------------------------------------------
@@ -348,6 +395,29 @@ std::vector<double> ConvMlpRegressor::predict_gathered(
   std::vector<double> out(preds.rows());
   for (std::size_t r = 0; r < preds.rows(); ++r) out[r] = preds.at(r, 0);
   return out;
+}
+
+void ConvMlpRegressor::save(std::ostream& out) const {
+  out << "convmlp " << conv_out_ << ' ' << mlp_out_ << '\n';
+  save_train_config(out, config_);
+  conv_branch_.save(out);
+  mlp_branch_.save(out);
+  head_.save(out);
+}
+
+ConvMlpRegressor ConvMlpRegressor::load(std::istream& in) {
+  util::expect_word(in, "convmlp", "ConvMlpRegressor::load");
+  ConvMlpRegressor model;
+  model.conv_out_ = util::read_size(in, "convmlp conv_out");
+  model.mlp_out_ = util::read_size(in, "convmlp mlp_out");
+  if (model.conv_out_ == 0 || model.mlp_out_ == 0) {
+    throw std::runtime_error("ConvMlpRegressor::load: empty branch width");
+  }
+  model.config_ = load_train_config(in);
+  model.conv_branch_ = Sequential::load(in);
+  model.mlp_branch_ = Sequential::load(in);
+  model.head_ = Sequential::load(in);
+  return model;
 }
 
 }  // namespace smart::ml

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -27,6 +28,11 @@ struct TrainConfig {
   double validation_fraction = 0.0;
   int patience = 5;
 };
+
+/// Token round-trip for TrainConfig (hyperparameters travel with the fitted
+/// weights so a refit on new data reproduces the original recipe).
+void save_train_config(std::ostream& out, const TrainConfig& config);
+TrainConfig load_train_config(std::istream& in);
 
 /// Conv stack for pattern tensors: two kxk conv layers (k = 3, as in the
 /// paper) + two dense layers. dims selects Conv2D vs Conv3D.
@@ -49,6 +55,10 @@ class NnClassifier {
   double fit(const Matrix& x, std::span<const int> labels);
   std::vector<int> predict(const Matrix& x);
 
+  /// Persists config + net; the loaded classifier predicts bit-identically.
+  void save(std::ostream& out) const;
+  static NnClassifier load(std::istream& in);
+
  private:
   Sequential net_;
   TrainConfig config_;
@@ -61,6 +71,10 @@ class NnRegressor {
 
   double fit(const Matrix& x, std::span<const float> targets);
   std::vector<double> predict(const Matrix& x);
+
+  /// Persists config + net; the loaded regressor predicts bit-identically.
+  void save(std::ostream& out) const;
+  static NnRegressor load(std::istream& in);
 
  private:
   Sequential net_;
@@ -87,7 +101,14 @@ class ConvMlpRegressor {
                                        std::span<const std::size_t> tensor_row,
                                        const Matrix& aux);
 
+  /// Persists config + all three branch nets; the loaded regressor predicts
+  /// bit-identically (predict and predict_gathered).
+  void save(std::ostream& out) const;
+  static ConvMlpRegressor load(std::istream& in);
+
  private:
+  ConvMlpRegressor() = default;  // deserialization shell filled by load()
+
   Matrix forward(const Matrix& tensors, const Matrix& aux);
   void backward(const Matrix& grad_head_in);
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <ostream>
 #include <stdexcept>
 
+#include "util/serialize_io.hpp"
 #include "util/task_pool.hpp"
 
 namespace smart::ml {
@@ -13,6 +15,20 @@ namespace smart::ml {
 Dense::Dense(std::size_t in, std::size_t out, util::Rng& rng)
     : w_(in, out), b_(1, out), dw_(in, out), db_(1, out) {
   w_.init_he(rng);
+}
+
+Dense::Dense(Matrix w, Matrix b)
+    : w_(std::move(w)), b_(std::move(b)), dw_(w_.rows(), w_.cols()),
+      db_(1, b_.cols()) {
+  if (b_.rows() != 1 || b_.cols() != w_.cols()) {
+    throw std::runtime_error("Dense: bias shape does not match weights");
+  }
+}
+
+void Dense::save(std::ostream& out) const {
+  out << "dense\n";
+  w_.save(out);
+  b_.save(out);
 }
 
 Matrix Dense::forward(const Matrix& x) {
@@ -84,6 +100,8 @@ Matrix ReLU::backward(const Matrix& grad_out) {
   return g;
 }
 
+void ReLU::save(std::ostream& out) const { out << "relu\n"; }
+
 // ----- Dropout -----------------------------------------------------------------
 
 Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
@@ -124,6 +142,12 @@ Matrix Dropout::backward(const Matrix& grad_out) {
   return g;
 }
 
+void Dropout::save(std::ostream& out) const {
+  out << "dropout ";
+  util::write_f64(out, rate_);
+  out << '\n';
+}
+
 // ----- Conv2D ----------------------------------------------------------------
 
 Conv2D::Conv2D(int in_c, int out_c, int h, int w, int k, util::Rng& rng)
@@ -135,6 +159,31 @@ Conv2D::Conv2D(int in_c, int out_c, int h, int w, int k, util::Rng& rng)
       dweights_(weights_.rows(), weights_.cols()), dbias_(1, bias_.cols()) {
   if (h < k || w < k) throw std::invalid_argument("Conv2D: input smaller than kernel");
   weights_.init_he(rng);
+}
+
+Conv2D::Conv2D(int in_c, int out_c, int h, int w, int k, Matrix weights,
+               Matrix bias)
+    : in_c_(in_c), out_c_(out_c), h_(h), w_(w), k_(k),
+      weights_(std::move(weights)), bias_(std::move(bias)),
+      dweights_(weights_.rows(), weights_.cols()), dbias_(1, bias_.cols()) {
+  if (in_c < 1 || out_c < 1 || k < 1 || h < k || w < k) {
+    throw std::runtime_error("Conv2D: invalid geometry");
+  }
+  const std::size_t kernel = static_cast<std::size_t>(in_c) *
+                             static_cast<std::size_t>(k) *
+                             static_cast<std::size_t>(k);
+  if (weights_.rows() != static_cast<std::size_t>(out_c) ||
+      weights_.cols() != kernel || bias_.rows() != 1 ||
+      bias_.cols() != static_cast<std::size_t>(out_c)) {
+    throw std::runtime_error("Conv2D: weight shape does not match geometry");
+  }
+}
+
+void Conv2D::save(std::ostream& out) const {
+  out << "conv2 " << in_c_ << ' ' << out_c_ << ' ' << h_ << ' ' << w_ << ' '
+      << k_ << '\n';
+  weights_.save(out);
+  bias_.save(out);
 }
 
 Matrix Conv2D::forward(const Matrix& x) {
@@ -242,6 +291,32 @@ Conv3D::Conv3D(int in_c, int out_c, int d, int h, int w, int k, util::Rng& rng)
     throw std::invalid_argument("Conv3D: input smaller than kernel");
   }
   weights_.init_he(rng);
+}
+
+Conv3D::Conv3D(int in_c, int out_c, int d, int h, int w, int k, Matrix weights,
+               Matrix bias)
+    : in_c_(in_c), out_c_(out_c), d_(d), h_(h), w_(w), k_(k),
+      weights_(std::move(weights)), bias_(std::move(bias)),
+      dweights_(weights_.rows(), weights_.cols()), dbias_(1, bias_.cols()) {
+  if (in_c < 1 || out_c < 1 || k < 1 || d < k || h < k || w < k) {
+    throw std::runtime_error("Conv3D: invalid geometry");
+  }
+  const std::size_t kernel = static_cast<std::size_t>(in_c) *
+                             static_cast<std::size_t>(k) *
+                             static_cast<std::size_t>(k) *
+                             static_cast<std::size_t>(k);
+  if (weights_.rows() != static_cast<std::size_t>(out_c) ||
+      weights_.cols() != kernel || bias_.rows() != 1 ||
+      bias_.cols() != static_cast<std::size_t>(out_c)) {
+    throw std::runtime_error("Conv3D: weight shape does not match geometry");
+  }
+}
+
+void Conv3D::save(std::ostream& out) const {
+  out << "conv3 " << in_c_ << ' ' << out_c_ << ' ' << d_ << ' ' << h_ << ' '
+      << w_ << ' ' << k_ << '\n';
+  weights_.save(out);
+  bias_.save(out);
 }
 
 Matrix Conv3D::forward(const Matrix& x) {
@@ -387,6 +462,59 @@ std::vector<ParamRef> Sequential::params() {
 
 void Sequential::set_training(bool training) {
   for (auto& layer : layers_) layer->set_training(training);
+}
+
+void Sequential::save(std::ostream& out) const {
+  out << "net " << layers_.size() << '\n';
+  for (const auto& layer : layers_) layer->save(out);
+}
+
+Sequential Sequential::load(std::istream& in) {
+  util::expect_word(in, "net", "Sequential::load");
+  const std::size_t num_layers = util::read_size(in, "net layer count");
+  Sequential net;
+  for (std::size_t i = 0; i < num_layers; ++i) {
+    const std::string tag = util::read_token(in, "net layer tag");
+    if (tag == "dense") {
+      Matrix w = Matrix::load(in);
+      Matrix b = Matrix::load(in);
+      net.add(std::make_unique<Dense>(std::move(w), std::move(b)));
+    } else if (tag == "relu") {
+      net.add(std::make_unique<ReLU>());
+    } else if (tag == "dropout") {
+      const double rate = util::read_f64(in, "dropout rate");
+      if (rate < 0.0 || rate >= 1.0) {
+        throw std::runtime_error("Sequential::load: dropout rate out of range");
+      }
+      // Seed 0: the RNG stream is training state; loaded nets only infer.
+      net.add(std::make_unique<Dropout>(rate, 0));
+    } else if (tag == "conv2") {
+      const int in_c = util::read_int(in, "conv2 in_c");
+      const int out_c = util::read_int(in, "conv2 out_c");
+      const int h = util::read_int(in, "conv2 h");
+      const int w = util::read_int(in, "conv2 w");
+      const int k = util::read_int(in, "conv2 k");
+      Matrix weights = Matrix::load(in);
+      Matrix bias = Matrix::load(in);
+      net.add(std::make_unique<Conv2D>(in_c, out_c, h, w, k,
+                                       std::move(weights), std::move(bias)));
+    } else if (tag == "conv3") {
+      const int in_c = util::read_int(in, "conv3 in_c");
+      const int out_c = util::read_int(in, "conv3 out_c");
+      const int d = util::read_int(in, "conv3 d");
+      const int h = util::read_int(in, "conv3 h");
+      const int w = util::read_int(in, "conv3 w");
+      const int k = util::read_int(in, "conv3 k");
+      Matrix weights = Matrix::load(in);
+      Matrix bias = Matrix::load(in);
+      net.add(std::make_unique<Conv3D>(in_c, out_c, d, h, w, k,
+                                       std::move(weights), std::move(bias)));
+    } else {
+      throw std::runtime_error("Sequential::load: unknown layer tag '" + tag +
+                               "'");
+    }
+  }
+  return net;
 }
 
 // ----- Losses -------------------------------------------------------------------

@@ -8,6 +8,7 @@
 // volume and produce the flattened output volume.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -39,16 +40,24 @@ class Layer {
   virtual std::size_t output_size(std::size_t input_size) const = 0;
   /// Train/inference mode toggle (only stochastic layers care).
   virtual void set_training(bool training) { (void)training; }
+  /// Persists the layer as a tagged token record (weights in hexfloat, so
+  /// Sequential::load reproduces inference bit-exactly). Optimizer and
+  /// backward state are not persisted — artifacts are inference-ready.
+  virtual void save(std::ostream& out) const = 0;
 };
 
 class Dense final : public Layer {
  public:
   Dense(std::size_t in, std::size_t out, util::Rng& rng);
+  /// Deserialization constructor: adopts fitted weights (in x out) and bias
+  /// (1 x out) directly.
+  Dense(Matrix w, Matrix b);
   Matrix forward(const Matrix& x) override;
   void infer(const Matrix& x, Matrix& out) override;
   Matrix backward(const Matrix& grad_out) override;
   void collect_params(std::vector<ParamRef>& out) override;
   std::size_t output_size(std::size_t) const override { return w_.cols(); }
+  void save(std::ostream& out) const override;
 
  private:
   Matrix w_, b_, dw_, db_;
@@ -63,6 +72,7 @@ class ReLU final : public Layer {
   std::size_t output_size(std::size_t input_size) const override {
     return input_size;
   }
+  void save(std::ostream& out) const override;
 
  private:
   Matrix mask_;
@@ -83,6 +93,9 @@ class Dropout final : public Layer {
     return input_size;
   }
   void set_training(bool training) override { training_ = training; }
+  /// Persists the rate only: the RNG stream is training state, and loaded
+  /// nets are inference artifacts (infer() never consumes randomness).
+  void save(std::ostream& out) const override;
 
  private:
   double rate_;
@@ -95,6 +108,8 @@ class Dropout final : public Layer {
 class Conv2D final : public Layer {
  public:
   Conv2D(int in_c, int out_c, int h, int w, int k, util::Rng& rng);
+  /// Deserialization constructor: adopts fitted weights and bias.
+  Conv2D(int in_c, int out_c, int h, int w, int k, Matrix weights, Matrix bias);
   Matrix forward(const Matrix& x) override;
   void infer(const Matrix& x, Matrix& out) override;
   Matrix backward(const Matrix& grad_out) override;
@@ -102,6 +117,7 @@ class Conv2D final : public Layer {
   std::size_t output_size(std::size_t) const override {
     return static_cast<std::size_t>(out_c_) * oh() * ow();
   }
+  void save(std::ostream& out) const override;
   std::size_t oh() const { return static_cast<std::size_t>(h_ - k_ + 1); }
   std::size_t ow() const { return static_cast<std::size_t>(w_ - k_ + 1); }
 
@@ -117,6 +133,9 @@ class Conv2D final : public Layer {
 class Conv3D final : public Layer {
  public:
   Conv3D(int in_c, int out_c, int d, int h, int w, int k, util::Rng& rng);
+  /// Deserialization constructor: adopts fitted weights and bias.
+  Conv3D(int in_c, int out_c, int d, int h, int w, int k, Matrix weights,
+         Matrix bias);
   Matrix forward(const Matrix& x) override;
   void infer(const Matrix& x, Matrix& out) override;
   Matrix backward(const Matrix& grad_out) override;
@@ -124,6 +143,7 @@ class Conv3D final : public Layer {
   std::size_t output_size(std::size_t) const override {
     return static_cast<std::size_t>(out_c_) * od() * oh() * ow();
   }
+  void save(std::ostream& out) const override;
   std::size_t od() const { return static_cast<std::size_t>(d_ - k_ + 1); }
   std::size_t oh() const { return static_cast<std::size_t>(h_ - k_ + 1); }
   std::size_t ow() const { return static_cast<std::size_t>(w_ - k_ + 1); }
@@ -156,6 +176,12 @@ class Sequential {
   void set_training(bool training);
 
   std::size_t num_layers() const noexcept { return layers_.size(); }
+
+  /// Persists every layer in order; load() reconstructs a net whose infer()
+  /// and forward() are bit-identical to the saved one. Throws
+  /// std::runtime_error on unknown layer tags or malformed weights.
+  void save(std::ostream& out) const;
+  static Sequential load(std::istream& in);
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <ostream>
 #include <stdexcept>
 
+#include "util/serialize_io.hpp"
 #include "util/task_pool.hpp"
 
 namespace smart::ml {
@@ -188,6 +190,52 @@ int RegressionTree::build(const Matrix& x, std::span<const std::uint8_t> binned,
   node.left = left;
   node.right = right;
   return node_index;
+}
+
+void RegressionTree::save(std::ostream& out) const {
+  out << "tree " << nodes_.size() << ' ' << depth_ << ' '
+      << split_gains_.size() << '\n';
+  for (const Node& n : nodes_) {
+    out << n.feature << ' ';
+    util::write_f64(out, static_cast<double>(n.threshold));
+    out << ' ' << n.left << ' ' << n.right << ' ';
+    util::write_f64(out, n.weight);
+    out << '\n';
+  }
+  for (const auto& [feature, gain] : split_gains_) {
+    out << feature << ' ';
+    util::write_f64(out, gain);
+    out << '\n';
+  }
+}
+
+RegressionTree RegressionTree::load(std::istream& in) {
+  util::expect_word(in, "tree", "RegressionTree::load");
+  const std::size_t num_nodes = util::read_size(in, "tree node count");
+  const int depth = util::read_int(in, "tree depth");
+  const std::size_t num_gains = util::read_size(in, "tree gain count");
+  RegressionTree tree;
+  tree.depth_ = depth;
+  tree.nodes_.resize(num_nodes);
+  const long long n = static_cast<long long>(num_nodes);
+  for (Node& node : tree.nodes_) {
+    node.feature = util::read_int(in, "tree node feature");
+    node.threshold =
+        static_cast<float>(util::read_f64(in, "tree node threshold", false));
+    node.left = util::read_int(in, "tree node left");
+    node.right = util::read_int(in, "tree node right");
+    node.weight = util::read_f64(in, "tree node weight");
+    if (node.feature >= 0 &&
+        (node.left < 0 || node.left >= n || node.right < 0 || node.right >= n)) {
+      throw std::runtime_error("RegressionTree::load: dangling child link");
+    }
+  }
+  tree.split_gains_.resize(num_gains);
+  for (auto& [feature, gain] : tree.split_gains_) {
+    feature = util::read_int(in, "tree gain feature");
+    gain = util::read_f64(in, "tree gain value");
+  }
+  return tree;
 }
 
 double RegressionTree::predict_row(std::span<const float> features) const {

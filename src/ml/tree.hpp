@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -64,6 +65,12 @@ class RegressionTree {
   const std::vector<std::pair<int, double>>& split_gains() const noexcept {
     return split_gains_;
   }
+
+  /// Persists the fitted tree (nodes, split gains, depth) as tokens; load()
+  /// reproduces predict_row bit-exactly and throws std::runtime_error on
+  /// malformed input, dangling child links, or non-finite weights.
+  void save(std::ostream& out) const;
+  static RegressionTree load(std::istream& in);
 
  private:
   struct Node {

@@ -103,17 +103,32 @@ double kendall_tau(std::span<const double> xs, std::span<const double> ys) {
   if (n < 2) return 0.0;
   long long concordant = 0;
   long long discordant = 0;
+  long long tied_x = 0;  // pairs tied in x (but not in both): excluded from
+  long long tied_y = 0;  // the tau-b denominator on the x / y side
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       const double dx = xs[i] - xs[j];
       const double dy = ys[i] - ys[j];
-      const double prod = dx * dy;
-      if (prod > 0.0) ++concordant;
-      else if (prod < 0.0) ++discordant;
+      if (dx == 0.0 && dy == 0.0) {
+        ++tied_x;
+        ++tied_y;
+      } else if (dx == 0.0) {
+        ++tied_x;
+      } else if (dy == 0.0) {
+        ++tied_y;
+      } else if (dx * dy > 0.0) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
     }
   }
   const double pairs = 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
-  return static_cast<double>(concordant - discordant) / pairs;
+  const double denom_x = pairs - static_cast<double>(tied_x);
+  const double denom_y = pairs - static_cast<double>(tied_y);
+  if (denom_x <= 0.0 || denom_y <= 0.0) return 0.0;  // a constant input
+  return static_cast<double>(concordant - discordant) /
+         std::sqrt(denom_x * denom_y);
 }
 
 void Accumulator::add(double x) noexcept {

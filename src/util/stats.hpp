@@ -29,8 +29,12 @@ double mape(std::span<const double> truth, std::span<const double> pred);
 /// Fraction of positions where the two label series agree, in [0,1].
 double accuracy(std::span<const int> truth, std::span<const int> pred);
 
-/// Kendall rank correlation (tau-a), used by ordinal-regression baselines
-/// (paper Sec. II-C cites Kendall coefficients for ranking quality).
+/// Kendall rank correlation (tau-b), used by ordinal-regression baselines
+/// (paper Sec. II-C cites Kendall coefficients for ranking quality). Tau-b
+/// corrects the denominator for ties — (C-D)/sqrt((n0-n1)(n0-n2)) with
+/// n1/n2 counting tied pairs in xs/ys — so a tie-free perfect ranking and
+/// one that only merges equal values both score 1. Returns 0 when either
+/// input is constant (no untied pair to rank).
 double kendall_tau(std::span<const double> xs, std::span<const double> ys);
 
 /// Streaming min/max/mean accumulator for one-pass summaries.

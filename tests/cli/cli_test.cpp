@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
+
+#include "util/timing.hpp"
 
 namespace smart::cli {
 namespace {
@@ -124,6 +127,97 @@ TEST(CliRun, AdviseEndToEnd) {
             0);
   EXPECT_NE(out.str().find("group"), std::string::npos);
   EXPECT_NE(out.str().find("fastest GPU"), std::string::npos);
+}
+
+TEST(CliParse, StrictIntegerOptions) {
+  // A half-parsed "--count 2x" used to silently become 2 via atoi; strict
+  // parsing must reject it, along with empty values and overflow.
+  EXPECT_THROW(parse({"generate", "--count", "2x"}).get_int("count", 0),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"generate", "--count", "x2"}).get_int("count", 0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse({"generate", "--count", "99999999999999"}).get_int("count", 0),
+      std::invalid_argument);
+  EXPECT_EQ(parse({"generate", "--count", "-3"}).get_int("count", 0), -3);
+  EXPECT_EQ(parse({"generate"}).get_int("count", 7), 7);
+}
+
+TEST(CliParse, StrictU64SeedOptions) {
+  EXPECT_EQ(parse({"generate", "--seed", "42"}).get_u64("seed", 0), 42u);
+  // Seeds above INT64_MAX are valid u64 values.
+  EXPECT_EQ(
+      parse({"generate", "--seed", "12297829382473034410"}).get_u64("seed", 0),
+      12297829382473034410ull);
+  EXPECT_THROW(parse({"generate", "--seed", "-1"}).get_u64("seed", 0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse({"generate", "--seed", "99999999999999999999"}).get_u64("seed", 0),
+      std::invalid_argument);
+  EXPECT_THROW(parse({"generate", "--seed", "7up"}).get_u64("seed", 0),
+               std::invalid_argument);
+  EXPECT_EQ(parse({"generate"}).get_u64("seed", 5), 5u);
+}
+
+TEST(CliRun, TrainRequiresOut) {
+  std::ostringstream out;
+  EXPECT_THROW(run_command(parse({"train"}), out), std::invalid_argument);
+}
+
+TEST(CliRun, AdviseRejectsModelPlusCorpus) {
+  std::ostringstream out;
+  EXPECT_THROW(
+      run_command(parse({"advise", "--model", "m.smart", "--corpus", "c.txt"}),
+                  out),
+      std::invalid_argument);
+}
+
+TEST(CliRun, TrainServeRoundTripMatchesCorpusTraining) {
+  const std::string corpus = testing::TempDir() + "smartctl_rt_corpus.txt";
+  const std::string model = testing::TempDir() + "smartctl_rt_model.smart";
+  std::ostringstream scratch;
+  ASSERT_EQ(run_command(parse({"profile", "--dims", "2", "--stencils", "6",
+                               "--samples", "2", "--out", corpus}),
+                        scratch),
+            0);
+  ASSERT_EQ(run_command(
+                parse({"train", "--corpus", corpus, "--out", model}), scratch),
+            0);
+  EXPECT_NE(scratch.str().find("model saved to"), std::string::npos);
+
+  // Serving the artifact must print byte-identical advice to training from
+  // the corpus in-process (the acceptance contract for train-once/serve-many).
+  std::ostringstream from_corpus;
+  ASSERT_EQ(run_command(parse({"advise", "--shape", "star", "--dims", "2",
+                               "--order", "2", "--gpu", "V100", "--corpus",
+                               corpus}),
+                        from_corpus),
+            0);
+  std::ostringstream from_model;
+  util::timing_reset();
+  ASSERT_EQ(run_command(parse({"advise", "--shape", "star", "--dims", "2",
+                               "--order", "2", "--gpu", "V100", "--model",
+                               model, "--timing", "1"}),
+                        from_model),
+            0);
+  const std::string serve_text = from_model.str();
+  EXPECT_EQ(serve_text.substr(0, from_corpus.str().size()), from_corpus.str());
+
+  // The serve side must not profile or fit anything: only deserialization
+  // and inference phases may appear in the timing report.
+  EXPECT_NE(serve_text.find("serialize.load"), std::string::npos);
+  EXPECT_EQ(serve_text.find("profile."), std::string::npos);
+  EXPECT_EQ(serve_text.find(".fit"), std::string::npos);
+
+  // A query whose dimensionality disagrees with the artifact is refused.
+  std::ostringstream mismatch;
+  EXPECT_THROW(run_command(parse({"advise", "--shape", "star", "--dims", "3",
+                                  "--order", "2", "--model", model}),
+                           mismatch),
+               std::runtime_error);
+
+  std::remove(corpus.c_str());
+  std::remove(model.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,291 @@
+// Model artifact contract (train-once/serve-many): a StencilMart saved with
+// save_model and reloaded with load_model must advise bit-identically to the
+// in-memory model, for every regressor kind, in serial mode and at the
+// default thread count. Comparisons use std::bit_cast so a 1-ulp drift in
+// the reloaded weights fails loudly (PR-2 style).
+//
+// The suite also pins the artifact's error paths: bad magic, unsupported
+// version, truncation, checksum corruption, NaN weights smuggled into a
+// re-checksummed payload, and trailing payload data all raise a clear
+// std::runtime_error instead of producing a silently-wrong model.
+//
+// Suite names map onto the ctest label groups (tests/CMakeLists.txt):
+//   ModelArtifact.*          -> unit      (round trips under SerialSection)
+//   ParallelModelArtifact.*  -> parallel  (round trips at default threads)
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/mart.hpp"
+#include "core/serialize.hpp"
+#include "stencil/pattern.hpp"
+#include "util/serialize_io.hpp"
+#include "util/task_pool.hpp"
+
+namespace smart::core {
+namespace {
+
+void expect_bitwise(double a, double b) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b));
+}
+
+const ProfileDataset& artifact_corpus() {
+  static const ProfileDataset ds = [] {
+    ProfileConfig cfg;
+    cfg.dims = 2;
+    cfg.num_stencils = 6;
+    cfg.samples_per_oc = 2;
+    cfg.seed = 909;
+    return build_profile_dataset(cfg);
+  }();
+  return ds;
+}
+
+MartConfig small_config(RegressorKind kind) {
+  MartConfig config;
+  config.regressor = kind;
+  config.regression.epochs = 3;
+  config.regression.instance_cap = 600;
+  config.tuning_samples = 8;
+  return config;
+}
+
+/// One trained mart per regressor kind, fitted once from the shared corpus
+/// (at default threads) and reused by the serial and parallel suites — the
+/// contract under test is save/load + inference, not fitting.
+const StencilMart& trained_mart(RegressorKind kind) {
+  static std::vector<std::unique_ptr<StencilMart>> marts(3);
+  auto& slot = marts[static_cast<std::size_t>(kind)];
+  if (!slot) {
+    slot = std::make_unique<StencilMart>(small_config(kind));
+    slot->train(artifact_corpus());
+  }
+  return *slot;
+}
+
+std::vector<stencil::StencilPattern> query_patterns() {
+  return {stencil::make_star(2, 2), stencil::make_box(2, 1),
+          stencil::make_cross(2, 3)};
+}
+
+/// Saves `mart`, reloads it, and checks that every advise/recommend_gpu
+/// output is identical — doubles bitwise — for unseen query stencils.
+void check_round_trip(RegressorKind kind) {
+  const StencilMart& original = trained_mart(kind);
+  std::stringstream buffer;
+  save_model(original, buffer);
+  const StencilMart loaded = load_model(buffer);
+  EXPECT_TRUE(loaded.trained());
+  EXPECT_EQ(loaded.config().regressor, kind);
+  EXPECT_EQ(loaded.config().profile.dims, original.config().profile.dims);
+
+  for (const auto& pattern : query_patterns()) {
+    for (const auto& gpu : original.dataset().gpus) {
+      const OcAdvice a = original.advise(pattern, gpu.name);
+      const OcAdvice b = loaded.advise(pattern, gpu.name);
+      EXPECT_EQ(a.group, b.group);
+      EXPECT_EQ(a.group_name, b.group_name);
+      EXPECT_EQ(a.oc.name(), b.oc.name());
+      EXPECT_EQ(a.setting.to_string(), b.setting.to_string());
+      expect_bitwise(a.expected_time_ms, b.expected_time_ms);
+      expect_bitwise(a.predicted_time_ms, b.predicted_time_ms);
+    }
+    const GpuRecommendation ra = original.recommend_gpu(pattern);
+    const GpuRecommendation rb = loaded.recommend_gpu(pattern);
+    EXPECT_EQ(ra.fastest_gpu, rb.fastest_gpu);
+    EXPECT_EQ(ra.cheapest_gpu, rb.cheapest_gpu);
+    expect_bitwise(ra.fastest_time_ms, rb.fastest_time_ms);
+    expect_bitwise(ra.cheapest_cost_score, rb.cheapest_cost_score);
+  }
+}
+
+/// A saved GBR artifact, reused by the corruption tests below.
+const std::string& reference_artifact() {
+  static const std::string artifact = [] {
+    std::stringstream buffer;
+    save_model(trained_mart(RegressorKind::kGbr), buffer);
+    return buffer.str();
+  }();
+  return artifact;
+}
+
+void expect_load_fails(const std::string& text, const std::string& needle) {
+  std::stringstream in(text);
+  try {
+    load_model(in);
+    FAIL() << "load_model accepted a corrupted artifact";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+/// Rebuilds a syntactically valid envelope (size + FNV-1a checksum) around a
+/// tampered payload, so the corruption reaches the section parsers instead
+/// of tripping the checksum gate.
+std::string reseal(const std::string& payload) {
+  char digest[17];
+  std::snprintf(digest, sizeof(digest), "%016llx",
+                static_cast<unsigned long long>(util::fnv1a64(payload)));
+  std::ostringstream out;
+  out << "stencilmart-model-v1\npayload " << payload.size() << '\n'
+      << payload << "checksum " << digest << '\n';
+  return out.str();
+}
+
+/// Splits the reference artifact into (header-through-payload-line, payload).
+std::string reference_payload() {
+  const std::string& artifact = reference_artifact();
+  const std::size_t header_end = artifact.find('\n', artifact.find("payload"));
+  const std::size_t checksum_pos = artifact.rfind("checksum ");
+  return artifact.substr(header_end + 1, checksum_pos - header_end - 1);
+}
+
+// --- unit label: round trips pinned to one thread. ---
+
+TEST(ModelArtifact, GbrRoundTripIsBitIdenticalSerial) {
+  const util::SerialSection serial;
+  check_round_trip(RegressorKind::kGbr);
+}
+
+TEST(ModelArtifact, MlpRoundTripIsBitIdenticalSerial) {
+  const util::SerialSection serial;
+  check_round_trip(RegressorKind::kMlp);
+}
+
+TEST(ModelArtifact, ConvMlpRoundTripIsBitIdenticalSerial) {
+  const util::SerialSection serial;
+  check_round_trip(RegressorKind::kConvMlp);
+}
+
+TEST(ModelArtifact, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "smart_model_test.smart";
+  save_model(trained_mart(RegressorKind::kGbr), path);
+  const StencilMart loaded = load_model(path);
+  EXPECT_TRUE(loaded.trained());
+  const auto pattern = stencil::make_star(2, 2);
+  const OcAdvice a = trained_mart(RegressorKind::kGbr).advise(pattern, "V100");
+  const OcAdvice b = loaded.advise(pattern, "V100");
+  EXPECT_EQ(a.oc.name(), b.oc.name());
+  expect_bitwise(a.predicted_time_ms, b.predicted_time_ms);
+  std::remove(path.c_str());
+}
+
+TEST(ModelArtifact, UntrainedSaveThrows) {
+  StencilMart mart(small_config(RegressorKind::kGbr));
+  std::stringstream buffer;
+  EXPECT_THROW(save_model(mart, buffer), std::logic_error);
+}
+
+TEST(ModelArtifact, TrainOnEmptyCorpusThrows) {
+  StencilMart mart(small_config(RegressorKind::kGbr));
+  EXPECT_THROW(mart.train(ProfileDataset{}), std::invalid_argument);
+}
+
+TEST(ModelArtifact, MissingFileThrows) {
+  EXPECT_THROW(load_model("/nonexistent/model.smart"), std::runtime_error);
+}
+
+TEST(ModelArtifact, RejectsBadMagic) {
+  expect_load_fails("definitely-not-a-model\n", "bad magic");
+}
+
+TEST(ModelArtifact, RejectsEmptyStream) {
+  expect_load_fails("", "empty stream");
+}
+
+TEST(ModelArtifact, RejectsUnsupportedVersion) {
+  std::string text = reference_artifact();
+  const std::string from = "stencilmart-model-v1";
+  text.replace(0, from.size(), "stencilmart-model-v999");
+  expect_load_fails(text, "unsupported model format version");
+}
+
+TEST(ModelArtifact, RejectsTruncatedPayload) {
+  const std::string& artifact = reference_artifact();
+  expect_load_fails(artifact.substr(0, artifact.size() / 2), "truncated");
+}
+
+TEST(ModelArtifact, RejectsFlippedChecksumByte) {
+  std::string text = reference_artifact();
+  const std::size_t pos = text.rfind("checksum ") + 9;
+  text[pos] = text[pos] == 'f' ? '0' : 'f';
+  expect_load_fails(text, "checksum mismatch");
+}
+
+TEST(ModelArtifact, RejectsFlippedPayloadByte) {
+  std::string text = reference_artifact();
+  // Flip one byte in the middle of the payload; the checksum gate must
+  // reject it before any section parser runs.
+  const std::size_t pos = text.size() / 2;
+  text[pos] = text[pos] == 'x' ? 'y' : 'x';
+  expect_load_fails(text, "checksum mismatch");
+}
+
+TEST(ModelArtifact, RejectsNanWeightEvenWithValidChecksum) {
+  std::string payload = reference_payload();
+  // Replace the first hexfloat token with "nan" and re-seal the envelope:
+  // the strict readers must still refuse the non-finite weight.
+  std::size_t pos = payload.find(" 0x");
+  if (pos == std::string::npos) pos = payload.find(" -0x");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t end = payload.find_first_of(" \n", pos + 1);
+  ASSERT_NE(end, std::string::npos);
+  payload.replace(pos, end - pos, " nan");
+  std::stringstream in(reseal(payload));
+  EXPECT_THROW(load_model(in), std::runtime_error);
+}
+
+TEST(ModelArtifact, RejectsTrailingPayloadData) {
+  expect_load_fails(reseal(reference_payload() + "bogus 1 2\n"),
+                    "trailing data");
+}
+
+TEST(ModelArtifact, TrainFromCorpusUsesMeasuredTimes) {
+  // Make OC 7 uniformly ~1000x faster than everything the simulator would
+  // produce. If train(dataset) actually consumes the corpus's measured
+  // times (instead of silently re-profiling, the pre-fix behavior of
+  // `advise --corpus`), every advised stencil lands in OC 7's merged group.
+  ProfileDataset mutated = artifact_corpus();
+  constexpr std::size_t kFastOc = 7;
+  for (auto& per_gpu : mutated.times) {
+    for (auto& per_oc : per_gpu) {
+      for (std::size_t k = 0; k < per_oc[kFastOc].size(); ++k) {
+        per_oc[kFastOc][k] = 1e-6 * static_cast<double>(k + 1);
+      }
+    }
+  }
+  StencilMart mart(small_config(RegressorKind::kGbr));
+  mart.train(mutated);
+  // The stored dataset is the corpus, bit for bit — not a fresh profile.
+  expect_bitwise(mart.dataset().times[0][0][kFastOc][0], 1e-6);
+  const int fast_group = mart.merger().groups()[kFastOc];
+  for (std::size_t s = 0; s < mutated.stencils.size(); ++s) {
+    const OcAdvice advice = mart.advise(mutated.stencils[s], "V100");
+    EXPECT_EQ(advice.group, fast_group);
+  }
+}
+
+// --- parallel label: the same round-trip contracts at default threads. ---
+
+TEST(ParallelModelArtifact, GbrRoundTripIsBitIdentical) {
+  check_round_trip(RegressorKind::kGbr);
+}
+
+TEST(ParallelModelArtifact, MlpRoundTripIsBitIdentical) {
+  check_round_trip(RegressorKind::kMlp);
+}
+
+TEST(ParallelModelArtifact, ConvMlpRoundTripIsBitIdentical) {
+  check_round_trip(RegressorKind::kConvMlp);
+}
+
+}  // namespace
+}  // namespace smart::core

@@ -103,6 +103,28 @@ TEST(Serialize, RejectsOutOfRangeIndices) {
   EXPECT_THROW(load_dataset(corrupted), std::runtime_error);
 }
 
+TEST(Serialize, RejectsCorruptTimeValue) {
+  // A half-parsable time token ("1.2.3" -> 1.2 under bare strtod) used to
+  // load silently; strict parsing must throw instead.
+  const auto original = make_dataset();
+  std::stringstream buffer;
+  save_dataset(original, buffer);
+  std::string text = buffer.str();
+  text += "time 0 0 0 2 1.2.3\n";
+  std::stringstream corrupted(text);
+  EXPECT_THROW(load_dataset(corrupted), std::runtime_error);
+}
+
+TEST(Serialize, RejectsNonPositiveOrNonFiniteTime) {
+  const auto original = make_dataset();
+  std::stringstream buffer;
+  save_dataset(original, buffer);
+  for (const std::string bad : {"-1.5", "0", "inf", "nan"}) {
+    std::stringstream corrupted(buffer.str() + "time 0 0 0 2 " + bad + "\n");
+    EXPECT_THROW(load_dataset(corrupted), std::runtime_error) << bad;
+  }
+}
+
 TEST(Serialize, MissingFileThrows) {
   EXPECT_THROW(load_dataset("/nonexistent/dataset.txt"), std::runtime_error);
 }

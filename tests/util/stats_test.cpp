@@ -94,6 +94,24 @@ TEST(Stats, KendallTau) {
   EXPECT_NEAR(kendall_tau(xs, discordant), -1.0, 1e-12);
 }
 
+TEST(Stats, KendallTauTiesUseTauB) {
+  // Hand computation: 6 pairs, one tied in x only, one tied in y only,
+  // C = 4, D = 0 -> tau-b = 4 / sqrt(5 * 5) = 0.8. (Tau-a would give 4/6.)
+  const std::vector<double> xs{1.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{1.0, 2.0, 2.0, 3.0};
+  EXPECT_NEAR(kendall_tau(xs, ys), 0.8, 1e-12);
+
+  // A ranking that only merges equal values is still perfect under tau-b:
+  // the both-tied pair drops out of both denominator factors -> 2/2 = 1.
+  const std::vector<double> xs2{1.0, 1.0, 2.0};
+  const std::vector<double> ys2{2.0, 2.0, 3.0};
+  EXPECT_NEAR(kendall_tau(xs2, ys2), 1.0, 1e-12);
+
+  // A constant input has no untied pair to rank.
+  const std::vector<double> flat{5.0, 5.0, 5.0};
+  EXPECT_NEAR(kendall_tau(flat, ys2), 0.0, 1e-12);
+}
+
 TEST(Stats, Accumulator) {
   Accumulator acc;
   EXPECT_EQ(acc.count(), 0u);
