@@ -33,6 +33,24 @@ if [[ "$one" != "$many" ]]; then
 fi
 echo "OK: checksums identical across thread counts"
 
+echo "== golden corpus checksum (500 stencils, pre-two-phase reference) =="
+# The two-phase profiler (PR 4) must reproduce the pre-change profiler's
+# dataset bit-for-bit: this golden value was recorded from the monolithic
+# implementation on the paper-sized 2-D corpus, and must hold serially and
+# under the task pool alike.
+GOLDEN_ARGS=(profile --dims 2 --stencils 500 --samples 4 --seed 20220530 --checksum 1)
+GOLDEN_WANT="checksum 2e5c80a812ebd0f9"
+for threads in 1 4; do
+  got=$(SMART_THREADS=$threads "$SMARTCTL" "${GOLDEN_ARGS[@]}" | grep '^checksum')
+  echo "  SMART_THREADS=$threads -> $got"
+  if [[ "$got" != "$GOLDEN_WANT" ]]; then
+    echo "FAIL: corpus checksum drifted from the pre-two-phase profiler" >&2
+    echo "      want: $GOLDEN_WANT" >&2
+    exit 1
+  fi
+done
+echo "OK: 500-stencil corpus matches the golden checksum in both thread modes"
+
 echo "== train-once/serve-many round trip =="
 # A model artifact served with `advise --model` must print advice identical
 # to training in-process from the same corpus, and the serve side must not
@@ -78,3 +96,13 @@ echo "== bench smoke: batched advisor inference =="
 SMART_SCALE=${SMART_BENCH_SCALE:-0.05} \
   SMART_BENCH_JSON="$PWD/BENCH_advisor.json" \
   "$BUILD_DIR/bench/bench_advisor_batch"
+
+echo "== bench smoke: two-phase profiling substrate =="
+# Exit 1 inside the bench if the monolithic sweep and the cached-analysis
+# sweep ever diverge bitwise; appends a trajectory point to
+# BENCH_profile.json. The >= 2x end-to-end gate applies at SMART_SCALE=1
+# (the scale-1 3-D corpus); the smoke scale only checks equivalence.
+SMART_SCALE=${SMART_BENCH_SCALE:-0.05} \
+  SMART_BENCH_JSON="$PWD/BENCH_profile.json" \
+  SMART_BENCH_REPEATS=1 \
+  "$BUILD_DIR/bench/bench_profile"

@@ -1,5 +1,7 @@
 #include "core/profile_dataset.hpp"
 
+#include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
 #include <limits>
@@ -145,17 +147,31 @@ ProfileDataset build_profile_dataset(const ProfileConfig& config) {
   const auto& ocs = gpusim::valid_combinations();
   {
     const util::PhaseTimer timer("profile.settings", n * ocs.size());
+    // A ParamSpace depends only on (OC, dims), so the 30 spaces are shared
+    // by every stencil; random_setting() is const, so concurrent draws from
+    // per-stencil rngs are safe.
+    std::vector<gpusim::ParamSpace> spaces;
+    spaces.reserve(ocs.size());
+    for (const auto& oc : ocs) spaces.emplace_back(oc, config.dims);
     ds.settings.assign(n, {});
     util::parallel_for(n, [&](std::size_t s) {
       util::Rng srng(util::hash_combine(config.seed, ds.stencils[s].hash()));
       ds.settings[s].resize(ocs.size());
+      // Duplicate draws are dropped by a linear scan over the few hashes
+      // sampled so far — same dedup decisions as a hash set, none of its
+      // per-(stencil, OC) allocations.
+      std::vector<std::uint64_t> setting_seen;
+      setting_seen.reserve(static_cast<std::size_t>(config.samples_per_oc));
       for (std::size_t o = 0; o < ocs.size(); ++o) {
-        const gpusim::ParamSpace space(ocs[o], config.dims);
-        std::unordered_set<std::uint64_t> setting_seen;
+        const gpusim::ParamSpace& space = spaces[o];
+        setting_seen.clear();
         auto& list = ds.settings[s][o];
         for (int k = 0; k < config.samples_per_oc; ++k) {
           const gpusim::ParamSetting setting = space.random_setting(srng);
-          if (setting_seen.insert(setting.hash()).second) {
+          const std::uint64_t h = setting.hash();
+          if (std::find(setting_seen.begin(), setting_seen.end(), h) ==
+              setting_seen.end()) {
+            setting_seen.push_back(h);
             list.push_back(setting);
           }
         }
@@ -164,29 +180,62 @@ ProfileDataset build_profile_dataset(const ProfileConfig& config) {
   }
 
   // --- Measurements: every setting on every GPU -------------------------
-  // Parallel over (stencil, OC): each index owns times[s][*][o], and the
-  // simulator seeds noise from the variant identity, so the sweep is
-  // bit-identical for any thread count.
+  // Two-phase, flattened sweep. Work units are (stencil, OC, GPU) — not
+  // (stencil, OC) — so the task pool sees many small, uniform tasks
+  // instead of a few whose cost varies with the GPU count and sample list.
+  // Phase 1 computes one setting-independent KernelAnalysis per unit;
+  // phase 2 replays the unit's settings through the cheap per-setting
+  // evaluation. Each unit owns analyses[idx] and times[s][gi][o]
+  // exclusively, and the simulator seeds noise from the variant identity,
+  // so the sweep is bit-identical for any thread count.
   const gpusim::Simulator sim(config.sim);
   const std::size_t g = ds.gpus.size();
   ds.times.assign(n, std::vector<std::vector<std::vector<double>>>(
                          g, std::vector<std::vector<double>>(ocs.size())));
   {
-    const util::PhaseTimer timer("profile.measure", n * ocs.size());
-    util::parallel_for(n * ocs.size(), [&](std::size_t idx) {
-      const std::size_t s = idx / ocs.size();
-      const std::size_t o = idx % ocs.size();
-      for (std::size_t gi = 0; gi < g; ++gi) {
-        auto& slot = ds.times[s][gi][o];
-        slot.reserve(ds.settings[s][o].size());
-        for (const gpusim::ParamSetting& setting : ds.settings[s][o]) {
-          const gpusim::KernelProfile prof = sim.measure(
-              ds.stencils[s], ds.problems[s], ocs[o], setting, ds.gpus[gi]);
-          slot.push_back(prof.ok ? prof.time_ms
-                                 : std::numeric_limits<double>::quiet_NaN());
-        }
+    const std::size_t per_stencil = ocs.size() * g;
+    const std::size_t units = n * per_stencil;
+    // The analyses buffer covers a block of stencils, not the whole corpus:
+    // a few thousand cached analyses stay resident between the analyze and
+    // evaluate passes, where one corpus-sized buffer would be re-fetched
+    // from DRAM. The chunk loop is sequential and every unit still owns its
+    // analyses/times slots exclusively, so the output is unchanged.
+    const std::size_t chunk_stencils =
+        std::max<std::size_t>(1, 4096 / per_stencil);
+    const util::PhaseTimer timer("profile.measure", units);
+    std::vector<gpusim::KernelAnalysis> analyses(
+        std::min(n, chunk_stencils) * per_stencil);
+    for (std::size_t s0 = 0; s0 < n; s0 += chunk_stencils) {
+      const std::size_t s1 = std::min(n, s0 + chunk_stencils);
+      const std::size_t chunk_units = (s1 - s0) * per_stencil;
+      const auto unpack = [&](std::size_t idx) {
+        const std::size_t s = s0 + idx / per_stencil;
+        const std::size_t rem = idx % per_stencil;
+        return std::array<std::size_t, 3>{s, rem / g, rem % g};
+      };
+      {
+        const util::PhaseTimer atimer("profile.analyze", chunk_units);
+        util::parallel_for(chunk_units, [&](std::size_t idx) {
+          const auto [s, o, gi] = unpack(idx);
+          analyses[idx] =
+              sim.analyze(ds.stencils[s], ds.problems[s], ocs[o], ds.gpus[gi]);
+        });
       }
-    });
+      {
+        const util::PhaseTimer etimer("profile.evaluate", chunk_units);
+        util::parallel_for(chunk_units, [&](std::size_t idx) {
+          const auto [s, o, gi] = unpack(idx);
+          auto& slot = ds.times[s][gi][o];
+          slot.reserve(ds.settings[s][o].size());
+          for (const gpusim::ParamSetting& setting : ds.settings[s][o]) {
+            const gpusim::KernelProfile prof =
+                sim.measure(analyses[idx], setting);
+            slot.push_back(prof.ok ? prof.time_ms
+                                   : std::numeric_limits<double>::quiet_NaN());
+          }
+        });
+      }
+    }
   }
   return ds;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace smart::gpusim {
 
@@ -11,29 +12,123 @@ double ceil_div(double a, double b) { return std::ceil(a / b); }
 
 }  // namespace
 
-KernelProfile KernelCostModel::evaluate(const stencil::StencilPattern& pattern,
+KernelAnalysis KernelCostModel::analyze(const stencil::StencilPattern& pattern,
                                         const ProblemSize& problem,
                                         const OptCombination& oc,
-                                        const ParamSetting& s,
                                         const GpuSpec& gpu) const {
-  KernelProfile p;
+  KernelAnalysis a;
+  a.oc = oc;
+  a.gpu = &gpu;
   if (!oc.is_valid()) {
-    p.crash_reason = "invalid optimization combination";
-    return p;
+    a.crash_reason = "invalid optimization combination";
+    return a;
   }
   const int d = pattern.dims();
   if (problem.dims() != d) {
-    p.crash_reason = "problem/pattern dimensionality mismatch";
-    return p;
+    a.crash_reason = "problem/pattern dimensionality mismatch";
+    return a;
+  }
+  a.ok = true;
+
+  a.d = d;
+  a.r = static_cast<double>(pattern.order());
+  a.nnz = static_cast<double>(pattern.size());
+  a.volume = static_cast<double>(problem.volume());
+  a.merging = oc.bm || oc.cm;
+  a.periodic = problem.boundary == stencil::Boundary::kPeriodic;
+  a.halo2 = 2.0 * a.r;
+  a.X = problem.nx;
+  a.Y = problem.ny;
+  a.Z = problem.nz;
+  for (int axis = 0; axis < d; ++axis) {
+    a.extent[axis] = static_cast<double>(problem.extent(axis));
+    a.planes[axis] = static_cast<double>(pattern.planes_along(axis));
+  }
+  a.bytes_ideal = a.volume * 8.0;
+  a.regs_base = c_.regs_base + c_.regs_per_dim * d;
+
+  // Per-stream-axis register and shared-memory coefficients (the stream
+  // axis is the only setting field the pattern walks depend on, and it has
+  // at most two legal values — hoist both).
+  for (int axis = 0; axis < d; ++axis) {
+    double stream_regs = c_.regs_stream_per_plane * a.planes[axis];
+    if (oc.rt) {
+      stream_regs = stream_regs * c_.retime_reg_scale + c_.retime_reg_overhead;
+    }
+    a.stream_regs[axis] = stream_regs;
+    a.prefetch_regs[axis] =
+        c_.prefetch_regs + 1.2 * (a.nnz / std::max(1.0, a.planes[axis]));
+    a.kept_planes_st[axis] =
+        d == 3 ? (oc.rt ? 2.0 : std::min(2.0 * a.r + 1.0, a.planes[axis]))
+               : 1.0;
+  }
+  a.kept_planes_nost =
+      d == 3 ? std::min(2.0 * a.r + 1.0, a.planes[2]) : 1.0;
+
+  // DRAM-read redundancy factors of the non-streamed paths (fully
+  // determined by pattern geometry, problem extents and the L2 size).
+  if (d == 2) {
+    const double rows = a.planes[1];
+    const double row_ws = rows * a.X * 8.0;
+    a.extra_2d = row_ws <= gpu.l2_mb * 1024.0 * 1024.0
+                     ? c_.l2_row_reuse_extra * (rows - 1.0)
+                     : 0.5 * (rows - 1.0);
+  } else {
+    const double planes_z = a.planes[2];
+    const double plane_bytes = a.X * a.Y * 8.0;
+    const double l2_planes =
+        std::max(1.0, std::floor(gpu.l2_mb * 1024.0 * 1024.0 / plane_bytes));
+    const double uncached = std::max(0.0, planes_z - l2_planes);
+    a.read_scale_3d = 1.0 + c_.uncached_plane_cost * uncached;
   }
 
-  const double r = static_cast<double>(pattern.order());
-  const double nnz = static_cast<double>(pattern.size());
-  const double volume = static_cast<double>(problem.volume());
-  const bool merging = oc.bm || oc.cm;
+  // Per-point op counts (the RT and periodic adjustments are OC/problem
+  // level; only the TB redundancy factor remains per-setting).
+  double fp64_per_point = c_.flops_per_point_factor * a.nnz;
+  if (oc.rt) fp64_per_point *= 1.0 + c_.retime_compute_overhead;
+  a.fp64_per_point = fp64_per_point;
+  double overhead_ops = c_.instr_overhead_ops + 2.0 * a.nnz;
+  if (a.periodic) overhead_ops += c_.periodic_wrap_ops;
+  a.overhead_ops = overhead_ops;
+
+  // GPU-derived coefficients, grouped exactly as the evaluate() arithmetic
+  // consumes them so the per-setting expressions stay bit-identical.
+  a.smem_limit_bytes = gpu.smem_per_block_kb * 1024.0;
+  a.sms_d = static_cast<double>(gpu.sms);
+  a.peak_bw_gbs = gpu.mem_bw_gbs * gpu.peak_bw_frac;
+  a.bw_per_thread_gbs = gpu.bw_per_thread_gbs;
+  a.fp64_rate = gpu.fp64_tflops * 1e12 * gpu.sustained_fp64_frac;
+  a.alu_rate = gpu.alu_tops * 1e12;
+  a.sync_cycles = gpu.sync_cycles;
+  a.clock_hz = gpu.clock_ghz * 1e9;
+  a.launch_s = gpu.launch_us * 1e-6;
+  double per_sync = gpu.sync_cycles / a.clock_hz;
+  if (oc.pr) per_sync *= c_.prefetch_sync_hide;
+  a.per_sync_st = per_sync;
+
+  a.pattern_hash = pattern.hash();
+  a.gpu_hash = gpu.hash();
+  return a;
+}
+
+KernelProfile KernelCostModel::evaluate(const KernelAnalysis& a,
+                                        const ParamSetting& s) const {
+  KernelProfile p;
+  if (!a.ok) {
+    p.crash_reason = a.crash_reason;
+    return p;
+  }
+  const int d = a.d;
+  const OptCombination& oc = a.oc;
+  const double r = a.r;
+  const double volume = a.volume;
+  const bool merging = a.merging;
   const double m = static_cast<double>(s.merge_factor);
   const double t = static_cast<double>(s.tb_depth);
   const int stream_axis = oc.st ? s.stream_dim : -1;
+  if (oc.st && (stream_axis < 0 || stream_axis >= d)) {
+    throw std::invalid_argument("planes_along: bad axis");
+  }
 
   // ----- Tile geometry -------------------------------------------------
   // mx/my/mz: thread-coarsening factors per axis from merging.
@@ -46,17 +141,13 @@ KernelProfile KernelCostModel::evaluate(const stencil::StencilPattern& pattern,
   const double tile_y = s.block_y * my;
 
   // ----- Register pressure ---------------------------------------------
-  double regs = c_.regs_base + c_.regs_per_dim * d;
-  const double planes_stream =
-      oc.st ? static_cast<double>(pattern.planes_along(stream_axis)) : 0.0;
+  double regs = a.regs_base;
   if (oc.st) {
-    double stream_regs = c_.regs_stream_per_plane * planes_stream;
-    if (oc.rt) stream_regs = stream_regs * c_.retime_reg_scale + c_.retime_reg_overhead;
-    regs += stream_regs + 4.0;
+    regs += a.stream_regs[stream_axis] + 4.0;
   }
   if (oc.pr) {
     // Prefetch buffers hold the next plane's contribution per thread.
-    regs += c_.prefetch_regs + 1.2 * (nnz / std::max(1.0, planes_stream));
+    regs += a.prefetch_regs[stream_axis];
   }
   if (oc.tb) {
     // With streaming, TB keeps t partial time-planes flowing through the
@@ -76,18 +167,13 @@ KernelProfile KernelCostModel::evaluate(const stencil::StencilPattern& pattern,
 
   // ----- Shared memory ---------------------------------------------------
   double smem = 0.0;
-  const double halo2 = 2.0 * r;
+  const double halo2 = a.halo2;
   if (oc.st && s.use_smem) {
-    const double kept_planes =
-        d == 3 ? (oc.rt ? 2.0 : std::min(2.0 * r + 1.0, planes_stream)) : 1.0;
+    const double kept_planes = a.kept_planes_st[stream_axis];
     smem = (tile_x + halo2) * (tile_y + halo2) * 8.0 * kept_planes;
     if (oc.tb) smem *= t;
   } else if (!oc.st && s.use_smem) {
-    const double kept_planes =
-        d == 3 ? std::min(2.0 * r + 1.0,
-                          static_cast<double>(pattern.planes_along(2)))
-               : 1.0;
-    smem = (tile_x + halo2) * (tile_y + halo2) * 8.0 * kept_planes;
+    smem = (tile_x + halo2) * (tile_y + halo2) * 8.0 * a.kept_planes_nost;
   }
   if (oc.tb && !oc.st) {
     // Without streaming, temporal blocking must keep the whole fused-time
@@ -103,18 +189,18 @@ KernelProfile KernelCostModel::evaluate(const stencil::StencilPattern& pattern,
     smem = std::max(smem, tb_smem);
   }
   p.smem_per_block_bytes = smem;
-  if (smem > gpu.smem_per_block_kb * 1024.0) {
+  if (smem > a.smem_limit_bytes) {
     p.crash_reason = "shared memory: block needs " +
                      std::to_string(static_cast<long long>(smem / 1024.0)) +
                      " KB, limit is " +
-                     std::to_string(static_cast<long long>(gpu.smem_per_block_kb)) +
+                     std::to_string(static_cast<long long>(a.gpu->smem_per_block_kb)) +
                      " KB";
     return p;
   }
 
   // ----- Occupancy and device concurrency --------------------------------
   const OccupancyResult occ =
-      compute_occupancy(gpu, s.threads_per_block(), regs, smem);
+      compute_occupancy(*a.gpu, s.threads_per_block(), regs, smem);
   if (occ.blocks_per_sm == 0) {
     p.crash_reason = std::string("unlaunchable: zero occupancy (") +
                      occ.limiter + ")";
@@ -122,13 +208,13 @@ KernelProfile KernelCostModel::evaluate(const stencil::StencilPattern& pattern,
   }
   p.occupancy = occ.occupancy;
 
-  const double X = problem.nx;
-  const double Y = problem.ny;
-  const double Z = problem.nz;
+  const double X = a.X;
+  const double Y = a.Y;
+  const double Z = a.Z;
   double blocks = 0.0;
   double stream_iters = 0.0;
   if (oc.st) {
-    const double stream_extent = problem.extent(stream_axis);
+    const double stream_extent = a.extent[stream_axis];
     const double tiles_stream =
         ceil_div(stream_extent, static_cast<double>(s.stream_tile));
     if (d == 2) {
@@ -151,15 +237,14 @@ KernelProfile KernelCostModel::evaluate(const stencil::StencilPattern& pattern,
   p.total_blocks = static_cast<long long>(blocks);
 
   const double concurrent_blocks =
-      std::min(blocks, static_cast<double>(occ.blocks_per_sm) * gpu.sms);
+      std::min(blocks, static_cast<double>(occ.blocks_per_sm) * a.sms_d);
   const double resident_threads = concurrent_blocks * s.threads_per_block();
-  const double sm_util =
-      std::min(1.0, blocks / static_cast<double>(gpu.sms));
+  const double sm_util = std::min(1.0, blocks / a.sms_d);
   const double waves =
       std::max(1.0, std::ceil(blocks / std::max(1.0, concurrent_blocks)));
 
   // ----- DRAM traffic ----------------------------------------------------
-  const double bytes_ideal = volume * 8.0;
+  const double bytes_ideal = a.bytes_ideal;
   double read = bytes_ideal;
   if (oc.st) {
     // Streaming reuses planes along the stream axis; the residual traffic
@@ -172,21 +257,11 @@ KernelProfile KernelCostModel::evaluate(const stencil::StencilPattern& pattern,
     read *= 1.0 + halo_frac;
     if (!s.use_smem) read *= c_.nosmem_traffic_scale;
   } else if (d == 2) {
-    const double rows = static_cast<double>(pattern.planes_along(1));
-    const double row_ws = rows * X * 8.0;
-    const double extra = row_ws <= gpu.l2_mb * 1024.0 * 1024.0
-                             ? c_.l2_row_reuse_extra * (rows - 1.0)
-                             : 0.5 * (rows - 1.0);
-    read *= 1.0 + extra;
+    read *= 1.0 + a.extra_2d;
   } else {
     // 3-D without streaming: distinct z-planes are separate streams; only
     // as many planes as fit in L2 get reused across neighbouring threads.
-    const double planes_z = static_cast<double>(pattern.planes_along(2));
-    const double plane_bytes = X * Y * 8.0;
-    const double l2_planes =
-        std::max(1.0, std::floor(gpu.l2_mb * 1024.0 * 1024.0 / plane_bytes));
-    const double uncached = std::max(0.0, planes_z - l2_planes);
-    read *= 1.0 + c_.uncached_plane_cost * uncached;
+    read *= a.read_scale_3d;
     if (s.use_smem) {
       // Spatial smem tiling recovers intra-tile reuse but pays tile halos.
       const double tiled = 1.0 + halo2 / tile_x + halo2 / tile_y;
@@ -226,7 +301,7 @@ KernelProfile KernelCostModel::evaluate(const stencil::StencilPattern& pattern,
     }
   }
   traffic += volume * spilled_regs * c_.spill_bytes_per_reg * 2.0;
-  if (problem.boundary == stencil::Boundary::kPeriodic) {
+  if (a.periodic) {
     // Wrapped halo reads touch the opposite domain edge: extra uncoalesced
     // lines proportional to the boundary surface.
     traffic *= c_.periodic_halo_scale;
@@ -240,8 +315,7 @@ KernelProfile KernelCostModel::evaluate(const stencil::StencilPattern& pattern,
   // lets a desktop GPU match an HBM part on low-occupancy variants while
   // losing at full occupancy (paper Sec. III-D).
   const double bw =
-      std::min(gpu.mem_bw_gbs * gpu.peak_bw_frac,
-               resident_threads * gpu.bw_per_thread_gbs) * 1e9;
+      std::min(a.peak_bw_gbs, resident_threads * a.bw_per_thread_gbs) * 1e9;
   const double t_mem = traffic / bw;
 
   // ----- Compute time ------------------------------------------------------
@@ -249,23 +323,16 @@ KernelProfile KernelCostModel::evaluate(const stencil::StencilPattern& pattern,
   // overhead (addressing, predicates) runs on the INT/FP32 pipes and only
   // binds when it exceeds the FP64 work — this is what keeps low-order
   // stencils competitive on consumer GPUs with 1/32 FP64 rate.
-  double fp64_per_point = c_.flops_per_point_factor * nnz;
-  if (oc.rt) fp64_per_point *= 1.0 + c_.retime_compute_overhead;
+  double fp64_per_point = a.fp64_per_point;
   fp64_per_point *= 1.0 + redundant_compute;
-  double overhead_ops = c_.instr_overhead_ops + 2.0 * nnz;
-  if (problem.boundary == stencil::Boundary::kPeriodic) {
-    overhead_ops += c_.periodic_wrap_ops;  // modular index arithmetic
-  }
-  const double overhead_per_point = overhead_ops / (m * s.unroll);
+  const double overhead_per_point = a.overhead_ops / (m * s.unroll);
   p.flops = volume * fp64_per_point;
   const double comp_eff =
       std::min(1.0, occ.occupancy / c_.compute_sat_occupancy) * sm_util;
   const double t_fp64 =
-      volume * fp64_per_point /
-      (gpu.fp64_tflops * 1e12 * gpu.sustained_fp64_frac *
-       std::max(0.05, comp_eff));
+      volume * fp64_per_point / (a.fp64_rate * std::max(0.05, comp_eff));
   const double t_alu = volume * overhead_per_point /
-                       (gpu.alu_tops * 1e12 * std::max(0.05, comp_eff));
+                       (a.alu_rate * std::max(0.05, comp_eff));
   const double t_comp = std::max(t_fp64, t_alu);
 
   // ----- Synchronization ---------------------------------------------------
@@ -273,17 +340,15 @@ KernelProfile KernelCostModel::evaluate(const stencil::StencilPattern& pattern,
   if (oc.st) {
     double iters = stream_iters;
     if (oc.tb) iters *= 1.0 + c_.tb_sync_growth * t;
-    double per_sync = gpu.sync_cycles / (gpu.clock_ghz * 1e9);
-    if (oc.pr) per_sync *= c_.prefetch_sync_hide;
-    t_sync = iters * per_sync * waves;
+    t_sync = iters * a.per_sync_st * waves;
   } else if (oc.tb) {
     // Unstreamed TB: load/compute/store barriers per fused step.
-    t_sync = waves * 4.0 * t * gpu.sync_cycles / (gpu.clock_ghz * 1e9);
+    t_sync = waves * 4.0 * t * a.sync_cycles / a.clock_hz;
   } else if (s.use_smem) {
-    t_sync = waves * gpu.sync_cycles / (gpu.clock_ghz * 1e9);
+    t_sync = waves * a.sync_cycles / a.clock_hz;
   }
 
-  const double t_launch = gpu.launch_us * 1e-6 / (oc.tb ? t : 1.0);
+  const double t_launch = a.launch_s / (oc.tb ? t : 1.0);
   const double t_core = std::max(t_mem, t_comp) +
                         c_.overlap_fraction * std::min(t_mem, t_comp);
   const double total = t_core + t_sync + t_launch;

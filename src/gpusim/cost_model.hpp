@@ -51,6 +51,62 @@ struct KernelProfile {
   double t_sync_ms = 0.0;
 };
 
+/// Setting-independent analysis of one (pattern, problem, OC, GPU) tuple:
+/// everything KernelCostModel::evaluate needs that does not depend on the
+/// parameter setting, computed once by analyze() and reused across the
+/// whole per-setting sweep. This is the profiling hot-path contract: the
+/// pattern walks (planes_along, hash) and the OC/GPU-derived coefficients
+/// are paid once per (pattern, OC, GPU), never per sample.
+///
+/// An analysis borrows the GpuSpec it was built from (`gpu` pointer) and is
+/// bound to the constants of the model that produced it; keep the spec
+/// alive and evaluate through the same model.
+struct KernelAnalysis {
+  bool ok = false;            // false => every evaluate() reports the crash
+  std::string crash_reason;   // set when !ok (invalid OC / dims mismatch)
+  OptCombination oc;
+  const GpuSpec* gpu = nullptr;
+
+  // --- pattern/problem-derived ---------------------------------------
+  int d = 0;
+  double r = 0.0;             // stencil order
+  double nnz = 0.0;           // accessed points
+  double volume = 0.0;        // problem points
+  bool merging = false;       // oc.bm || oc.cm
+  bool periodic = false;
+  double halo2 = 0.0;         // 2r
+  double X = 0.0, Y = 0.0, Z = 0.0;
+  double extent[3] = {};      // problem extent per axis
+  double planes[3] = {};      // pattern.planes_along per axis (axes < d)
+  double bytes_ideal = 0.0;   // volume * 8
+  double regs_base = 0.0;     // base + per-dim registers
+  double stream_regs[3] = {}; // ST plane-buffer registers per stream axis
+  double prefetch_regs[3] = {};  // PR buffer registers per stream axis
+  double kept_planes_st[3] = {}; // smem planes kept per stream axis (ST)
+  double kept_planes_nost = 1.0; // smem planes kept without ST
+  double extra_2d = 0.0;         // 2-D cached cross-row read redundancy
+  double read_scale_3d = 1.0;    // 3-D uncached-plane read factor
+  double fp64_per_point = 0.0;   // FP64 ops per point (RT applied)
+  double overhead_ops = 0.0;     // INT/FP32 ops per point (periodic applied)
+
+  // --- GPU-derived coefficients ---------------------------------------
+  double smem_limit_bytes = 0.0;
+  double sms_d = 0.0;            // double(gpu.sms)
+  double peak_bw_gbs = 0.0;      // mem_bw_gbs * peak_bw_frac
+  double bw_per_thread_gbs = 0.0;
+  double fp64_rate = 0.0;        // fp64_tflops * 1e12 * sustained_fp64_frac
+  double alu_rate = 0.0;         // alu_tops * 1e12
+  double sync_cycles = 0.0;
+  double clock_hz = 0.0;         // clock_ghz * 1e9
+  double launch_s = 0.0;         // launch_us * 1e-6
+  double per_sync_st = 0.0;      // streaming barrier cost (PR hide applied)
+
+  // --- identity (lets the Simulator reseed noise without re-hashing) ---
+  std::uint64_t pattern_hash = 0;
+  std::uint64_t gpu_hash = 0;
+  std::uint64_t noise_seed_prefix = 0;  // filled by Simulator::analyze
+};
+
 /// Tunable model constants (calibrated once; exposed for ablation benches).
 struct CostConstants {
   double regs_base = 26.0;          // addressing + loop state
@@ -92,12 +148,28 @@ class KernelCostModel {
   explicit KernelCostModel(CostConstants constants = {})
       : c_(constants) {}
 
-  /// Evaluates one variant. Never throws for resource overflows — those are
-  /// reported as crashes in the profile (exactly how a failed CUDA launch
-  /// shows up to an autotuner).
+  /// Phase 1: computes every setting-independent quantity of the variant
+  /// family (pattern walks, OC validity, occupancy inputs, traffic and
+  /// compute coefficients) once. The result is reusable across any number
+  /// of evaluate() calls and across threads (it is read-only), and borrows
+  /// the GpuSpec — keep it alive for the analysis' lifetime.
+  KernelAnalysis analyze(const stencil::StencilPattern& pattern,
+                         const ProblemSize& problem, const OptCombination& oc,
+                         const GpuSpec& gpu) const;
+
+  /// Phase 2: applies the per-setting arithmetic to a cached analysis.
+  /// Bit-identical to the one-shot evaluate() below for the same inputs.
+  KernelProfile evaluate(const KernelAnalysis& analysis,
+                         const ParamSetting& setting) const;
+
+  /// One-shot convenience: analyze + evaluate. Never throws for resource
+  /// overflows — those are reported as crashes in the profile (exactly how
+  /// a failed CUDA launch shows up to an autotuner).
   KernelProfile evaluate(const stencil::StencilPattern& pattern,
                          const ProblemSize& problem, const OptCombination& oc,
-                         const ParamSetting& setting, const GpuSpec& gpu) const;
+                         const ParamSetting& setting, const GpuSpec& gpu) const {
+    return evaluate(analyze(pattern, problem, oc, gpu), setting);
+  }
 
   const CostConstants& constants() const noexcept { return c_; }
 

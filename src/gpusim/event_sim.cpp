@@ -28,9 +28,11 @@ EventSimResult BlockLevelSimulator::run(const stencil::StencilPattern& pattern,
   EventSimResult result;
 
   // Reuse the analytic model for the per-kernel aggregates and the crash
-  // rules; the event simulation re-executes the schedule.
-  const KernelProfile profile =
-      model_.evaluate(pattern, problem, oc, setting, gpu);
+  // rules; the event simulation re-executes the schedule. Two-phase call so
+  // cross-check sweeps over one variant family share the analysis cost
+  // profile of the production profiler.
+  const KernelAnalysis analysis = model_.analyze(pattern, problem, oc, gpu);
+  const KernelProfile profile = model_.evaluate(analysis, setting);
   if (!profile.ok) {
     result.crash_reason = profile.crash_reason;
     return result;

@@ -145,6 +145,35 @@ ParamSetting ParamSpace::random_setting(util::Rng& rng) const {
   throw std::runtime_error("ParamSpace::random_setting: no valid setting found");
 }
 
+std::size_t ParamSpace::size() const {
+  // Mirrors is_valid(): the only cross-field constraints are the
+  // thread-count bound on (block_x, block_y) and merge_dim != stream_dim
+  // when merging and streaming combine. Everything else is a plain cross
+  // product. tests/gpusim/params_test.cpp pins this against
+  // enumerate().size() for every valid OC.
+  std::size_t block_pairs = 0;
+  for (int bx : kBlockX) {
+    for (int by : kBlockY) {
+      const int threads = bx * by;
+      if (threads >= kMinThreads && threads <= kMaxThreads) ++block_pairs;
+    }
+  }
+  const bool merging = oc_.bm || oc_.cm;
+  std::size_t merge = 1;
+  if (merging) {
+    const std::size_t merge_axes =
+        static_cast<std::size_t>(oc_.st ? dims_ - 1 : dims_);
+    merge = kMerge.size() * merge_axes;
+  }
+  std::size_t stream = 1;
+  if (oc_.st) {
+    const std::size_t stream_axes = dims_ == 2 ? 1 : 2;
+    stream = kStreamTile.size() * kUnroll.size() * stream_axes;
+  }
+  const std::size_t tb = oc_.tb ? kTbDepth.size() : 1;
+  return block_pairs * merge * stream * tb * 2;  // x2: use_smem
+}
+
 std::vector<ParamSetting> ParamSpace::enumerate() const {
   const bool merging = oc_.bm || oc_.cm;
   const std::vector<int> merges = merging ? kMerge : std::vector<int>{1};

@@ -52,6 +52,11 @@ class ParamSpace {
   /// Uniformly samples one valid setting.
   ParamSetting random_setting(util::Rng& rng) const;
 
+  /// Number of valid settings, i.e. enumerate().size(), computed in closed
+  /// form without materializing the cross product (tuners use it to decide
+  /// whether a sampling budget covers the whole space).
+  std::size_t size() const;
+
   /// Enumerates the complete valid cross product (used by exhaustive tests
   /// and the motivation study; a few hundred to a few thousand settings).
   std::vector<ParamSetting> enumerate() const;

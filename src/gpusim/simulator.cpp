@@ -6,18 +6,26 @@
 
 namespace smart::gpusim {
 
-KernelProfile Simulator::measure(const stencil::StencilPattern& pattern,
-                                 const ProblemSize& problem,
-                                 const OptCombination& oc,
-                                 const ParamSetting& setting,
-                                 const GpuSpec& gpu) const {
-  KernelProfile p = model_.evaluate(pattern, problem, oc, setting, gpu);
+KernelAnalysis Simulator::analyze(const stencil::StencilPattern& pattern,
+                                  const ProblemSize& problem,
+                                  const OptCombination& oc,
+                                  const GpuSpec& gpu) const {
+  KernelAnalysis a = model_.analyze(pattern, problem, oc, gpu);
+  // Crashing analyses never reach the noise path, but fill the prefix
+  // unconditionally: pattern_hash is only set for valid analyses, so hash
+  // it here where the pattern is still in hand.
+  std::uint64_t seed = util::hash_combine(opts_.seed, pattern.hash());
+  a.noise_seed_prefix = util::hash_combine(seed, oc.bits());
+  return a;
+}
+
+KernelProfile Simulator::measure(const KernelAnalysis& analysis,
+                                 const ParamSetting& setting) const {
+  KernelProfile p = model_.evaluate(analysis, setting);
   if (!p.ok) return p;
-  std::uint64_t seed = opts_.seed;
-  seed = util::hash_combine(seed, pattern.hash());
-  seed = util::hash_combine(seed, oc.bits());
-  seed = util::hash_combine(seed, setting.hash());
-  seed = util::hash_combine(seed, gpu.hash());
+  std::uint64_t seed = util::hash_combine(analysis.noise_seed_prefix,
+                                          setting.hash());
+  seed = util::hash_combine(seed, analysis.gpu_hash);
   util::Rng rng(seed);
   p.time_ms *= std::exp(opts_.noise_sigma * rng.normal());
   return p;

@@ -26,13 +26,33 @@ class Simulator {
   explicit Simulator(Options options)
       : opts_(options), model_(options.constants) {}
 
+  /// Phase 1 of the measurement protocol: the cost model's
+  /// setting-independent analysis plus the noise-seed prefix (seed ⊕
+  /// pattern ⊕ OC), so repeated measure() calls re-hash only the setting.
+  /// The analysis is read-only and safe to share across threads; it
+  /// borrows the GpuSpec (keep it alive).
+  KernelAnalysis analyze(const stencil::StencilPattern& pattern,
+                         const ProblemSize& problem, const OptCombination& oc,
+                         const GpuSpec& gpu) const;
+
+  /// Phase 2: one "measured" run against a cached analysis — bit-identical
+  /// to the one-shot overload below for the same variant.
+  KernelProfile measure(const KernelAnalysis& analysis,
+                        const ParamSetting& setting) const;
+
   /// One "measured" run: model time perturbed by deterministic noise.
   /// Crashing variants come back with ok == false and time 0.
   KernelProfile measure(const stencil::StencilPattern& pattern,
                         const ProblemSize& problem, const OptCombination& oc,
-                        const ParamSetting& setting, const GpuSpec& gpu) const;
+                        const ParamSetting& setting, const GpuSpec& gpu) const {
+    return measure(analyze(pattern, problem, oc, gpu), setting);
+  }
 
   /// Noise-free model evaluation (for tests and ablations).
+  KernelProfile evaluate(const KernelAnalysis& analysis,
+                         const ParamSetting& setting) const {
+    return model_.evaluate(analysis, setting);
+  }
   KernelProfile evaluate(const stencil::StencilPattern& pattern,
                          const ProblemSize& problem, const OptCombination& oc,
                          const ParamSetting& setting, const GpuSpec& gpu) const {

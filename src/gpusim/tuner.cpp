@@ -15,21 +15,38 @@ TunedResult RandomSearchTuner::tune(const stencil::StencilPattern& pattern,
   TunedResult result;
   result.oc = oc;
   const ParamSpace space(oc, pattern.dims());
-  std::unordered_set<std::uint64_t> seen;
-  for (int i = 0; i < samples_per_oc_; ++i) {
-    const ParamSetting s = space.random_setting(rng);
-    if (!seen.insert(s.hash()).second) continue;  // duplicate draw
+  // One analysis for the whole search: the per-sample loop only pays the
+  // setting-dependent arithmetic.
+  const KernelAnalysis analysis = sim_->analyze(pattern, problem, oc, gpu);
+  const auto try_setting = [&](const ParamSetting& s) {
     ++result.samples_tried;
-    const KernelProfile prof = sim_->measure(pattern, problem, oc, s, gpu);
+    const KernelProfile prof = sim_->measure(analysis, s);
     if (!prof.ok) {
       ++result.samples_crashed;
-      continue;
+      return;
     }
     result.measurements.emplace_back(s, prof.time_ms);
     if (!result.best_setting || prof.time_ms < result.best_time_ms) {
       result.best_setting = s;
       result.best_time_ms = prof.time_ms;
     }
+  };
+
+  if (samples_per_oc_ > 0 &&
+      space.size() <= static_cast<std::size_t>(samples_per_oc_)) {
+    // The sampling budget covers the whole space: random draws would burn
+    // most of it on duplicates (and silently try fewer distinct settings),
+    // so sweep the space exhaustively in enumeration order instead. No rng
+    // draws are consumed on this path.
+    for (const ParamSetting& s : space.enumerate()) try_setting(s);
+    return result;
+  }
+
+  std::unordered_set<std::uint64_t> seen;
+  for (int i = 0; i < samples_per_oc_; ++i) {
+    const ParamSetting s = space.random_setting(rng);
+    if (!seen.insert(s.hash()).second) continue;  // duplicate draw
+    try_setting(s);
   }
   return result;
 }

@@ -28,8 +28,12 @@ class RandomSearchTuner {
   RandomSearchTuner(const Simulator& sim, int samples_per_oc)
       : sim_(&sim), samples_per_oc_(samples_per_oc) {}
 
-  /// Tunes one OC: draws `samples_per_oc` random settings (deduplicated)
-  /// and keeps the fastest successful one.
+  /// Tunes one OC and keeps the fastest successful setting. When the OC's
+  /// parameter space is no larger than `samples_per_oc`, the space is swept
+  /// exhaustively in enumeration order (deterministic, no rng draws);
+  /// otherwise `samples_per_oc` random settings are drawn (deduplicated).
+  /// Either way the variant analysis is computed once and shared across
+  /// every sample (two-phase cost model).
   TunedResult tune(const stencil::StencilPattern& pattern,
                    const ProblemSize& problem, const OptCombination& oc,
                    const GpuSpec& gpu, util::Rng& rng) const;

@@ -20,10 +20,12 @@ TunedResult ExhaustiveTuner::tune(const stencil::StencilPattern& pattern,
   const std::vector<ParamSetting> all = space.enumerate();
   const util::PhaseTimer timer("tuner.exhaustive", all.size());
   // Measure in parallel (the simulator is a pure function of the variant),
-  // then fold in enumeration order — identical to the serial sweep.
+  // then fold in enumeration order — identical to the serial sweep. The
+  // analysis is shared read-only across every setting and thread.
+  const KernelAnalysis analysis = sim_->analyze(pattern, problem, oc, gpu);
   std::vector<KernelProfile> profiles(all.size());
   util::parallel_for(all.size(), [&](std::size_t i) {
-    profiles[i] = sim_->measure(pattern, problem, oc, all[i], gpu);
+    profiles[i] = sim_->measure(analysis, all[i]);
   });
   for (std::size_t i = 0; i < all.size(); ++i) {
     ++result.samples_tried;
@@ -110,6 +112,7 @@ TunedResult GeneticTuner::tune(const stencil::StencilPattern& pattern,
   // uncached settings in parallel, then the results fold into the cache in
   // batch order, so samples_tried / measurements / best are identical to a
   // one-at-a-time serial evaluation at any thread count.
+  const KernelAnalysis analysis = sim_->analyze(pattern, problem, oc, gpu);
   std::unordered_map<std::uint64_t, double> cache;
   auto evaluate_batch = [&](const std::vector<ParamSetting>& batch) {
     std::vector<std::size_t> fresh;  // first occurrence of each new setting
@@ -120,7 +123,7 @@ TunedResult GeneticTuner::tune(const stencil::StencilPattern& pattern,
     }
     std::vector<KernelProfile> profiles(fresh.size());
     util::parallel_for(fresh.size(), [&](std::size_t j) {
-      profiles[j] = sim_->measure(pattern, problem, oc, batch[fresh[j]], gpu);
+      profiles[j] = sim_->measure(analysis, batch[fresh[j]]);
     });
     for (std::size_t j = 0; j < fresh.size(); ++j) {
       const ParamSetting& s = batch[fresh[j]];

@@ -19,11 +19,27 @@ void FeatureBinner::fit(const Matrix& x, int max_bins) {
   std::vector<float> column(x.rows());
   for (std::size_t f = 0; f < x.cols(); ++f) {
     for (std::size_t r = 0; r < x.rows(); ++r) column[r] = x.at(r, f);
-    std::sort(column.begin(), column.end());
+    // Only max_bins-1 quantile ranks are needed, not a total order: select
+    // each rank with nth_element over the remaining suffix (the ranks are
+    // ascending, so after partitioning at `done` every later rank lives in
+    // (done, end)). Yields the same edge values as a full sort at O(n)
+    // per column instead of O(n log n).
     auto& edges = edges_[f];
+    std::size_t done = column.size();  // sentinel: nothing partitioned yet
     for (int b = 1; b < max_bins; ++b) {
       const std::size_t idx =
           std::min(x.rows() - 1, b * x.rows() / static_cast<std::size_t>(max_bins));
+      if (done == column.size()) {
+        std::nth_element(column.begin(),
+                         column.begin() + static_cast<std::ptrdiff_t>(idx),
+                         column.end());
+        done = idx;
+      } else if (idx > done) {
+        std::nth_element(column.begin() + static_cast<std::ptrdiff_t>(done) + 1,
+                         column.begin() + static_cast<std::ptrdiff_t>(idx),
+                         column.end());
+        done = idx;
+      }
       const float edge = column[idx];
       if (edges.empty() || edge > edges.back()) edges.push_back(edge);
     }

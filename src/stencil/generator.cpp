@@ -1,6 +1,7 @@
 #include "stencil/generator.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -8,25 +9,45 @@ namespace smart::stencil {
 
 namespace {
 
-using PointSet = std::unordered_set<Point, PointHash>;
-
 /// One sampling round for a given order: candidates are Moore neighbours of
 /// the previous selection that actually sit at Chebyshev distance `order`
-/// from the centre, excluding already-selected lower-order points
-/// (Alg. 1 lines 8-14).
-std::vector<Point> sample_order(const std::vector<Point>& previous,
-                                const PointSet& taken, int dims, int order,
-                                double keep_prob, util::Rng& rng) {
-  PointSet candidates;
+/// from the centre (Alg. 1 lines 8-14). No membership check against the
+/// already-selected points is needed: everything selected so far has
+/// Chebyshev order < `order`, so the order filter excludes it. Duplicates
+/// (a shell point is reachable from several inner points) are dropped via a
+/// dense (2*order+1)^3 bitmap before the determinism sort, so the rng
+/// consumes the exact same draws as a hash-set implementation — this
+/// function is on the profiler's critical path.
+std::vector<Point> sample_order(const std::vector<Point>& previous, int dims,
+                                int order, double keep_prob, util::Rng& rng) {
+  const std::size_t w = static_cast<std::size_t>(2 * order + 1);
+  std::vector<std::uint8_t> seen(w * w * w, 0);
+  std::vector<Point> pool;
+  const int zlo = dims >= 3 ? -1 : 0;
+  const int zhi = dims >= 3 ? 1 : 0;
   for (const Point& p : previous) {
-    for (const Point& q : moore_neighbours(p, dims)) {
-      if (q.order() != order) continue;  // drops order-1/order-2 backtracks
-      if (taken.contains(q)) continue;
-      candidates.insert(q);
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = zlo; dz <= zhi; ++dz) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          Point q;
+          q.coords[0] = static_cast<std::int8_t>(p[0] + dx);
+          q.coords[1] = static_cast<std::int8_t>(p[1] + dy);
+          q.coords[2] = static_cast<std::int8_t>(p[2] + dz);
+          if (q.order() != order) continue;  // drops lower-order backtracks
+          const std::size_t cell =
+              (static_cast<std::size_t>(q[0] + order) * w +
+               static_cast<std::size_t>(q[1] + order)) *
+                  w +
+              static_cast<std::size_t>(q[2] + order);
+          if (seen[cell] != 0) continue;
+          seen[cell] = 1;
+          pool.push_back(q);
+        }
+      }
     }
   }
-  std::vector<Point> pool(candidates.begin(), candidates.end());
-  std::sort(pool.begin(), pool.end());  // determinism across set iteration
+  std::sort(pool.begin(), pool.end());
   std::vector<Point> selected;
   for (const Point& q : pool) {
     if (rng.bernoulli(keep_prob)) selected.push_back(q);
@@ -51,9 +72,7 @@ RandomStencilGenerator::RandomStencilGenerator(GeneratorConfig config)
 
 StencilPattern RandomStencilGenerator::generate(util::Rng& rng) const {
   std::vector<Point> all_points;
-  PointSet taken;
   const Point centre{};
-  taken.insert(centre);
   all_points.push_back(centre);
 
   std::vector<Point> previous{centre};
@@ -62,15 +81,12 @@ StencilPattern RandomStencilGenerator::generate(util::Rng& rng) const {
     // Resample until at least one point of this order is kept (so that the
     // chain can continue growing), within the attempt budget.
     for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
-      selected = sample_order(previous, taken, config_.dims, order,
-                              config_.keep_prob, rng);
+      selected =
+          sample_order(previous, config_.dims, order, config_.keep_prob, rng);
       if (!selected.empty() || !config_.force_full_order) break;
     }
     if (selected.empty()) break;  // pattern tops out below the target order
-    for (const Point& p : selected) {
-      taken.insert(p);
-      all_points.push_back(p);
-    }
+    all_points.insert(all_points.end(), selected.begin(), selected.end());
     previous = std::move(selected);
   }
   return StencilPattern(config_.dims, std::move(all_points));

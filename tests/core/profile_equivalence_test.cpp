@@ -1,0 +1,118 @@
+// Equivalence gate for the two-phase profiling substrate (DESIGN.md §10):
+// the cached KernelAnalysis + per-setting evaluation and the flattened
+// (stencil, OC, GPU) sweep must be byte-identical to the original
+// monolithic evaluate() path. The golden checksums below were captured
+// from the pre-two-phase profiler at the same seeds; build_profile_dataset
+// must keep reproducing them bit-for-bit, serial and pooled alike.
+#include "core/profile_dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "gpusim/opt.hpp"
+#include "util/task_pool.hpp"
+
+namespace smart::core {
+namespace {
+
+std::uint64_t checksum_of(int dims, int num_stencils, int samples_per_oc,
+                          std::uint64_t seed) {
+  ProfileConfig cfg;
+  cfg.dims = dims;
+  cfg.num_stencils = num_stencils;
+  cfg.samples_per_oc = samples_per_oc;
+  cfg.seed = seed;
+  return dataset_checksum(build_profile_dataset(cfg));
+}
+
+// Captured from the monolithic evaluate() profiler (seed revision), where
+// SMART_THREADS=1 and SMART_THREADS=4 already agreed. Any drift here means
+// the two-phase split changed a measured bit — not just "a test failed".
+TEST(ProfileEquivalence, GoldenChecksumSmall2d) {
+  EXPECT_EQ(checksum_of(2, 12, 3, 777), 0x8ef1c3a267107986ULL);
+}
+
+TEST(ProfileEquivalence, GoldenChecksumSmall3d) {
+  EXPECT_EQ(checksum_of(3, 10, 3, 424242), 0x961d58832e74c9c5ULL);
+}
+
+// The paper-scale corpus (500 stencils per dimensionality, Sec. IV-A) at
+// the default profiling seed — the acceptance gate for the two-phase
+// refactor.
+TEST(ProfileEquivalence, GoldenChecksumCorpus2d) {
+  EXPECT_EQ(checksum_of(2, 500, 4, 20220530), 0x2e5c80a812ebd0f9ULL);
+}
+
+TEST(ProfileEquivalence, GoldenChecksumCorpus3d) {
+  EXPECT_EQ(checksum_of(3, 500, 4, 20220530), 0x16a57136dc61c3c4ULL);
+}
+
+// Thread-count independence inside one process: a SerialSection run (every
+// parallel_for inlined on this thread) must reproduce the pooled run
+// exactly. scripts/check.sh additionally re-runs the whole suite under
+// SMART_THREADS=1 and SMART_THREADS=4.
+TEST(ProfileEquivalence, SerialAndPooledBuildsAgree) {
+  ProfileConfig cfg;
+  cfg.dims = 3;
+  cfg.num_stencils = 40;
+  cfg.samples_per_oc = 4;
+  cfg.seed = 20220530;
+  const std::uint64_t pooled = dataset_checksum(build_profile_dataset(cfg));
+  std::uint64_t serial = 0;
+  {
+    const util::SerialSection guard;
+    serial = dataset_checksum(build_profile_dataset(cfg));
+  }
+  EXPECT_EQ(serial, pooled);
+}
+
+// The two-phase API itself: measure(analysis, setting) against a cached
+// analysis is bitwise equal to the one-shot measure(...) overload, for
+// every valid OC and a spread of sampled settings (including crashing
+// variants, which must crash identically).
+TEST(ProfileEquivalence, CachedAnalysisMeasuresBitwiseEqualToOneShot) {
+  const gpusim::Simulator sim;
+  util::Rng rng(99);
+  for (int dims : {2, 3}) {
+    const auto pattern = stencil::make_box(dims, 3);
+    const auto problem = gpusim::ProblemSize::paper_default(dims);
+    for (const auto& gpu : gpusim::evaluation_gpus()) {
+      for (const auto& oc : gpusim::valid_combinations()) {
+        const gpusim::KernelAnalysis analysis =
+            sim.analyze(pattern, problem, oc, gpu);
+        const gpusim::ParamSpace space(oc, dims);
+        for (int i = 0; i < 6; ++i) {
+          const gpusim::ParamSetting s = space.random_setting(rng);
+          const auto two_phase = sim.measure(analysis, s);
+          const auto one_shot = sim.measure(pattern, problem, oc, s, gpu);
+          ASSERT_EQ(two_phase.ok, one_shot.ok) << s.to_string();
+          EXPECT_EQ(two_phase.crash_reason, one_shot.crash_reason);
+          EXPECT_EQ(std::bit_cast<std::uint64_t>(two_phase.time_ms),
+                    std::bit_cast<std::uint64_t>(one_shot.time_ms))
+              << oc.name() << " " << s.to_string();
+          EXPECT_EQ(std::bit_cast<std::uint64_t>(two_phase.t_mem_ms),
+                    std::bit_cast<std::uint64_t>(one_shot.t_mem_ms));
+          EXPECT_EQ(std::bit_cast<std::uint64_t>(two_phase.t_comp_ms),
+                    std::bit_cast<std::uint64_t>(one_shot.t_comp_ms));
+          EXPECT_EQ(std::bit_cast<std::uint64_t>(two_phase.t_sync_ms),
+                    std::bit_cast<std::uint64_t>(one_shot.t_sync_ms));
+          EXPECT_EQ(two_phase.regs_per_thread, one_shot.regs_per_thread);
+          EXPECT_EQ(two_phase.smem_per_block_bytes,
+                    one_shot.smem_per_block_bytes);
+        }
+      }
+    }
+  }
+}
+
+// An analysis is bound to its (pattern, OC, GPU): the checksum must react
+// to each seed ingredient, or the golden tests above would be vacuous.
+TEST(ProfileEquivalence, ChecksumReactsToSeed) {
+  EXPECT_NE(checksum_of(2, 12, 3, 777), checksum_of(2, 12, 3, 778));
+  EXPECT_NE(checksum_of(2, 12, 3, 777), checksum_of(3, 12, 3, 777));
+}
+
+}  // namespace
+}  // namespace smart::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+
 #include "gpusim/opt.hpp"
 
 namespace smart::gpusim {
@@ -213,6 +215,60 @@ TEST(CostModel, EveryValidOcEitherRunsOrCrashesCleanly) {
       }
     }
   }
+}
+
+TEST(CostModel, AnalysisReusedAcrossSettingsMatchesOneShot) {
+  // Two-phase contract: evaluate(analyze(...), s) for many settings against
+  // ONE cached analysis is bitwise equal to the monolithic evaluate(...).
+  const KernelCostModel model;
+  util::Rng rng(17);
+  for (int dims : {2, 3}) {
+    const auto p = stencil::make_star(dims, 4);
+    const auto problem = ProblemSize::paper_default(dims);
+    for (const auto& oc : valid_combinations()) {
+      const KernelAnalysis analysis = model.analyze(p, problem, oc, v100());
+      EXPECT_TRUE(analysis.ok) << oc.name();
+      const ParamSpace space(oc, dims);
+      for (int i = 0; i < 8; ++i) {
+        const auto s = space.random_setting(rng);
+        const auto cached = model.evaluate(analysis, s);
+        const auto one_shot = model.evaluate(p, problem, oc, s, v100());
+        ASSERT_EQ(cached.ok, one_shot.ok) << oc.name() << " " << s.to_string();
+        EXPECT_EQ(cached.crash_reason, one_shot.crash_reason);
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(cached.time_ms),
+                  std::bit_cast<std::uint64_t>(one_shot.time_ms))
+            << oc.name() << " " << s.to_string();
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(cached.dram_traffic_bytes),
+                  std::bit_cast<std::uint64_t>(one_shot.dram_traffic_bytes));
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(cached.occupancy),
+                  std::bit_cast<std::uint64_t>(one_shot.occupancy));
+        EXPECT_EQ(cached.regs_per_thread, one_shot.regs_per_thread);
+        EXPECT_EQ(cached.total_blocks, one_shot.total_blocks);
+      }
+    }
+  }
+}
+
+TEST(CostModel, AnalysisCarriesVariantCrashes) {
+  // Setting-independent crash rules are decided once in analyze(); every
+  // evaluation against a failed analysis reports the same reason.
+  const KernelCostModel model;
+  OptCombination invalid;
+  invalid.rt = true;  // RT without ST
+  const auto p = stencil::make_star(2, 1);
+  const auto bad_oc =
+      model.analyze(p, ProblemSize::paper_default(2), invalid, v100());
+  EXPECT_FALSE(bad_oc.ok);
+  EXPECT_FALSE(bad_oc.crash_reason.empty());
+  const auto prof = model.evaluate(bad_oc, default_setting());
+  EXPECT_FALSE(prof.ok);
+  EXPECT_EQ(prof.crash_reason, bad_oc.crash_reason);
+
+  const auto mismatch = model.analyze(stencil::make_star(3, 1),
+                                      ProblemSize::paper_default(2),
+                                      OptCombination{}, v100());
+  EXPECT_FALSE(mismatch.ok);
+  EXPECT_FALSE(model.evaluate(mismatch, default_setting()).ok);
 }
 
 TEST(CostModel, TimeDecomposesIntoComponents) {

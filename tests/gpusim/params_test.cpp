@@ -57,6 +57,15 @@ INSTANTIATE_TEST_SUITE_P(AllOcsAndDims, ParamSpaceProperty,
                                   "_" + std::to_string(info.param.dims) + "d";
                          });
 
+TEST_P(ParamSpaceProperty, ClosedFormSizeMatchesEnumeration) {
+  // The tuner's exhaustive-sweep threshold relies on size() being exact
+  // without paying for an enumeration, so pin the closed form to the
+  // enumerated count for every valid OC and dimensionality.
+  const auto c = GetParam();
+  const ParamSpace space(OptCombination::from_bits(c.oc_bits), c.dims);
+  EXPECT_EQ(space.size(), space.enumerate().size());
+}
+
 TEST(ParamSpace, EnumerateContainsOnlyValid) {
   OptCombination oc;
   oc.st = true;

@@ -52,6 +52,51 @@ TEST(ExhaustiveTuner, IsTheLowerBoundForOtherStrategies) {
   EXPECT_GE(ga_result.best_time_ms, optimum);
 }
 
+TEST(RandomSearchTuner, SmallSpaceIsSweptExhaustively) {
+  // BASE in 2-D has only 24 settings (12 block shapes x smem on/off). With
+  // a budget that covers the space, random draws would waste most of it on
+  // duplicates; the tuner must instead try every setting exactly once, in
+  // enumeration order, and land on the exhaustive optimum.
+  const OptCombination base;
+  const ParamSpace space(base, 2);
+  const RandomSearchTuner random_tuner(shared_sim(), 30);
+  const ExhaustiveTuner exhaustive(shared_sim());
+  const auto p = stencil::make_star(2, 2);
+  const auto problem = ProblemSize::paper_default(2);
+  const auto& gpu = gpu_by_name("V100");
+  ASSERT_LE(space.size(), 30u);
+  util::Rng rng(11);
+  const auto result = random_tuner.tune(p, problem, base, gpu, rng);
+  EXPECT_EQ(result.samples_tried, static_cast<int>(space.size()));
+  const auto all = space.enumerate();
+  ASSERT_EQ(result.measurements.size() +
+                static_cast<std::size_t>(result.samples_crashed),
+            all.size());
+  const auto optimum = exhaustive.tune(p, problem, base, gpu);
+  EXPECT_DOUBLE_EQ(result.best_time_ms, optimum.best_time_ms);
+  ASSERT_TRUE(result.best_setting && optimum.best_setting);
+  EXPECT_TRUE(*result.best_setting == *optimum.best_setting);
+}
+
+TEST(RandomSearchTuner, ExhaustiveSweepConsumesNoRngDraws) {
+  // The exhaustive path must leave the caller's generator untouched, so
+  // the sweep result cannot depend on the rng seed at all.
+  const OptCombination base;
+  const RandomSearchTuner random_tuner(shared_sim(), 64);
+  const auto p = stencil::make_box(2, 1);
+  const auto problem = ProblemSize::paper_default(2);
+  const auto& gpu = gpu_by_name("A100");
+  util::Rng a(1);
+  util::Rng b(999);
+  const auto ra = random_tuner.tune(p, problem, base, gpu, a);
+  const auto rb = random_tuner.tune(p, problem, base, gpu, b);
+  EXPECT_DOUBLE_EQ(ra.best_time_ms, rb.best_time_ms);
+  EXPECT_EQ(ra.samples_tried, rb.samples_tried);
+  // And the generators themselves kept their pre-call state.
+  EXPECT_EQ(a(), util::Rng(1)());
+  EXPECT_EQ(b(), util::Rng(999)());
+}
+
 TEST(GeneticTuner, RespectsMeasurementBudget) {
   GeneticConfig config;
   config.population = 8;

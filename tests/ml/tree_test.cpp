@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
 #include "util/rng.hpp"
 
 namespace smart::ml {
@@ -27,6 +32,53 @@ TEST(FeatureBinner, BinsAreMonotone) {
     const int b = binner.bin_of(0, v);
     EXPECT_GE(b, prev);
     prev = b;
+  }
+}
+
+TEST(FeatureBinner, SelectionEdgesBitIdenticalToFullSort) {
+  // fit() selects quantile edges with successive nth_element instead of a
+  // full sort; the edges must be bit-identical to the sort-based reference
+  // for every max_bins, including columns with heavy ties and constants.
+  util::Rng rng(7);
+  for (const std::size_t rows : {3u, 17u, 200u, 1001u}) {
+    Matrix x(rows, 4);
+    for (std::size_t i = 0; i < rows; ++i) {
+      x.at(i, 0) = static_cast<float>(rng.uniform(-5.0, 5.0));
+      x.at(i, 1) = static_cast<float>(rng.uniform_int(0, 3));  // heavy ties
+      x.at(i, 2) = 1.5f;                                       // constant
+      x.at(i, 3) = static_cast<float>(i % 7) - 3.0f;
+    }
+    for (const int max_bins : {2, 5, 16, 32}) {
+      FeatureBinner binner;
+      binner.fit(x, max_bins);
+      for (std::size_t f = 0; f < x.cols(); ++f) {
+        std::vector<float> sorted(rows);
+        for (std::size_t r = 0; r < rows; ++r) sorted[r] = x.at(r, f);
+        std::sort(sorted.begin(), sorted.end());
+        std::vector<float> want;
+        for (int b = 1; b < max_bins; ++b) {
+          const std::size_t idx = std::min(
+              rows - 1, b * rows / static_cast<std::size_t>(max_bins));
+          if (want.empty() || sorted[idx] > want.back()) {
+            want.push_back(sorted[idx]);
+          }
+        }
+        ASSERT_EQ(binner.bins(f), static_cast<int>(want.size()) + 1)
+            << "rows=" << rows << " max_bins=" << max_bins << " f=" << f;
+        for (std::size_t e = 0; e < want.size(); ++e) {
+          // Pin edge e to the exact float the sort-based binner produces:
+          // values <= edge fall in bin e, the next representable float
+          // below must fall in bin e-1's side — together these force
+          // bit-identical edges through upper_bound semantics.
+          EXPECT_EQ(binner.bin_of(f, want[e]), static_cast<int>(e) + 1)
+              << "rows=" << rows << " max_bins=" << max_bins << " f=" << f;
+          const float below = std::nextafterf(
+              want[e], -std::numeric_limits<float>::infinity());
+          EXPECT_EQ(binner.bin_of(f, below), static_cast<int>(e))
+              << "rows=" << rows << " max_bins=" << max_bins << " f=" << f;
+        }
+      }
+    }
   }
 }
 
