@@ -89,6 +89,128 @@ if "$SMARTCTL" "${ADVISE_ARGS[@]}" --model "$ARTDIR/flipped.smart" >/dev/null 2>
 fi
 echo "OK: truncated and corrupted artifacts are rejected"
 
+echo "== smartctl exit-code contract =="
+# Usage errors (bad flags, malformed values) exit 2 with the usage text;
+# runtime failures (I/O, corrupt artifacts, injected faults) exit 1 with a
+# one-line "smartctl: error: ..." diagnostic.
+set +e
+"$SMARTCTL" profile --faults "bogus:p=0.5" >/dev/null 2>"$ARTDIR/usage_err.txt"
+rc_usage=$?
+"$SMARTCTL" "${ADVISE_ARGS[@]}" --model "$ARTDIR/nonexistent.smart" \
+  >/dev/null 2>"$ARTDIR/runtime_err.txt"
+rc_runtime=$?
+set -e
+if [[ $rc_usage -ne 2 ]] || ! grep -q 'usage\|smartctl —' "$ARTDIR/usage_err.txt"; then
+  echo "FAIL: usage error should exit 2 with usage text (got rc=$rc_usage)" >&2
+  exit 1
+fi
+if [[ $rc_runtime -ne 1 ]] || ! grep -q '^smartctl: error:' "$ARTDIR/runtime_err.txt"; then
+  echo "FAIL: runtime error should exit 1 with a one-line diagnostic (got rc=$rc_runtime)" >&2
+  exit 1
+fi
+echo "OK: usage errors exit 2, runtime errors exit 1"
+
+echo "== fault injection: transient faults do not perturb the corpus =="
+# Retried measurements must be bit-identical to a fault-free run: fault
+# decisions are pure hashes and consume no RNG state.
+FAULT_ARGS=(profile --dims 2 --stencils 20 --samples 2 --seed 7 --checksum)
+clean=$("$SMARTCTL" "${FAULT_ARGS[@]}" | grep '^checksum')
+faulty=$("$SMARTCTL" "${FAULT_ARGS[@]}" --faults "seed=13;measure:transient:p=0.05" | grep '^checksum')
+echo "  fault-free -> $clean"
+echo "  transient  -> $faulty"
+if [[ "$clean" != "$faulty" ]]; then
+  echo "FAIL: transient fault injection changed surviving measurements" >&2
+  exit 1
+fi
+echo "OK: transient-fault corpus is bit-identical to the fault-free corpus"
+
+echo "== fault injection: worker crashes recovered by --resume =="
+# Injected worker crashes abort the run (exit 1); each resume replays the
+# journal, gets past the journaled failed attempt, and makes progress until
+# the corpus completes — bit-identical to the fault-free run.
+rm -f "$ARTDIR/worker_journal.txt"
+attempts=0
+while true; do
+  set +e
+  SMART_THREADS=4 "$SMARTCTL" "${FAULT_ARGS[@]}" \
+    --journal "$ARTDIR/worker_journal.txt" --resume \
+    --faults "seed=6;worker:p=0.005" > "$ARTDIR/worker_out.txt" 2>&1
+  rc=$?
+  set -e
+  [[ $rc -eq 0 ]] && break
+  if [[ $rc -ne 1 ]]; then
+    echo "FAIL: worker crash should exit 1 (got rc=$rc)" >&2
+    exit 1
+  fi
+  attempts=$((attempts + 1))
+  if [[ $attempts -ge 60 ]]; then
+    echo "FAIL: resume loop did not converge after $attempts crashes" >&2
+    exit 1
+  fi
+done
+recovered=$(grep '^checksum' "$ARTDIR/worker_out.txt")
+echo "  crashes survived: $attempts, final -> $recovered"
+if [[ $attempts -lt 1 ]]; then
+  echo "FAIL: fault spec injected no worker crash (gate is vacuous)" >&2
+  exit 1
+fi
+if [[ "$recovered" != "$clean" ]]; then
+  echo "FAIL: resumed corpus differs from the fault-free corpus" >&2
+  exit 1
+fi
+echo "OK: worker crashes drained by --resume; corpus bit-identical"
+
+echo "== kill -9 mid-profile, then --resume (golden corpus) =="
+# The tentpole invariant end-to-end: SIGKILL the paper-sized profiling run
+# mid-sweep (no shutdown handler can run), resume from the journal, and the
+# corpus must still match the golden checksum — at 1 thread and 4 threads.
+KILL_TOTAL_LINES=60000  # 500 stencils x 30 OCs x 4 GPUs unit records
+for threads in 1 4; do
+  interrupted=0
+  for try in 1 2 3 4 5; do
+    rm -f "$ARTDIR/kill_journal.txt"
+    SMART_THREADS=$threads "$SMARTCTL" "${GOLDEN_ARGS[@]}" \
+      --journal "$ARTDIR/kill_journal.txt" >/dev/null 2>&1 &
+    victim=$!
+    while kill -0 "$victim" 2>/dev/null; do
+      lines=$(wc -l < "$ARTDIR/kill_journal.txt" 2>/dev/null || echo 0)
+      if (( lines >= 5000 )); then
+        kill -9 "$victim" 2>/dev/null || true
+        break
+      fi
+    done
+    set +e
+    wait "$victim"
+    rc=$?
+    set -e
+    if [[ $rc -ne 0 ]]; then
+      interrupted=1
+      break
+    fi
+  done
+  if [[ $interrupted -ne 1 ]]; then
+    echo "FAIL: could not interrupt the profiling run (machine too fast?)" >&2
+    exit 1
+  fi
+  lines=$(wc -l < "$ARTDIR/kill_journal.txt")
+  got=$(SMART_THREADS=$threads "$SMARTCTL" "${GOLDEN_ARGS[@]}" \
+          --journal "$ARTDIR/kill_journal.txt" --resume | grep '^checksum')
+  echo "  SMART_THREADS=$threads: killed at ~$lines/$KILL_TOTAL_LINES journal lines -> $got"
+  if [[ "$got" != "$GOLDEN_WANT" ]]; then
+    echo "FAIL: resumed corpus drifted from the golden checksum" >&2
+    echo "      want: $GOLDEN_WANT" >&2
+    exit 1
+  fi
+done
+echo "OK: kill -9 + --resume reproduces the golden corpus at 1 and 4 threads"
+
+echo "== sanitizer build (ASan+UBSan) over the unit suite =="
+ASAN_DIR=${ASAN_BUILD_DIR:-build-asan}
+cmake -B "$ASAN_DIR" -S . -DSMART_SANITIZE=ON >/dev/null
+cmake --build "$ASAN_DIR" -j"$(nproc)" --target smart_tests
+(cd "$ASAN_DIR" && UBSAN_OPTIONS=halt_on_error=1 ctest --output-on-failure -j"$(nproc)" -L unit)
+echo "OK: unit suite clean under AddressSanitizer + UBSan"
+
 echo "== bench smoke: batched advisor inference =="
 # Small corpus (SMART_SCALE) keeps this a smoke test; the bench itself
 # fails (exit 1) if any batched prediction is not bit-identical to the

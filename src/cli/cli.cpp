@@ -13,6 +13,7 @@
 #include "core/stencilmart.hpp"
 #include "stencil/features.hpp"
 #include "stencil/tensor_repr.hpp"
+#include "util/fault.hpp"
 #include "util/serialize_io.hpp"
 #include "util/table.hpp"
 #include "util/task_pool.hpp"
@@ -57,11 +58,37 @@ int cmd_profile(const CommandLine& cmd, std::ostream& out) {
   config.num_stencils = cmd.get_int("stencils", 40);
   config.samples_per_oc = cmd.get_int("samples", 4);
   config.seed = cmd.get_u64("seed", 1234);
-  const auto dataset = core::build_profile_dataset(config);
+
+  core::ProfileRunOptions run;
+  run.journal_path = cmd.get("journal", "");
+  run.resume = cmd.get_int("resume", 0) != 0;
+  run.retries = cmd.get_int("retries", run.retries);
+  if (run.resume && run.journal_path.empty()) {
+    throw std::invalid_argument("profile: --resume requires --journal FILE");
+  }
+  if (run.retries < 0) {
+    throw std::invalid_argument("profile: --retries must be >= 0");
+  }
+  // --faults scopes the injected schedule to this run; it overrides (and on
+  // exit restores) any SMART_FAULTS environment spec.
+  std::optional<util::ScopedFaultInjection> faults;
+  if (cmd.has("faults")) {
+    faults.emplace(util::parse_fault_spec(cmd.get("faults", "")));
+  }
+
+  const auto dataset = core::build_profile_dataset(config, run);
   out << "profiled " << dataset.stencils.size() << " stencils x "
       << core::ProfileDataset::num_ocs() << " OCs x "
       << dataset.num_gpus() << " GPUs (" << dataset.num_instances()
       << " instances, " << util::parallel_threads() << " threads)\n";
+  if (dataset.resumed_units > 0) {
+    out << "resumed " << dataset.resumed_units << " completed units from "
+        << run.journal_path << '\n';
+  }
+  if (!dataset.quarantined.empty()) {
+    out << "quarantined " << dataset.quarantined.size()
+        << " units (kept as crash entries in the corpus)\n";
+  }
   if (cmd.get_int("checksum", 0) != 0) {
     char digest[32];
     std::snprintf(digest, sizeof(digest), "%016llx",
@@ -256,6 +283,14 @@ std::uint64_t CommandLine::get_u64(const std::string& key,
   return value;
 }
 
+/// Options that may appear without a value (`--resume` ≡ `--resume 1`).
+/// Everything else still requires an explicit value so a forgotten argument
+/// (`--out --timing 1`) stays a parse error instead of silently eating the
+/// next option.
+bool is_boolean_flag(const std::string& key) {
+  return key == "resume" || key == "checksum" || key == "timing";
+}
+
 CommandLine parse_command_line(const std::vector<std::string>& args) {
   CommandLine cmd;
   if (args.empty()) return cmd;
@@ -269,6 +304,10 @@ CommandLine parse_command_line(const std::vector<std::string>& args) {
     }
     const std::string key = args[i].substr(2);
     if (i + 1 >= args.size() || args[i + 1].starts_with("--")) {
+      if (is_boolean_flag(key)) {
+        cmd.options[key] = "1";
+        continue;
+      }
       throw std::invalid_argument("option --" + key + " needs a value");
     }
     cmd.options[key] = args[++i];
@@ -282,7 +321,11 @@ std::string usage() {
       "  (SMART_THREADS caps the task pool; SMART_TIMING=1 prints counters)\n"
       "  generate --dims D --order N --count K [--seed S]   random stencils\n"
       "  profile  --dims D --stencils N [--out FILE]        build a corpus\n"
-      "           [--checksum 1] [--timing 1]               determinism digest\n"
+      "           [--checksum] [--timing]                   determinism digest\n"
+      "           [--journal FILE [--resume]]               checkpoint + resume\n"
+      "           [--retries N] [--faults SPEC]             fault injection\n"
+      "           (SPEC: seed=N;measure:transient:p=P[:fails=K];\n"
+      "                  measure:permanent:p=P;worker:p=P[:fails=K];io:p=P)\n"
       "  train    --out MODEL [--corpus FILE] [--timing 1]  fit + save a model\n"
       "  advise   --shape star|box|cross --dims D --order N\n"
       "           [--gpu NAME] [--corpus FILE] [--timing 1] best-OC advice\n"

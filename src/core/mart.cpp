@@ -41,6 +41,15 @@ void StencilMart::fit_models() {
         y.push_back(labels[s]);
       }
     }
+    if (rows.empty()) {
+      // Every stencil quarantined/crashed on this GPU: nothing to learn
+      // from, and GbdtClassifier::fit on a 0-row matrix would fail deep in
+      // the tree builder with an unhelpful message.
+      throw std::runtime_error(
+          "StencilMart::train: no labelled stencils for GPU '" +
+          dataset_->gpus[g].name +
+          "' (every work unit crashed or was quarantined)");
+    }
     ml::GbdtClassifier clf;
     clf.fit(features.gather_rows(rows), y, merger_.num_groups());
     classifiers_.push_back(std::move(clf));

@@ -82,7 +82,7 @@ class StencilMart {
   // Model artifact (de)serialization (core/serialize) assembles/injects the
   // trained state directly.
   friend void save_model(const StencilMart& mart, std::ostream& out);
-  friend StencilMart load_model(std::istream& in);
+  friend StencilMart load_model(std::istream& in, const std::string& source);
 
   /// Classification + tuning for one GPU, without the regression estimate
   /// (predicted_time_ms stays 0). advise() adds a single prediction;

@@ -2,14 +2,21 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
 #include <unordered_set>
 
+#include "core/profile_journal.hpp"
 #include "gpusim/opt.hpp"
 #include "stencil/generator.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
+#include "util/serialize_io.hpp"
 #include "util/task_pool.hpp"
 #include "util/timing.hpp"
 
@@ -17,6 +24,7 @@ namespace smart::core {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 }
 
 std::size_t ProfileDataset::num_ocs() {
@@ -102,6 +110,11 @@ std::size_t ProfileDataset::num_instances() const {
 }
 
 ProfileDataset build_profile_dataset(const ProfileConfig& config) {
+  return build_profile_dataset(config, ProfileRunOptions{});
+}
+
+ProfileDataset build_profile_dataset(const ProfileConfig& config,
+                                     const ProfileRunOptions& opts) {
   ProfileDataset ds;
   ds.config = config;
   ds.problem = gpusim::ProblemSize::paper_default(config.dims);
@@ -179,6 +192,30 @@ ProfileDataset build_profile_dataset(const ProfileConfig& config) {
     });
   }
 
+  // --- Fault-tolerance plumbing -----------------------------------------
+  // The journal checkpoints completed (stencil, OC, GPU) units as they
+  // finish; a resumed run replays them instead of re-measuring. Because a
+  // measurement is a pure function of the variant identity (noise is
+  // identity-seeded, fault checks are pure hashes), replayed + freshly
+  // measured units assemble into a corpus bit-identical to an
+  // uninterrupted run at any SMART_THREADS.
+  const util::FaultInjector& injector = util::FaultInjector::global();
+  const std::string fault_spec =
+      injector.enabled() ? injector.spec().to_string() : std::string{};
+  ProfileJournal journal;
+  JournalReplay replay;
+  if (!opts.journal_path.empty()) {
+    if (opts.resume) {
+      replay = journal.resume(opts.journal_path, config, opts, fault_spec,
+                              ocs.size(), ds.gpus.size());
+    } else {
+      journal.start(opts.journal_path, config, opts, fault_spec);
+    }
+  } else if (opts.resume) {
+    throw std::invalid_argument(
+        "build_profile_dataset: resume requires a journal path");
+  }
+
   // --- Measurements: every setting on every GPU -------------------------
   // Two-phase, flattened sweep. Work units are (stencil, OC, GPU) — not
   // (stencil, OC) — so the task pool sees many small, uniform tasks
@@ -192,6 +229,40 @@ ProfileDataset build_profile_dataset(const ProfileConfig& config) {
   const std::size_t g = ds.gpus.size();
   ds.times.assign(n, std::vector<std::vector<std::vector<double>>>(
                          g, std::vector<std::vector<double>>(ocs.size())));
+
+  // Units recovered from the journal are committed up front; quarantined
+  // ones keep the all-NaN crashed convention.
+  for (const auto& [key, times] : replay.units) {
+    const std::size_t s = key / (ocs.size() * g);
+    const std::size_t o = (key / g) % ocs.size();
+    const std::size_t gi = key % g;
+    if (times.size() != ds.settings[s][o].size()) {
+      throw std::runtime_error(
+          "profile journal " + opts.journal_path +
+          ": unit time count does not match the sampled settings");
+    }
+    ds.times[s][gi][o] = times;
+  }
+  ds.resumed_units = replay.units.size();
+  ds.quarantined = replay.quarantined;
+  for (const QuarantineRecord& q : ds.quarantined) {
+    ds.times[q.stencil][q.gpu][q.oc].assign(
+        ds.settings[q.stencil][q.oc].size(), kNaN);
+  }
+  std::unordered_set<std::uint64_t> recovered_keys;
+  recovered_keys.reserve(replay.units.size() + replay.quarantined.size());
+  for (const auto& [key, times] : replay.units) recovered_keys.insert(key);
+  for (const QuarantineRecord& q : replay.quarantined) {
+    recovered_keys.insert(
+        ProfileJournal::unit_key(q.stencil, q.oc, q.gpu, ocs.size(), g));
+  }
+  const auto recovered = [&](std::size_t s, std::size_t o, std::size_t gi) {
+    return recovered_keys.contains(
+        ProfileJournal::unit_key(s, o, gi, ocs.size(), g));
+  };
+
+  std::mutex quarantine_mu;
+  std::atomic<std::uint64_t> retry_attempts{0};
   {
     const std::size_t per_stencil = ocs.size() * g;
     const std::size_t units = n * per_stencil;
@@ -205,38 +276,116 @@ ProfileDataset build_profile_dataset(const ProfileConfig& config) {
     const util::PhaseTimer timer("profile.measure", units);
     std::vector<gpusim::KernelAnalysis> analyses(
         std::min(n, chunk_stencils) * per_stencil);
+    std::vector<std::size_t> pending;
+    pending.reserve(analyses.size());
     for (std::size_t s0 = 0; s0 < n; s0 += chunk_stencils) {
       const std::size_t s1 = std::min(n, s0 + chunk_stencils);
-      const std::size_t chunk_units = (s1 - s0) * per_stencil;
       const auto unpack = [&](std::size_t idx) {
         const std::size_t s = s0 + idx / per_stencil;
         const std::size_t rem = idx % per_stencil;
         return std::array<std::size_t, 3>{s, rem / g, rem % g};
       };
+      // Units already recovered from the journal drop out of the chunk;
+      // skipping them cannot perturb the rest (measurements share no
+      // mutable state).
+      pending.clear();
+      for (std::size_t idx = 0; idx < (s1 - s0) * per_stencil; ++idx) {
+        const auto [s, o, gi] = unpack(idx);
+        if (!recovered(s, o, gi)) pending.push_back(idx);
+      }
       {
-        const util::PhaseTimer atimer("profile.analyze", chunk_units);
-        util::parallel_for(chunk_units, [&](std::size_t idx) {
-          const auto [s, o, gi] = unpack(idx);
-          analyses[idx] =
+        const util::PhaseTimer atimer("profile.analyze", pending.size());
+        util::parallel_for(pending.size(), [&](std::size_t pi) {
+          const auto [s, o, gi] = unpack(pending[pi]);
+          analyses[pi] =
               sim.analyze(ds.stencils[s], ds.problems[s], ocs[o], ds.gpus[gi]);
         });
       }
       {
-        const util::PhaseTimer etimer("profile.evaluate", chunk_units);
-        util::parallel_for(chunk_units, [&](std::size_t idx) {
-          const auto [s, o, gi] = unpack(idx);
+        const util::PhaseTimer etimer("profile.evaluate", pending.size());
+        util::parallel_for(pending.size(), [&](std::size_t pi) {
+          const auto [s, o, gi] = unpack(pending[pi]);
+          const gpusim::KernelAnalysis& analysis = analyses[pi];
+          const auto& unit_settings = ds.settings[s][o];
           auto& slot = ds.times[s][gi][o];
-          slot.reserve(ds.settings[s][o].size());
-          for (const gpusim::ParamSetting& setting : ds.settings[s][o]) {
-            const gpusim::KernelProfile prof =
-                sim.measure(analyses[idx], setting);
-            slot.push_back(prof.ok ? prof.time_ms
-                                   : std::numeric_limits<double>::quiet_NaN());
+          // The unit's fault identity: stable across thread counts AND
+          // process restarts, so retry budgets survive a resume.
+          const std::uint64_t unit_id = util::hash_combine(
+              analysis.noise_seed_prefix, analysis.gpu_hash);
+          int attempt = 0;
+          if (const auto it = replay.attempts.find(
+                  ProfileJournal::unit_key(s, o, gi, ocs.size(), g));
+              it != replay.attempts.end()) {
+            attempt = it->second;
+          }
+          std::vector<double> measured;
+          for (;;) {
+            try {
+              // The worker fault site models an exception the sweep does
+              // NOT know how to handle — it escapes this loop, aborts the
+              // run through the task pool, and is recovered by --resume.
+              if (injector.enabled()) {
+                injector.inject(util::FaultSite::kWorker, unit_id, attempt);
+              }
+              measured.clear();
+              measured.reserve(unit_settings.size());
+              for (const gpusim::ParamSetting& setting : unit_settings) {
+                const gpusim::KernelProfile prof =
+                    sim.measure(analysis, setting, attempt);
+                measured.push_back(prof.ok ? prof.time_ms : kNaN);
+              }
+              slot = std::move(measured);
+              if (journal.active()) journal.record_unit(s, o, gi, slot);
+              break;
+            } catch (const util::FaultError& fault) {
+              if (fault.transient() && attempt < opts.retries) {
+                // Transient: burn one attempt and re-measure. Fault checks
+                // are pure hashes, so the retried measurement is
+                // bit-identical to a fault-free one.
+                if (journal.active()) {
+                  journal.record_retry(s, o, gi, attempt, "transient");
+                }
+                retry_attempts.fetch_add(1, std::memory_order_relaxed);
+                ++attempt;
+                continue;
+              }
+              // Permanent fault or exhausted budget: withdraw the unit.
+              QuarantineRecord record{s, o, gi,
+                                      fault.transient()
+                                          ? "transient fault budget exhausted: " +
+                                                std::string(fault.what())
+                                          : std::string(fault.what())};
+              slot.assign(unit_settings.size(), kNaN);
+              if (journal.active()) journal.record_quarantine(record);
+              {
+                const std::lock_guard<std::mutex> lock(quarantine_mu);
+                ds.quarantined.push_back(std::move(record));
+              }
+              break;
+            } catch (const util::WorkerCrashError&) {
+              // Journal the failed attempt so the resumed process continues
+              // the attempt count instead of crashing forever, then let the
+              // crash abort the run.
+              if (journal.active()) {
+                journal.record_retry(s, o, gi, attempt, "worker");
+              }
+              throw;
+            }
           }
         });
       }
     }
   }
+  if (const std::uint64_t retries = retry_attempts.load(); retries > 0) {
+    util::timing_record("profile.retry", 0.0, retries);
+  }
+  // Quarantine order must not depend on which thread finished first.
+  std::sort(ds.quarantined.begin(), ds.quarantined.end(),
+            [](const QuarantineRecord& a, const QuarantineRecord& b) {
+              return std::tie(a.stencil, a.oc, a.gpu) <
+                     std::tie(b.stencil, b.oc, b.gpu);
+            });
+  journal.close();
   return ds;
 }
 
@@ -266,6 +415,15 @@ std::uint64_t dataset_checksum(const ProfileDataset& ds) {
         }
       }
     }
+  }
+  // Quarantine metadata is identity-bearing too (two corpora with the same
+  // times but different withdrawal reasons must not collide); a fault-free
+  // run has no records, so pre-quarantine golden checksums are preserved.
+  for (const QuarantineRecord& q : ds.quarantined) {
+    mix(q.stencil);
+    mix(q.oc);
+    mix(q.gpu);
+    mix(util::fnv1a64(q.reason));
   }
   return h;
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "gpusim/gpu_spec.hpp"
@@ -30,6 +31,39 @@ struct ProfileConfig {
   bool vary_boundary = false;      // mix Dirichlet-zero and periodic kernels
 };
 
+/// A (stencil, OC, GPU) work unit withdrawn from the sweep: a permanent
+/// fault, or a transient one that exhausted its retry budget. Its times are
+/// the all-NaN crashed convention, so every downstream consumer (merger,
+/// classifiers, regression) already tolerates it; the record preserves WHY
+/// it is missing.
+struct QuarantineRecord {
+  std::size_t stencil = 0;
+  std::size_t oc = 0;
+  std::size_t gpu = 0;
+  std::string reason;
+
+  friend bool operator==(const QuarantineRecord& a,
+                         const QuarantineRecord& b) = default;
+};
+
+/// Fault-tolerance knobs for one profiling run. None of them alter what a
+/// successful measurement returns — retries and the journal only decide
+/// when work is re-attempted or skipped — so any combination that completes
+/// the same units yields a bit-identical corpus.
+struct ProfileRunOptions {
+  /// Append-only checkpoint journal; empty disables checkpointing. Completed
+  /// units are recorded as they finish, each line flushed, so a killed run
+  /// loses at most the units in flight.
+  std::string journal_path;
+  /// Replay `journal_path` before sweeping: journaled units are not re-run
+  /// and the final corpus is bit-identical to an uninterrupted run. A
+  /// missing journal file starts a fresh run (so --resume is idempotent).
+  bool resume = false;
+  /// Transient-fault retry budget per work unit (total tries = 1 + retries,
+  /// counted across resumes via journaled retry records).
+  int retries = 2;
+};
+
 struct ProfileDataset {
   ProfileConfig config;
   gpusim::ProblemSize problem;  // the base (paper-default) problem
@@ -44,6 +78,12 @@ struct ProfileDataset {
   /// times[stencil][gpu][oc][k] in ms, aligned with `settings`;
   /// NaN marks a crashed variant.
   std::vector<std::vector<std::vector<std::vector<double>>>> times;
+  /// Work units withdrawn by fault quarantine, sorted by (stencil, oc,
+  /// gpu). Empty for a fault-free run.
+  std::vector<QuarantineRecord> quarantined;
+  /// Units recovered from the journal instead of re-measured (resume runs
+  /// only; not serialized, not part of dataset_checksum).
+  std::size_t resumed_units = 0;
 
   std::size_t num_gpus() const noexcept { return gpus.size(); }
   static std::size_t num_ocs();
@@ -76,6 +116,16 @@ struct ProfileDataset {
 /// Generates the stencils and profiles them (deterministic given config —
 /// bit-identical for any SMART_THREADS value; see util/task_pool.hpp).
 ProfileDataset build_profile_dataset(const ProfileConfig& config);
+
+/// Fault-tolerant sweep: retries transient measurement faults within
+/// opts.retries, quarantines permanent ones, checkpoints completed units to
+/// opts.journal_path and resumes from it. The invariant (proven by
+/// tests/core/profile_resume_test.cpp and scripts/check.sh): a run killed
+/// at ANY point and resumed — at any SMART_THREADS — produces a corpus
+/// bit-identical to an uninterrupted run, and surviving measurements under
+/// transient fault injection are bit-identical to a fault-free run.
+ProfileDataset build_profile_dataset(const ProfileConfig& config,
+                                     const ProfileRunOptions& opts);
 
 /// Order-sensitive 64-bit digest of stencils, sampled settings and measured
 /// times (NaN canonicalized). scripts/check.sh diffs it between a

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.hpp"
 #include "util/serialize_io.hpp"
 #include "util/timing.hpp"
 
@@ -68,9 +69,28 @@ gpusim::ParamSetting decode_setting(std::istream& in) {
   return s;
 }
 
-void expect(bool condition, const std::string& what) {
-  if (!condition) throw std::runtime_error("load_dataset: " + what);
-}
+/// Parse-error context for the corpus reader: every failure names the
+/// source and 1-based line, e.g. "corpus.txt:1042: unparsable time field".
+class DatasetParseContext {
+ public:
+  explicit DatasetParseContext(std::string source)
+      : source_(std::move(source)) {}
+
+  void advance() noexcept { ++line_no_; }
+  std::size_t line() const noexcept { return line_no_; }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error(source_ + ":" + std::to_string(line_no_) + ": " +
+                             what);
+  }
+  void expect(bool condition, const std::string& what) const {
+    if (!condition) fail(what);
+  }
+
+ private:
+  std::string source_;
+  std::size_t line_no_ = 0;
+};
 
 }  // namespace
 
@@ -115,32 +135,44 @@ void save_dataset(const ProfileDataset& ds, std::ostream& out) {
       }
     }
   }
+  for (const auto& q : ds.quarantined) {
+    out << "quar " << q.stencil << ' ' << q.oc << ' ' << q.gpu << ' '
+        << q.reason << '\n';
+  }
   if (!out) throw std::runtime_error("save_dataset: stream write failed");
 }
 
 void save_dataset(const ProfileDataset& dataset, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_dataset: cannot open " + path);
-  save_dataset(dataset, out);
+  util::atomic_write(
+      path, [&dataset](std::ostream& out) { save_dataset(dataset, out); });
 }
 
-ProfileDataset load_dataset(std::istream& in) {
+ProfileDataset load_dataset(std::istream& in, const std::string& source) {
   const util::PhaseTimer timer("serialize.load_corpus");
-  std::string magic;
-  std::getline(in, magic);
-  expect(magic == kMagic, "bad magic '" + magic + "'");
+  DatasetParseContext ctx(source);
+  std::string line;
+
+  ctx.advance();
+  ctx.expect(static_cast<bool>(std::getline(in, line)), "empty corpus file");
+  ctx.expect(line == kMagic,
+             "not a StencilMART corpus (bad magic '" + line + "')");
 
   ProfileDataset ds;
   std::size_t num_stencils = 0;
-  int vary_size = 0;
-  int vary_boundary = 0;
-  in >> ds.config.dims >> ds.config.max_order >> num_stencils >>
-      ds.config.samples_per_oc >> ds.config.seed >>
-      ds.config.sim.noise_sigma >> vary_size >> vary_boundary;
-  expect(static_cast<bool>(in), "bad header");
-  ds.config.num_stencils = static_cast<int>(num_stencils);
-  ds.config.vary_problem_size = vary_size != 0;
-  ds.config.vary_boundary = vary_boundary != 0;
+  {
+    ctx.advance();
+    ctx.expect(static_cast<bool>(std::getline(in, line)), "missing header");
+    std::istringstream header(line);
+    int vary_size = 0;
+    int vary_boundary = 0;
+    header >> ds.config.dims >> ds.config.max_order >> num_stencils >>
+        ds.config.samples_per_oc >> ds.config.seed >>
+        ds.config.sim.noise_sigma >> vary_size >> vary_boundary;
+    ctx.expect(static_cast<bool>(header), "unparsable header");
+    ds.config.num_stencils = static_cast<int>(num_stencils);
+    ds.config.vary_problem_size = vary_size != 0;
+    ds.config.vary_boundary = vary_boundary != 0;
+  }
   ds.problem = gpusim::ProblemSize::paper_default(ds.config.dims);
   ds.gpus = gpusim::evaluation_gpus();
 
@@ -152,61 +184,84 @@ ProfileDataset load_dataset(std::istream& in) {
                       ds.gpus.size(),
                       std::vector<std::vector<double>>(num_ocs)));
 
-  std::string tag;
-  while (in >> tag) {
+  while (std::getline(in, line)) {
+    ctx.advance();
+    if (line.empty()) continue;
+    std::istringstream record(line);
+    std::string tag;
+    record >> tag;
     if (tag == "stencil") {
       gpusim::ProblemSize prob;
       int periodic = 0;
       std::string offsets;
-      in >> prob.nx >> prob.ny >> prob.nz >> periodic >> offsets;
-      expect(static_cast<bool>(in), "bad stencil record");
+      record >> prob.nx >> prob.ny >> prob.nz >> periodic >> offsets;
+      ctx.expect(static_cast<bool>(record), "unparsable stencil record");
       prob.boundary = periodic != 0 ? stencil::Boundary::kPeriodic
                                     : stencil::Boundary::kDirichletZero;
       ds.problems.push_back(prob);
-      ds.stencils.push_back(decode_offsets(ds.config.dims, offsets));
+      try {
+        ds.stencils.push_back(decode_offsets(ds.config.dims, offsets));
+      } catch (const std::runtime_error& e) {
+        ctx.fail(e.what());
+      }
     } else if (tag == "setting") {
       std::size_t s = 0;
       std::size_t oc = 0;
-      in >> s >> oc;
-      expect(s < num_stencils && oc < num_ocs, "setting index out of range");
-      ds.settings[s][oc].push_back(decode_setting(in));
-      expect(static_cast<bool>(in), "bad setting record");
+      record >> s >> oc;
+      ctx.expect(static_cast<bool>(record), "unparsable setting indices");
+      ctx.expect(s < num_stencils && oc < num_ocs,
+                 "setting index out of range");
+      ds.settings[s][oc].push_back(decode_setting(record));
+      ctx.expect(static_cast<bool>(record), "unparsable setting record");
     } else if (tag == "time") {
       std::size_t s = 0;
       std::size_t g = 0;
       std::size_t oc = 0;
       std::size_t k = 0;
       std::string value;
-      in >> s >> g >> oc >> k >> value;
-      expect(static_cast<bool>(in), "bad time record");
-      expect(s < num_stencils && g < ds.gpus.size() && oc < num_ocs,
-             "time index out of range");
+      record >> s >> g >> oc >> k >> value;
+      ctx.expect(static_cast<bool>(record), "unparsable time record");
+      ctx.expect(s < num_stencils && g < ds.gpus.size() && oc < num_ocs,
+                 "time index out of range");
       auto& ts = ds.times[s][g][oc];
-      expect(k == ts.size(), "time records out of order");
+      ctx.expect(k == ts.size(), "time records out of order");
       if (value == "crash") {
         ts.push_back(std::numeric_limits<double>::quiet_NaN());
       } else {
         // Strict parse: a half-parsed token silently becoming 0.0 (or a
         // smuggled NaN/inf) would corrupt every model trained on the corpus.
         double time_ms = 0.0;
-        expect(util::parse_f64_strict(value, time_ms),
-               "bad time value '" + value + "'");
-        expect(std::isfinite(time_ms) && time_ms > 0.0,
-               "non-finite or non-positive time value '" + value + "'");
+        ctx.expect(util::parse_f64_strict(value, time_ms),
+                   "unparsable time field '" + value + "'");
+        ctx.expect(std::isfinite(time_ms) && time_ms > 0.0,
+                   "non-finite or non-positive time field '" + value + "'");
         ts.push_back(time_ms);
       }
+    } else if (tag == "quar") {
+      QuarantineRecord q;
+      record >> q.stencil >> q.oc >> q.gpu;
+      ctx.expect(static_cast<bool>(record), "unparsable quarantine record");
+      ctx.expect(q.stencil < num_stencils && q.gpu < ds.gpus.size() &&
+                     q.oc < num_ocs,
+                 "quarantine index out of range");
+      std::getline(record, q.reason);
+      if (!q.reason.empty() && q.reason.front() == ' ') q.reason.erase(0, 1);
+      ds.quarantined.push_back(std::move(q));
     } else {
-      throw std::runtime_error("load_dataset: unknown tag '" + tag + "'");
+      ctx.fail("unknown tag '" + tag + "'");
     }
   }
-  expect(ds.stencils.size() == num_stencils, "stencil count mismatch");
+  ctx.expect(ds.stencils.size() == num_stencils,
+             "stencil count mismatch (header says " +
+                 std::to_string(num_stencils) + ", file has " +
+                 std::to_string(ds.stencils.size()) + ")");
   return ds;
 }
 
 ProfileDataset load_dataset(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("load_dataset: cannot open " + path);
-  return load_dataset(in);
+  return load_dataset(in, path);
 }
 
 // ----- model artifacts -------------------------------------------------------
@@ -248,12 +303,11 @@ void save_model(const StencilMart& mart, std::ostream& out) {
 }
 
 void save_model(const StencilMart& mart, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_model: cannot open " + path);
-  save_model(mart, out);
+  util::atomic_write(
+      path, [&mart](std::ostream& out) { save_model(mart, out); });
 }
 
-StencilMart load_model(std::istream& in) {
+StencilMart load_model(std::istream& in, const std::string& source) {
   const util::PhaseTimer timer("serialize.load");
   std::string magic;
   if (!std::getline(in, magic)) {
@@ -288,86 +342,98 @@ StencilMart load_model(std::istream& in) {
   }
 
   std::istringstream payload(bytes);
-  MartConfig config;
-  util::expect_word(payload, "config", "load_model config section");
-  config.profile.dims = util::read_int(payload, "config dims");
-  config.profile.max_order = util::read_int(payload, "config max_order");
-  config.profile.num_stencils = util::read_int(payload, "config num_stencils");
-  config.profile.samples_per_oc =
-      util::read_int(payload, "config samples_per_oc");
-  config.profile.seed = util::read_u64(payload, "config seed");
-  config.profile.sim.noise_sigma =
-      util::read_f64(payload, "config noise_sigma");
-  config.profile.sim.seed = util::read_u64(payload, "config sim seed");
-  config.profile.vary_problem_size =
-      util::read_int(payload, "config vary_problem_size") != 0;
-  config.profile.vary_boundary =
-      util::read_int(payload, "config vary_boundary") != 0;
-  if (config.profile.dims != 2 && config.profile.dims != 3) {
-    throw std::runtime_error("load_model: config dims out of range");
-  }
-  util::expect_word(payload, "regconfig", "load_model regression config");
-  RegressionConfig& r = config.regression;
-  r.folds = util::read_int(payload, "regconfig folds");
-  r.epochs = util::read_int(payload, "regconfig epochs");
-  r.batch_size = util::read_int(payload, "regconfig batch_size");
-  r.learning_rate = util::read_f64(payload, "regconfig learning_rate");
-  r.mlp_hidden_layers = util::read_int(payload, "regconfig mlp_hidden_layers");
-  r.mlp_width = util::read_size(payload, "regconfig mlp_width");
-  r.instance_cap = util::read_size(payload, "regconfig instance_cap");
-  r.seed = util::read_u64(payload, "regconfig seed");
-  util::expect_word(payload, "regressor", "load_model regressor section");
-  config.regressor =
-      regressor_kind_from_string(util::read_token(payload, "regressor kind"));
-  config.tuning_samples = util::read_int(payload, "regressor tuning_samples");
-
-  StencilMart mart(config);
-  // Serving needs no profiled stencils: classification, tuning and variant
-  // prediction only read the config geometry, the static OC table and the
-  // GPU table, so the loaded mart carries a zero-stencil dataset.
-  ProfileDataset serving;
-  serving.config = config.profile;
-  serving.problem = gpusim::ProblemSize::paper_default(config.profile.dims);
-  serving.gpus = gpusim::evaluation_gpus();
-  mart.dataset_ = std::make_unique<ProfileDataset>(std::move(serving));
-
-  mart.merger_ = OcMerger::load(payload);
-  if (mart.merger_.groups().size() != ProfileDataset::num_ocs()) {
-    throw std::runtime_error(
-        "load_model: OC count does not match this build's OC table");
-  }
-  util::expect_word(payload, "classifiers", "load_model classifier section");
-  const std::size_t num_classifiers =
-      util::read_size(payload, "classifier count");
-  if (num_classifiers != mart.dataset_->gpus.size()) {
-    throw std::runtime_error(
-        "load_model: classifier count does not match the GPU table");
-  }
-  mart.classifiers_.clear();
-  mart.classifiers_.reserve(num_classifiers);
-  for (std::size_t g = 0; g < num_classifiers; ++g) {
-    mart.classifiers_.push_back(ml::GbdtClassifier::load(payload));
-    if (mart.classifiers_.back().num_classes() != mart.merger_.num_groups()) {
-      throw std::runtime_error(
-          "load_model: classifier class count does not match the OC grouping");
+  try {
+    MartConfig config;
+    util::expect_word(payload, "config", "load_model config section");
+    config.profile.dims = util::read_int(payload, "config dims");
+    config.profile.max_order = util::read_int(payload, "config max_order");
+    config.profile.num_stencils = util::read_int(payload, "config num_stencils");
+    config.profile.samples_per_oc =
+        util::read_int(payload, "config samples_per_oc");
+    config.profile.seed = util::read_u64(payload, "config seed");
+    config.profile.sim.noise_sigma =
+        util::read_f64(payload, "config noise_sigma");
+    config.profile.sim.seed = util::read_u64(payload, "config sim seed");
+    config.profile.vary_problem_size =
+        util::read_int(payload, "config vary_problem_size") != 0;
+    config.profile.vary_boundary =
+        util::read_int(payload, "config vary_boundary") != 0;
+    if (config.profile.dims != 2 && config.profile.dims != 3) {
+      throw std::runtime_error("load_model: config dims out of range");
     }
+    util::expect_word(payload, "regconfig", "load_model regression config");
+    RegressionConfig& r = config.regression;
+    r.folds = util::read_int(payload, "regconfig folds");
+    r.epochs = util::read_int(payload, "regconfig epochs");
+    r.batch_size = util::read_int(payload, "regconfig batch_size");
+    r.learning_rate = util::read_f64(payload, "regconfig learning_rate");
+    r.mlp_hidden_layers = util::read_int(payload, "regconfig mlp_hidden_layers");
+    r.mlp_width = util::read_size(payload, "regconfig mlp_width");
+    r.instance_cap = util::read_size(payload, "regconfig instance_cap");
+    r.seed = util::read_u64(payload, "regconfig seed");
+    util::expect_word(payload, "regressor", "load_model regressor section");
+    config.regressor =
+        regressor_kind_from_string(util::read_token(payload, "regressor kind"));
+    config.tuning_samples = util::read_int(payload, "regressor tuning_samples");
+
+    StencilMart mart(config);
+    // Serving needs no profiled stencils: classification, tuning and variant
+    // prediction only read the config geometry, the static OC table and the
+    // GPU table, so the loaded mart carries a zero-stencil dataset.
+    ProfileDataset serving;
+    serving.config = config.profile;
+    serving.problem = gpusim::ProblemSize::paper_default(config.profile.dims);
+    serving.gpus = gpusim::evaluation_gpus();
+    mart.dataset_ = std::make_unique<ProfileDataset>(std::move(serving));
+
+    mart.merger_ = OcMerger::load(payload);
+    if (mart.merger_.groups().size() != ProfileDataset::num_ocs()) {
+      throw std::runtime_error(
+          "load_model: OC count does not match this build's OC table");
+    }
+    util::expect_word(payload, "classifiers", "load_model classifier section");
+    const std::size_t num_classifiers =
+        util::read_size(payload, "classifier count");
+    if (num_classifiers != mart.dataset_->gpus.size()) {
+      throw std::runtime_error(
+          "load_model: classifier count does not match the GPU table");
+    }
+    mart.classifiers_.clear();
+    mart.classifiers_.reserve(num_classifiers);
+    for (std::size_t g = 0; g < num_classifiers; ++g) {
+      mart.classifiers_.push_back(ml::GbdtClassifier::load(payload));
+      if (mart.classifiers_.back().num_classes() != mart.merger_.num_groups()) {
+        throw std::runtime_error(
+            "load_model: classifier class count does not match the OC grouping");
+      }
+    }
+    mart.regression_ =
+        std::make_unique<RegressionTask>(*mart.dataset_, config.regression);
+    mart.regression_->load_fitted(payload);
+    std::string extra;
+    if (payload >> extra) {
+      throw std::runtime_error(
+          "load_model: trailing data after the regression section");
+    }
+    mart.trained_ = true;
+    return mart;
+  } catch (const std::exception& e) {
+    // Pinpoint where inside the (checksum-valid) payload parsing stopped:
+    // with the envelope intact, a parse failure here means a format skew
+    // between writer and reader, and the byte offset locates the section.
+    payload.clear();
+    const auto pos = payload.tellg();
+    const std::size_t offset =
+        pos < 0 ? bytes.size() : static_cast<std::size_t>(pos);
+    throw std::runtime_error(source + ": payload byte offset " +
+                             std::to_string(offset) + ": " + e.what());
   }
-  mart.regression_ =
-      std::make_unique<RegressionTask>(*mart.dataset_, config.regression);
-  mart.regression_->load_fitted(payload);
-  std::string extra;
-  if (payload >> extra) {
-    throw std::runtime_error(
-        "load_model: trailing data after the regression section");
-  }
-  mart.trained_ = true;
-  return mart;
 }
 
 StencilMart load_model(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("load_model: cannot open " + path);
-  return load_model(in);
+  return load_model(in, path);
 }
 
 }  // namespace smart::core

@@ -34,19 +34,23 @@
 namespace smart::core {
 
 /// Writes `dataset` to the stream / file. Throws std::runtime_error on I/O
-/// failure.
+/// failure. The path overload writes atomically (util/atomic_file): a
+/// failed or interrupted save leaves the destination untouched.
 void save_dataset(const ProfileDataset& dataset, std::ostream& out);
 void save_dataset(const ProfileDataset& dataset, const std::string& path);
 
-/// Reads a dataset back. Throws std::runtime_error on parse errors; the
-/// result is bit-identical to the saved dataset (validated by tests).
-ProfileDataset load_dataset(std::istream& in);
+/// Reads a dataset back. Throws std::runtime_error on parse errors with
+/// "<source>:<line>: ..." context (e.g. "corpus.txt:1042: unparsable time
+/// field '1.2.3'"); the result is bit-identical to the saved dataset
+/// (validated by tests). `source` names the stream in error messages.
+ProfileDataset load_dataset(std::istream& in,
+                            const std::string& source = "<stream>");
 ProfileDataset load_dataset(const std::string& path);
 
 /// Writes a trained StencilMart (config, OC merger, per-GPU classifiers,
 /// fitted regressor) as a versioned model artifact. Throws std::logic_error
 /// before train() and std::runtime_error on I/O failure. Records the
-/// "serialize.save" timing phase.
+/// "serialize.save" timing phase. The path overload writes atomically.
 void save_model(const StencilMart& mart, std::ostream& out);
 void save_model(const StencilMart& mart, const std::string& path);
 
@@ -55,8 +59,11 @@ void save_model(const StencilMart& mart, const std::string& path);
 /// saved instance, and need no profiling corpus (the loaded mart carries a
 /// zero-stencil serving dataset). Throws std::runtime_error with a distinct
 /// message for bad magic, unsupported version, truncation, checksum
-/// mismatch, and malformed payload. Records "serialize.load".
-StencilMart load_model(std::istream& in);
+/// mismatch, and malformed payload; payload parse errors carry
+/// "<source>: payload byte offset N: ..." context. Records
+/// "serialize.load".
+StencilMart load_model(std::istream& in,
+                       const std::string& source = "<stream>");
 StencilMart load_model(const std::string& path);
 
 }  // namespace smart::core

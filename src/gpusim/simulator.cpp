@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 
 namespace smart::gpusim {
@@ -20,7 +21,18 @@ KernelAnalysis Simulator::analyze(const stencil::StencilPattern& pattern,
 }
 
 KernelProfile Simulator::measure(const KernelAnalysis& analysis,
-                                 const ParamSetting& setting) const {
+                                 const ParamSetting& setting,
+                                 int attempt) const {
+  const util::FaultInjector& injector = util::FaultInjector::global();
+  if (injector.enabled()) {
+    // The variant's fault identity is the same triple that seeds its noise,
+    // so the fault schedule is a pure function of (stencil, OC, setting,
+    // GPU) — independent of thread count and of which process retries.
+    std::uint64_t id =
+        util::hash_combine(analysis.noise_seed_prefix, setting.hash());
+    id = util::hash_combine(id, analysis.gpu_hash);
+    injector.inject(util::FaultSite::kMeasure, id, attempt);
+  }
   KernelProfile p = model_.evaluate(analysis, setting);
   if (!p.ok) return p;
   std::uint64_t seed = util::hash_combine(analysis.noise_seed_prefix,

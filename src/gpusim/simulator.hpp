@@ -36,9 +36,15 @@ class Simulator {
                          const GpuSpec& gpu) const;
 
   /// Phase 2: one "measured" run against a cached analysis — bit-identical
-  /// to the one-shot overload below for the same variant.
+  /// to the one-shot overload below for the same variant. When fault
+  /// injection is active (util/fault, SMART_FAULTS), this is the measure
+  /// fault site: a faulty variant identity throws util::FaultError instead
+  /// of measuring; `attempt` indexes the retry (transient faults pass once
+  /// it reaches the rule's fail count). Fault checks are pure hashes —
+  /// they consume no RNG state, so a retried measurement is bit-identical
+  /// to a fault-free one.
   KernelProfile measure(const KernelAnalysis& analysis,
-                        const ParamSetting& setting) const;
+                        const ParamSetting& setting, int attempt = 0) const;
 
   /// One "measured" run: model time perturbed by deterministic noise.
   /// Crashing variants come back with ok == false and time 0.

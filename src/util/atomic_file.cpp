@@ -1,0 +1,44 @@
+#include "util/atomic_file.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/fault.hpp"
+#include "util/serialize_io.hpp"
+
+namespace smart::util {
+
+void atomic_write(const std::string& path,
+                  const std::function<void(std::ostream&)>& writer) {
+  // Suffix with the pid so concurrent writers of the same destination
+  // cannot clobber each other's temp file; last rename wins atomically.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  try {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("atomic_write: cannot open temp file " + tmp);
+    }
+    // The io fault site models a write that dies mid-stream (disk full,
+    // quota): it must surface as an error with the destination untouched.
+    FaultInjector::global().inject(FaultSite::kIo, fnv1a64(path));
+    writer(out);
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("atomic_write: write to " + tmp + " failed");
+    }
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("atomic_write: cannot rename " + tmp + " over " +
+                             path);
+  }
+}
+
+}  // namespace smart::util

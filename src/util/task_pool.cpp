@@ -6,8 +6,6 @@
 
 namespace smart::util {
 
-thread_local int SerialSection::depth_ = 0;
-
 /// One parallel loop in flight. Chunks are claimed through `next`; `running`
 /// counts threads currently inside work_on so the caller knows when every
 /// helper has drained. Workers hold a shared_ptr, so a Task outlives its

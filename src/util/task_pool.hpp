@@ -51,7 +51,10 @@ class SerialSection {
   static bool active() noexcept { return depth_ > 0; }
 
  private:
-  static thread_local int depth_;
+  // Inline so every TU accesses the TLS slot directly; an out-of-line
+  // definition makes GCC route access through a TLS wrapper call that
+  // UBSan flags as a potential null dereference (GCC bug 84250).
+  static inline thread_local int depth_ = 0;
 };
 
 class TaskPool {

@@ -159,6 +159,82 @@ TEST(CliParse, StrictU64SeedOptions) {
   EXPECT_EQ(parse({"generate"}).get_u64("seed", 5), 5u);
 }
 
+TEST(CliParse, BooleanFlagsWorkWithoutValue) {
+  // --resume/--checksum/--timing may appear bare (end of line or followed
+  // by another option) and still accept an explicit value.
+  const auto bare = parse({"profile", "--resume", "--checksum", "--timing"});
+  EXPECT_EQ(bare.get_int("resume", 0), 1);
+  EXPECT_EQ(bare.get_int("checksum", 0), 1);
+  EXPECT_EQ(bare.get_int("timing", 0), 1);
+  const auto mixed = parse({"profile", "--resume", "--journal", "j.txt",
+                            "--checksum", "0"});
+  EXPECT_EQ(mixed.get_int("resume", 0), 1);
+  EXPECT_EQ(mixed.get("journal", ""), "j.txt");
+  EXPECT_EQ(mixed.get_int("checksum", 1), 0);
+  // Non-whitelisted options still require a value.
+  EXPECT_THROW(parse({"profile", "--out"}), std::invalid_argument);
+  EXPECT_THROW(parse({"profile", "--out", "--resume"}), std::invalid_argument);
+}
+
+TEST(CliRun, ProfileResumeRequiresJournal) {
+  std::ostringstream out;
+  EXPECT_THROW(run_command(parse({"profile", "--resume"}), out),
+               std::invalid_argument);
+}
+
+TEST(CliRun, ProfileRejectsNegativeRetries) {
+  std::ostringstream out;
+  EXPECT_THROW(
+      run_command(parse({"profile", "--retries", "-1"}), out),
+      std::invalid_argument);
+}
+
+TEST(CliRun, ProfileRejectsMalformedFaultSpec) {
+  std::ostringstream out;
+  EXPECT_THROW(run_command(parse({"profile", "--faults", "bogus:p=0.5"}), out),
+               std::invalid_argument);
+}
+
+TEST(CliRun, ProfileFaultsAndResumeEndToEnd) {
+  const std::string jpath = testing::TempDir() + "smartctl_cli_journal.txt";
+  std::remove(jpath.c_str());
+
+  // Transient faults retried in-run: checksum matches the fault-free run.
+  std::ostringstream clean;
+  ASSERT_EQ(run_command(parse({"profile", "--dims", "2", "--stencils", "6",
+                               "--samples", "2", "--checksum"}),
+                        clean),
+            0);
+  std::ostringstream faulty;
+  ASSERT_EQ(run_command(parse({"profile", "--dims", "2", "--stencils", "6",
+                               "--samples", "2", "--checksum", "--faults",
+                               "seed=13;measure:transient:p=0.1"}),
+                        faulty),
+            0);
+  const auto checksum_line = [](const std::string& text) {
+    const auto at = text.find("checksum ");
+    return text.substr(at, text.find('\n', at) - at);
+  };
+  EXPECT_EQ(checksum_line(faulty.str()), checksum_line(clean.str()));
+
+  // A journaled run resumes to the same checksum and reports the replay.
+  std::ostringstream first;
+  ASSERT_EQ(run_command(parse({"profile", "--dims", "2", "--stencils", "6",
+                               "--samples", "2", "--journal", jpath}),
+                        first),
+            0);
+  std::ostringstream resumed;
+  ASSERT_EQ(run_command(parse({"profile", "--dims", "2", "--stencils", "6",
+                               "--samples", "2", "--journal", jpath,
+                               "--resume", "--checksum"}),
+                        resumed),
+            0);
+  EXPECT_NE(resumed.str().find("resumed "), std::string::npos);
+  EXPECT_EQ(checksum_line(resumed.str()), checksum_line(clean.str()));
+
+  std::remove(jpath.c_str());
+}
+
 TEST(CliRun, TrainRequiresOut) {
   std::ostringstream out;
   EXPECT_THROW(run_command(parse({"train"}), out), std::invalid_argument);

@@ -26,6 +26,7 @@
 #include "core/mart.hpp"
 #include "core/serialize.hpp"
 #include "stencil/pattern.hpp"
+#include "util/fault.hpp"
 #include "util/serialize_io.hpp"
 #include "util/task_pool.hpp"
 
@@ -246,6 +247,37 @@ TEST(ModelArtifact, RejectsNanWeightEvenWithValidChecksum) {
 TEST(ModelArtifact, RejectsTrailingPayloadData) {
   expect_load_fails(reseal(reference_payload() + "bogus 1 2\n"),
                     "trailing data");
+}
+
+TEST(ModelArtifact, PayloadParseErrorsCarrySourceAndByteOffset) {
+  // Satellite contract: a malformed (but checksum-valid) payload reports
+  // "<source>: payload byte offset N: ..." so the failing section can be
+  // located inside a multi-kilobyte artifact.
+  std::stringstream in(reseal(reference_payload() + "bogus 1 2\n"));
+  try {
+    load_model(in, "model.smart");
+    FAIL() << "load_model accepted trailing payload data";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find("model.smart: payload byte offset "), 0u) << what;
+    EXPECT_NE(what.find("trailing data"), std::string::npos) << what;
+  }
+  // Envelope errors (pre-payload) stay un-prefixed: the artifact, not a
+  // section inside it, is the problem.
+  expect_load_fails("definitely-not-a-model\n", "bad magic");
+}
+
+TEST(ModelArtifact, AtomicSaveLeavesDestinationIntactOnFailure) {
+  const std::string path = testing::TempDir() + "smart_atomic_model.smart";
+  save_model(trained_mart(RegressorKind::kGbr), path);
+  {
+    const util::ScopedFaultInjection faults("seed=1;io:p=1");
+    EXPECT_THROW(save_model(trained_mart(RegressorKind::kGbr), path),
+                 std::runtime_error);
+  }
+  const StencilMart loaded = load_model(path);  // still the intact artifact
+  EXPECT_TRUE(loaded.trained());
+  std::remove(path.c_str());
 }
 
 TEST(ModelArtifact, TrainFromCorpusUsesMeasuredTimes) {

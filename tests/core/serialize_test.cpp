@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "util/fault.hpp"
+
 namespace smart::core {
 namespace {
 
@@ -127,6 +129,70 @@ TEST(Serialize, RejectsNonPositiveOrNonFiniteTime) {
 
 TEST(Serialize, MissingFileThrows) {
   EXPECT_THROW(load_dataset("/nonexistent/dataset.txt"), std::runtime_error);
+}
+
+TEST(Serialize, ParseErrorsCarrySourceAndLineContext) {
+  // Satellite contract: a bad record is reported as "<source>:<line>: ...",
+  // pinpointing the offending line instead of a bare what() string.
+  const auto original = make_dataset();
+  std::stringstream buffer;
+  save_dataset(original, buffer);
+  const std::string text = buffer.str();
+  std::size_t lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  std::stringstream corrupted(text + "time 0 0 0 2 1.2.3\n");
+  try {
+    load_dataset(corrupted, "corpus.txt");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find("corpus.txt:" + std::to_string(lines + 1) + ": "), 0u)
+        << what;
+    EXPECT_NE(what.find("unparsable time field '1.2.3'"), std::string::npos)
+        << what;
+  }
+  // The default source name still provides the line number.
+  std::stringstream bad_magic("not-a-dataset\n");
+  try {
+    load_dataset(bad_magic);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).find("<stream>:1: "), 0u) << e.what();
+  }
+}
+
+TEST(Serialize, QuarantineRecordsRoundTrip) {
+  auto original = make_dataset();
+  original.quarantined.push_back(
+      {1, 3, 0, "injected measure permanent fault (identity abc, attempt 0)"});
+  original.quarantined.push_back(
+      {4, 17, 2, "transient fault budget exhausted: injected fault"});
+  std::stringstream buffer;
+  save_dataset(original, buffer);
+  const auto loaded = load_dataset(buffer);
+  EXPECT_EQ(loaded.quarantined, original.quarantined);
+
+  // Out-of-range quarantine indices are rejected with context.
+  std::stringstream buffer2;
+  save_dataset(make_dataset(), buffer2);
+  std::stringstream corrupted(buffer2.str() + "quar 99 0 0 boom\n");
+  EXPECT_THROW(load_dataset(corrupted), std::runtime_error);
+}
+
+TEST(Serialize, AtomicSaveLeavesDestinationIntactOnFailure) {
+  const auto original = make_dataset();
+  const std::string path = testing::TempDir() + "smart_atomic_dataset.txt";
+  save_dataset(original, path);
+  {
+    // An injected io fault mid-save must not clobber the existing corpus.
+    const util::ScopedFaultInjection faults("seed=1;io:p=1");
+    EXPECT_THROW(save_dataset(original, path), std::runtime_error);
+  }
+  const auto loaded = load_dataset(path);
+  expect_equal(original, loaded);
+  std::remove(path.c_str());
 }
 
 TEST(Serialize, LoadedDatasetDrivesDownstreamTasks) {

@@ -1,0 +1,101 @@
+#include "util/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/fault.hpp"
+
+namespace smart::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string tmp_name(const fs::path& dest) {
+  return dest.string() + ".tmp." +
+         std::to_string(static_cast<long long>(::getpid()));
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("smart_atomic_" +
+            std::to_string(static_cast<long long>(::getpid())) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(AtomicFileTest, WritesContentAndRemovesTempFile) {
+  const fs::path dest = dir_ / "out.txt";
+  atomic_write(dest.string(), [](std::ostream& out) { out << "hello\n"; });
+  EXPECT_EQ(read_file(dest), "hello\n");
+  EXPECT_FALSE(fs::exists(tmp_name(dest)));
+}
+
+TEST_F(AtomicFileTest, OverwritesExistingDestination) {
+  const fs::path dest = dir_ / "out.txt";
+  atomic_write(dest.string(), [](std::ostream& out) { out << "old"; });
+  atomic_write(dest.string(), [](std::ostream& out) { out << "new"; });
+  EXPECT_EQ(read_file(dest), "new");
+}
+
+TEST_F(AtomicFileTest, ThrowingWriterLeavesDestinationUntouched) {
+  const fs::path dest = dir_ / "out.txt";
+  atomic_write(dest.string(), [](std::ostream& out) { out << "original"; });
+  EXPECT_THROW(atomic_write(dest.string(),
+                            [](std::ostream& out) {
+                              out << "partial garbage";
+                              throw std::runtime_error("writer died");
+                            }),
+               std::runtime_error);
+  EXPECT_EQ(read_file(dest), "original");
+  EXPECT_FALSE(fs::exists(tmp_name(dest)));
+}
+
+TEST_F(AtomicFileTest, InjectedIoFaultRollsBack) {
+  const fs::path dest = dir_ / "out.txt";
+  atomic_write(dest.string(), [](std::ostream& out) { out << "original"; });
+  const ScopedFaultInjection faults("seed=1;io:p=1");
+  bool writer_ran = false;
+  try {
+    atomic_write(dest.string(), [&](std::ostream& out) {
+      writer_ran = true;
+      out << "must never land";
+    });
+    FAIL() << "expected an injected io fault";
+  } catch (const FaultError& e) {
+    EXPECT_FALSE(e.transient());
+  }
+  // The fault fires before the writer runs (models an unwritable stream).
+  EXPECT_FALSE(writer_ran);
+  EXPECT_EQ(read_file(dest), "original");
+  EXPECT_FALSE(fs::exists(tmp_name(dest)));
+}
+
+TEST_F(AtomicFileTest, UnwritableDirectoryThrows) {
+  const fs::path dest = dir_ / "no" / "such" / "dir" / "out.txt";
+  EXPECT_THROW(
+      atomic_write(dest.string(), [](std::ostream& out) { out << "x"; }),
+      std::runtime_error);
+  EXPECT_FALSE(fs::exists(dest));
+}
+
+}  // namespace
+}  // namespace smart::util

@@ -1,0 +1,190 @@
+#include "util/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace smart::util {
+namespace {
+
+TEST(FaultSpec, EmptyStringParsesToDisabledSpec) {
+  const FaultSpec spec = parse_fault_spec("");
+  EXPECT_TRUE(spec.empty());
+  EXPECT_FALSE(FaultInjector(spec).enabled());
+}
+
+TEST(FaultSpec, ParsesEveryElementKind) {
+  const FaultSpec spec = parse_fault_spec(
+      "seed=42;measure:transient:p=0.5:fails=3;measure:permanent:p=0.25;"
+      "worker:p=0.125;io:p=1");
+  EXPECT_EQ(spec.seed, 42u);
+  ASSERT_EQ(spec.rules.size(), 4u);
+
+  EXPECT_EQ(spec.rules[0].site, FaultSite::kMeasure);
+  EXPECT_FALSE(spec.rules[0].permanent);
+  EXPECT_DOUBLE_EQ(spec.rules[0].p, 0.5);
+  EXPECT_EQ(spec.rules[0].fails, 3);
+
+  EXPECT_EQ(spec.rules[1].site, FaultSite::kMeasure);
+  EXPECT_TRUE(spec.rules[1].permanent);
+  EXPECT_DOUBLE_EQ(spec.rules[1].p, 0.25);
+
+  EXPECT_EQ(spec.rules[2].site, FaultSite::kWorker);
+  EXPECT_FALSE(spec.rules[2].permanent);
+  EXPECT_DOUBLE_EQ(spec.rules[2].p, 0.125);
+  EXPECT_EQ(spec.rules[2].fails, 1);
+
+  EXPECT_EQ(spec.rules[3].site, FaultSite::kIo);
+  EXPECT_TRUE(spec.rules[3].permanent);
+  EXPECT_DOUBLE_EQ(spec.rules[3].p, 1.0);
+}
+
+TEST(FaultSpec, ToStringRoundTrips) {
+  const std::string text =
+      "seed=7;measure:transient:p=0.05:fails=2;worker:p=0.001;io:p=0.3";
+  const FaultSpec spec = parse_fault_spec(text);
+  const FaultSpec again = parse_fault_spec(spec.to_string());
+  EXPECT_EQ(again.seed, spec.seed);
+  ASSERT_EQ(again.rules.size(), spec.rules.size());
+  for (std::size_t r = 0; r < spec.rules.size(); ++r) {
+    EXPECT_EQ(again.rules[r].site, spec.rules[r].site);
+    EXPECT_EQ(again.rules[r].permanent, spec.rules[r].permanent);
+    EXPECT_EQ(again.rules[r].p, spec.rules[r].p);  // bitwise
+    EXPECT_EQ(again.rules[r].fails, spec.rules[r].fails);
+  }
+  EXPECT_EQ(again.to_string(), spec.to_string());
+}
+
+TEST(FaultSpec, RejectsMalformedElements) {
+  EXPECT_THROW(parse_fault_spec("bogus:p=0.5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("measure:sometimes:p=0.5"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("measure:transient:p=1.5"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("measure:transient:p=-0.1"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("measure:transient:p=abc"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("measure:permanent:p=0.5:fails=2"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("worker:p=0.5:fails=0"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("seed=notanumber"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("io:p=0.5:fails=1"), std::invalid_argument);
+}
+
+TEST(FaultInjector, DecisionIsPureAndDeterministic) {
+  const FaultInjector injector(
+      parse_fault_spec("seed=9;measure:transient:p=0.5"));
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    const bool first =
+        injector.check(FaultSite::kMeasure, id, 0) != nullptr;
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      EXPECT_EQ(injector.check(FaultSite::kMeasure, id, 0) != nullptr, first)
+          << "identity " << id;
+    }
+  }
+}
+
+TEST(FaultInjector, ProbabilityZeroNeverFiresProbabilityOneAlwaysFires) {
+  const FaultInjector never(parse_fault_spec("seed=1;measure:transient:p=0"));
+  const FaultInjector always(parse_fault_spec("seed=1;measure:transient:p=1"));
+  for (std::uint64_t id = 1; id <= 200; ++id) {
+    EXPECT_EQ(never.check(FaultSite::kMeasure, id, 0), nullptr);
+    EXPECT_NE(always.check(FaultSite::kMeasure, id, 0), nullptr);
+  }
+}
+
+TEST(FaultInjector, HitRateTracksProbability) {
+  const FaultInjector injector(
+      parse_fault_spec("seed=77;measure:transient:p=0.2"));
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (std::uint64_t id = 0; id < kTrials; ++id) {
+    if (injector.check(FaultSite::kMeasure, id, 0) != nullptr) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(rate, 0.2, 0.02);
+}
+
+TEST(FaultInjector, TransientFaultStopsAfterFailsAttempts) {
+  const FaultInjector injector(
+      parse_fault_spec("seed=5;measure:transient:p=1:fails=2"));
+  const std::uint64_t id = 0xabcdef;
+  EXPECT_NE(injector.check(FaultSite::kMeasure, id, 0), nullptr);
+  EXPECT_NE(injector.check(FaultSite::kMeasure, id, 1), nullptr);
+  EXPECT_EQ(injector.check(FaultSite::kMeasure, id, 2), nullptr);
+  EXPECT_EQ(injector.check(FaultSite::kMeasure, id, 3), nullptr);
+}
+
+TEST(FaultInjector, PermanentFaultFiresAtEveryAttempt) {
+  const FaultInjector injector(
+      parse_fault_spec("seed=5;measure:permanent:p=1"));
+  const std::uint64_t id = 0xabcdef;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_NE(injector.check(FaultSite::kMeasure, id, attempt), nullptr);
+  }
+}
+
+TEST(FaultInjector, SitesAreIndependent) {
+  const FaultInjector injector(parse_fault_spec("seed=5;worker:p=1"));
+  EXPECT_EQ(injector.check(FaultSite::kMeasure, 1, 0), nullptr);
+  EXPECT_EQ(injector.check(FaultSite::kIo, 1, 0), nullptr);
+  EXPECT_NE(injector.check(FaultSite::kWorker, 1, 0), nullptr);
+}
+
+TEST(FaultInjector, InjectThrowsTheMatchingExceptionType) {
+  const FaultInjector injector(parse_fault_spec(
+      "seed=2;measure:transient:p=1;worker:p=1;io:p=1"));
+  try {
+    injector.inject(FaultSite::kMeasure, 3, 0);
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_TRUE(e.transient());
+    EXPECT_NE(std::string(e.what()).find("transient"), std::string::npos);
+  }
+  EXPECT_THROW(injector.inject(FaultSite::kWorker, 3, 0), WorkerCrashError);
+  try {
+    injector.inject(FaultSite::kIo, 3, 0);
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_FALSE(e.transient());
+  }
+  // A permanent measure fault is a non-transient FaultError.
+  const FaultInjector perm(parse_fault_spec("seed=2;measure:permanent:p=1"));
+  try {
+    perm.inject(FaultSite::kMeasure, 3, 99);
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_FALSE(e.transient());
+  }
+}
+
+TEST(FaultInjector, DisabledInjectorNeverThrows) {
+  const FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  for (std::uint64_t id = 0; id < 16; ++id) {
+    EXPECT_NO_THROW(injector.inject(FaultSite::kMeasure, id, 0));
+    EXPECT_NO_THROW(injector.inject(FaultSite::kWorker, id, 0));
+    EXPECT_NO_THROW(injector.inject(FaultSite::kIo, id, 0));
+  }
+}
+
+TEST(ScopedFaultInjection, InstallsAndRestoresTheGlobalInjector) {
+  const std::string outer_spec = FaultInjector::global().spec().to_string();
+  {
+    const ScopedFaultInjection scoped("seed=11;io:p=1");
+    EXPECT_TRUE(FaultInjector::global().enabled());
+    EXPECT_NE(FaultInjector::global().check(FaultSite::kIo, 1, 0), nullptr);
+    {
+      const ScopedFaultInjection nested("");
+      EXPECT_FALSE(FaultInjector::global().enabled());
+    }
+    EXPECT_TRUE(FaultInjector::global().enabled());
+  }
+  EXPECT_EQ(FaultInjector::global().spec().to_string(), outer_spec);
+}
+
+}  // namespace
+}  // namespace smart::util

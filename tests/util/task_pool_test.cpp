@@ -92,6 +92,61 @@ TEST(TaskPool, ExceptionFromEveryIndexStillPropagatesExactlyOne) {
   }
 }
 
+TEST(TaskPool, SerialRunStopsAtTheFirstThrowingIndex) {
+  // With no workers the loop runs inline, so "first exception wins" is
+  // exact: indices after the throwing one never execute.
+  TaskPool pool(1);
+  std::atomic<int> executed{0};
+  try {
+    pool.for_each(1000, [&](std::size_t i) {
+      ++executed;
+      if (i >= 123) throw std::invalid_argument("idx " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::invalid_argument& e) {
+    // The exception type AND message survive the pool boundary.
+    EXPECT_STREQ(e.what(), "idx 123");
+  }
+  EXPECT_EQ(executed.load(), 124);
+}
+
+TEST(TaskPool, FailedLoopDrainsWithoutRunningEveryBody) {
+  // Once a chunk fails, unclaimed chunks are skipped: with every body
+  // throwing, the executed count is bounded by the chunk count (at most one
+  // body per started chunk), far below n.
+  TaskPool pool(4);
+  constexpr std::size_t kN = 10000;
+  const std::size_t max_chunks =
+      8 * static_cast<std::size_t>(pool.num_threads());
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(pool.for_each(kN,
+                             [&](std::size_t) {
+                               ++executed;
+                               throw std::runtime_error("every body fails");
+                             }),
+               std::runtime_error);
+  EXPECT_GE(executed.load(), 1u);
+  EXPECT_LE(executed.load(), max_chunks);
+  EXPECT_LT(executed.load(), kN);
+}
+
+TEST(TaskPool, PoolStaysUsableAcrossRepeatedFailedLoops) {
+  TaskPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.for_each(5000,
+                               [&](std::size_t i) {
+                                 if (i % 7 == 3) {
+                                   throw std::runtime_error("boom");
+                                 }
+                               }),
+                 std::runtime_error);
+    // A clean loop right after the failed one must cover every index.
+    std::vector<int> hits(2048, 0);
+    pool.for_each(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (int h : hits) ASSERT_EQ(h, 1);
+  }
+}
+
 TEST(TaskPool, NestedParallelForCompletes) {
   TaskPool pool(4);
   constexpr std::size_t kOuter = 8;

@@ -18,8 +18,14 @@ int main(int argc, char** argv) {
       if (!report.empty()) std::cout << '\n' << report;
     }
     return rc;
-  } catch (const std::exception& e) {
+  } catch (const std::invalid_argument& e) {
+    // Usage error (bad flag, malformed value): the user needs the help text.
     std::cerr << "smartctl: " << e.what() << "\n\n" << smart::cli::usage();
+    return 2;
+  } catch (const std::exception& e) {
+    // Runtime failure (I/O, corrupt artifact, injected fault): the usage
+    // text would bury the actual diagnostic, so print one line only.
+    std::cerr << "smartctl: error: " << e.what() << '\n';
     return 1;
   }
 }
