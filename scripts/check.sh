@@ -56,7 +56,8 @@ echo "== train-once/serve-many round trip =="
 # to training in-process from the same corpus, and the serve side must not
 # profile or train (no profile.* / *.fit timing phases).
 ARTDIR=$(mktemp -d)
-trap 'rm -rf "$ARTDIR"' EXIT
+serve_pid=""
+trap '[[ -n "${serve_pid:-}" ]] && kill "$serve_pid" 2>/dev/null; rm -rf "$ARTDIR"' EXIT
 "$SMARTCTL" profile --dims 2 --stencils 8 --samples 2 --out "$ARTDIR/corpus.txt" >/dev/null
 "$SMARTCTL" train --corpus "$ARTDIR/corpus.txt" --out "$ARTDIR/model.smart" >/dev/null
 ADVISE_ARGS=(advise --shape star --dims 2 --order 2 --gpu V100)
@@ -204,12 +205,189 @@ for threads in 1 4; do
 done
 echo "OK: kill -9 + --resume reproduces the golden corpus at 1 and 4 threads"
 
+echo "== serve daemon: response-set determinism matrix =="
+# The resident daemon's reply bytes must depend only on (verb, stencil, GPU)
+# and the model — never on batch composition, thread count, or arrival
+# order. Run one request mix (distinct stencils, duplicates, two malformed
+# lines) through every combination of --max-batch {1,8,64} x SMART_THREADS
+# {1,4} with a different shuffled arrival order each time, and byte-compare
+# the sorted reply sets.
+SOCK="$ARTDIR/serve.sock"
+HARNESS="$BUILD_DIR/tools/serve_harness"
+cat > "$ARTDIR/serve_requests.txt" <<'REQS'
+advise r01 shape=star dims=2 order=1 gpu=V100
+advise r02 shape=star dims=2 order=2 gpu=A100
+advise r03 shape=box dims=2 order=1 gpu=P100
+advise r04 shape=cross dims=2 order=3 gpu=2080Ti
+advise r05 offsets=0,0;0,1;1,0;0,-1;-1,0 gpu=V100
+predict r06 shape=star dims=2 order=2 gpu=V100
+predict r07 shape=box dims=2 order=2 gpu=A100
+advise r08 shape=star dims=2 order=1 gpu=V100
+predict r09 shape=cross dims=2 order=1 gpu=P100
+advise r10 gpu=bad!gpu
+bogus r11
+advise r12 shape=star dims=2 order=2 gpu=A100
+REQS
+
+start_serve() {  # usage: start_serve THREADS [extra serve flags...]
+  local threads=$1
+  shift
+  rm -f "$SOCK"
+  SMART_THREADS=$threads "$SMARTCTL" serve --model "$ARTDIR/model.smart" \
+    --socket "$SOCK" "$@" >/dev/null 2>"$ARTDIR/serve_stderr.txt" &
+  serve_pid=$!
+}
+
+golden=""
+for mb in 1 8 64; do
+  for t in 1 4; do
+    start_serve "$t" --max-batch "$mb" --max-wait-us 200
+    "$HARNESS" --socket "$SOCK" --requests "$ARTDIR/serve_requests.txt" \
+      --shuffle $((mb * 10 + t)) --print sorted --shutdown-after \
+      > "$ARTDIR/serve_sorted.txt"
+    if ! wait "$serve_pid"; then
+      echo "FAIL: daemon exited non-zero after shutdown verb" >&2
+      exit 1
+    fi
+    serve_pid=""
+    if [[ -z "$golden" ]]; then
+      golden="$ARTDIR/serve_golden.txt"
+      cp "$ARTDIR/serve_sorted.txt" "$golden"
+      echo "  reference reply set: $(wc -l < "$golden") replies (max-batch=$mb, SMART_THREADS=$t)"
+    elif ! cmp -s "$ARTDIR/serve_sorted.txt" "$golden"; then
+      echo "FAIL: reply set diverged at max-batch=$mb SMART_THREADS=$t" >&2
+      diff "$golden" "$ARTDIR/serve_sorted.txt" >&2 || true
+      exit 1
+    fi
+  done
+done
+echo "OK: reply sets byte-identical across max-batch {1,8,64} x threads {1,4} x shuffled arrival"
+
+echo "== serve daemon: golden equivalence vs one-shot advise --model =="
+# serve answers through advise_batch plus the wire codec; the CLI answers
+# through per-call advise(). Unescaped serve replies in id order must be
+# byte-identical to the concatenated one-shot CLI outputs.
+T_SHAPES=(star star box cross)
+T_ORDERS=(1 2 1 3)
+T_GPUS=(V100 A100 P100 2080Ti)
+: > "$ARTDIR/text_requests.txt"
+: > "$ARTDIR/cli_golden.txt"
+for i in 0 1 2 3; do
+  printf 'advise t%d shape=%s dims=2 order=%d gpu=%s\n' \
+    "$((i + 1))" "${T_SHAPES[$i]}" "${T_ORDERS[$i]}" "${T_GPUS[$i]}" \
+    >> "$ARTDIR/text_requests.txt"
+  "$SMARTCTL" advise --shape "${T_SHAPES[$i]}" --dims 2 \
+    --order "${T_ORDERS[$i]}" --gpu "${T_GPUS[$i]}" \
+    --model "$ARTDIR/model.smart" >> "$ARTDIR/cli_golden.txt"
+done
+start_serve 4 --max-batch 8 --max-wait-us 200
+"$HARNESS" --socket "$SOCK" --requests "$ARTDIR/text_requests.txt" \
+  --shuffle 99 --print text --shutdown-after > "$ARTDIR/serve_text.txt"
+if ! wait "$serve_pid"; then
+  echo "FAIL: daemon exited non-zero after shutdown verb" >&2
+  exit 1
+fi
+serve_pid=""
+if ! diff "$ARTDIR/serve_text.txt" "$ARTDIR/cli_golden.txt"; then
+  echo "FAIL: serve replies differ from one-shot advise --model output" >&2
+  exit 1
+fi
+echo "OK: shuffled serve replies unescape to the exact one-shot CLI bytes"
+
+echo "== serve daemon: protocol fuzz (curated malformed corpus + mutants) =="
+# Every curated malformed line must earn a one-line err reply carrying its
+# request id; seeded mutants must each earn exactly one ok/err reply. The
+# daemon must neither crash nor hang nor desynchronize, at 1 and 4 threads.
+for t in 1 4; do
+  start_serve "$t" --max-batch 8 --max-wait-us 200
+  "$HARNESS" --socket "$SOCK" --fuzz 300 --seed $((t * 31)) --shutdown-after \
+    | sed "s/^/  SMART_THREADS=$t: /"
+  if ! wait "$serve_pid"; then
+    echo "FAIL: daemon exited non-zero after fuzz + shutdown" >&2
+    exit 1
+  fi
+  serve_pid=""
+done
+echo "OK: malformed input earns structured err replies; daemon survives fuzz"
+
+echo "== serve daemon: shutdown semantics (stdio EOF, SIGTERM, client abort) =="
+printf 'ping s1\nshutdown s2\n' \
+  | "$SMARTCTL" serve --model "$ARTDIR/model.smart" --stdio \
+  > "$ARTDIR/stdio_out.txt"
+grep -qx 'ok s1 pong v1' "$ARTDIR/stdio_out.txt"
+grep -qx 'ok s2 bye' "$ARTDIR/stdio_out.txt"
+echo "  stdio session: ping answered, shutdown verb drains, rc 0"
+
+start_serve 1 --max-batch 8
+for _ in $(seq 1 100); do
+  [[ -S "$SOCK" ]] && break
+  sleep 0.05
+done
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+  echo "FAIL: SIGTERM should drain in-flight work and exit 0" >&2
+  exit 1
+fi
+serve_pid=""
+echo "  SIGTERM: drained and exited rc 0"
+
+# Client slams the connection shut (RST) without reading replies: the
+# daemon must follow the PR 5 contract — rc 1 with a one-line
+# `smartctl: error:` diagnostic — never die to a signal. The long batching
+# window keeps replies pending until after the RST lands; if the write
+# still races ahead, the daemon sees a clean EOF and keeps serving (rc 0
+# after SIGTERM) — both are contract-conforming, a signal death is not.
+start_serve 1 --max-batch 64 --max-wait-us 100000
+"$HARNESS" --socket "$SOCK" --requests "$ARTDIR/serve_requests.txt" \
+  --abort >/dev/null
+set +e
+for _ in $(seq 1 100); do
+  kill -0 "$serve_pid" 2>/dev/null || break
+  sleep 0.1
+done
+kill -TERM "$serve_pid" 2>/dev/null
+wait "$serve_pid"
+rc_abort=$?
+set -e
+serve_pid=""
+if [[ $rc_abort -eq 1 ]]; then
+  if ! grep -q '^smartctl: error:' "$ARTDIR/serve_stderr.txt"; then
+    echo "FAIL: broken-pipe exit lacked the one-line diagnostic" >&2
+    exit 1
+  fi
+  echo "  client abort: rc 1 with one-line smartctl: error: diagnostic"
+elif [[ $rc_abort -eq 0 ]]; then
+  echo "  client abort: replies raced ahead of the RST; clean EOF path (rc 0)"
+else
+  echo "FAIL: daemon died abnormally on client abort (rc=$rc_abort)" >&2
+  exit 1
+fi
+echo "OK: shutdown verb, SIGTERM, and client abort all follow the exit contract"
+
 echo "== sanitizer build (ASan+UBSan) over the unit suite =="
 ASAN_DIR=${ASAN_BUILD_DIR:-build-asan}
 cmake -B "$ASAN_DIR" -S . -DSMART_SANITIZE=ON >/dev/null
-cmake --build "$ASAN_DIR" -j"$(nproc)" --target smart_tests
+cmake --build "$ASAN_DIR" -j"$(nproc)" --target smart_tests smartctl serve_harness
 (cd "$ASAN_DIR" && UBSAN_OPTIONS=halt_on_error=1 ctest --output-on-failure -j"$(nproc)" -L unit)
 echo "OK: unit suite clean under AddressSanitizer + UBSan"
+
+echo "== sanitized serve daemon vs the fuzz corpus =="
+# The same black-box fuzz, but the daemon itself runs under ASan+UBSan:
+# any parser over-read or lifetime bug in the batching path aborts the run.
+rm -f "$SOCK"
+UBSAN_OPTIONS=halt_on_error=1 "$ASAN_DIR/tools/smartctl" serve \
+  --model "$ARTDIR/model.smart" --socket "$SOCK" \
+  >/dev/null 2>"$ARTDIR/serve_stderr.txt" &
+serve_pid=$!
+"$ASAN_DIR/tools/serve_harness" --socket "$SOCK" --fuzz 200 --seed 9 \
+  --shutdown-after | sed 's/^/  /'
+if ! wait "$serve_pid"; then
+  echo "FAIL: sanitized daemon exited non-zero (see $ARTDIR/serve_stderr.txt)" >&2
+  cat "$ARTDIR/serve_stderr.txt" >&2
+  exit 1
+fi
+serve_pid=""
+echo "OK: sanitized daemon survived the malformed corpus and mutants"
 
 echo "== bench smoke: batched advisor inference =="
 # Small corpus (SMART_SCALE) keeps this a smoke test; the bench itself
@@ -228,3 +406,13 @@ SMART_SCALE=${SMART_BENCH_SCALE:-0.05} \
   SMART_BENCH_JSON="$PWD/BENCH_profile.json" \
   SMART_BENCH_REPEATS=1 \
   "$BUILD_DIR/bench/bench_profile"
+
+echo "== bench smoke: serve-mode resident daemon =="
+# The bench fails (exit 1) if any serve reply is not byte-identical to the
+# per-item advise()/recommend_gpu() report, and appends a trajectory point
+# to BENCH_serve.json. The >= 10x resident-vs-cold speedup acceptance gate
+# applies at SMART_SCALE=1 (the paper's 500-stencil corpus); the smoke
+# scale only checks equivalence and liveness.
+SMART_SCALE=${SMART_BENCH_SCALE:-0.05} \
+  SMART_BENCH_JSON="$PWD/BENCH_serve.json" \
+  "$BUILD_DIR/bench/bench_serve"

@@ -1,13 +1,19 @@
 #include "cli/cli.hpp"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include <unistd.h>
+
 #include "codegen/cuda_codegen.hpp"
+#include "core/advisor_server.hpp"
 #include "core/mart.hpp"
 #include "core/serialize.hpp"
 #include "core/stencilmart.hpp"
@@ -18,6 +24,7 @@
 #include "util/table.hpp"
 #include "util/task_pool.hpp"
 #include "util/timing.hpp"
+#include "util/transport.hpp"
 
 namespace smart::cli {
 
@@ -193,20 +200,183 @@ int cmd_advise(const CommandLine& cmd, std::ostream& out) {
     }
   }
 
+  // Deliberately the per-item advise()/recommend_gpu() pair — the serve
+  // daemon goes through advise_batch(), so the serve-vs-CLI golden
+  // equivalence gate compares two genuinely different code paths. Only the
+  // report FORMATTER is shared (core::advise_report).
   const std::string gpu = cmd.get("gpu", "V100");
   const auto advice = mart->advise(pattern, gpu);
-  out << "stencil " << pattern.name() << " on " << gpu << ":\n"
-      << "  group        " << advice.group_name << '\n'
-      << "  OC           " << advice.oc.name() << '\n'
-      << "  setting      " << advice.setting.to_string() << '\n'
-      << "  tuned time   " << util::format_double(advice.expected_time_ms, 3)
-      << " ms (simulated)\n"
-      << "  model est.   " << util::format_double(advice.predicted_time_ms, 3)
-      << " ms\n";
   const auto rec = mart->recommend_gpu(pattern);
-  out << "  fastest GPU  " << rec.fastest_gpu << "\n  best rental  "
-      << rec.cheapest_gpu << '\n';
+  out << core::advise_report(pattern, gpu, advice, rec);
   if (cmd.get_int("timing", 0) != 0) out << util::timing_report();
+  return 0;
+}
+
+std::atomic<bool> g_serve_stop{false};
+
+void serve_stop_handler(int) { g_serve_stop.store(true); }
+
+/// Installs a handler for `sig`, restoring the previous disposition on
+/// destruction (commands run in-process in the unit tests; handlers must
+/// not leak past the serve call).
+class ScopedSignal {
+ public:
+  ScopedSignal(int sig, void (*handler)(int)) : sig_(sig) {
+    struct sigaction sa {};
+    sa.sa_handler = handler;
+    sigemptyset(&sa.sa_mask);
+    sigaction(sig_, &sa, &old_);
+  }
+  ~ScopedSignal() { sigaction(sig_, &old_, nullptr); }
+  ScopedSignal(const ScopedSignal&) = delete;
+  ScopedSignal& operator=(const ScopedSignal&) = delete;
+
+ private:
+  int sig_;
+  struct sigaction old_ {};
+};
+
+/// One serve client: a line reader plus a thread-safe reply writer. Batched
+/// replies are written from the batcher thread, so a write failure (the
+/// peer vanished mid-reply) cannot throw there — it is captured and
+/// rethrown on the reader thread, where it propagates into the PR 5
+/// one-line `smartctl: error:` exit (rc 1) instead of SIGPIPE death.
+class ServeConnection {
+ public:
+  ServeConnection(int read_fd, int write_fd)
+      : reader_(read_fd), writer_(write_fd) {}
+
+  core::AdvisorServer::Sink sink() {
+    return [this](const std::string& line) {
+      const std::lock_guard<std::mutex> lk(mu_);
+      if (dead_) return;  // the peer is gone: drop further replies quietly
+      try {
+        writer_.write_all(line + '\n');
+      } catch (...) {
+        dead_ = true;
+        error_ = std::current_exception();
+      }
+    };
+  }
+
+  util::LineChannel& reader() { return reader_; }
+
+  void rethrow_write_error() {
+    const std::lock_guard<std::mutex> lk(mu_);
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  util::LineChannel reader_;
+  util::LineChannel writer_;
+  std::mutex mu_;
+  bool dead_ = false;
+  std::exception_ptr error_;
+};
+
+enum class ConnEnd { kShutdown, kEof, kStop };
+
+ConnEnd serve_connection(core::AdvisorServer& server, int read_fd,
+                         int write_fd) {
+  ServeConnection conn(read_fd, write_fd);
+  const auto sink = conn.sink();
+  std::string line;
+  try {
+    for (;;) {
+      const auto r = conn.reader().read_line(line, &g_serve_stop);
+      if (r != util::LineChannel::ReadResult::kLine) {
+        // EOF or SIGTERM/SIGINT: answer everything already accepted
+        // (graceful drain — no request is dropped), then leave.
+        server.drain();
+        conn.rethrow_write_error();
+        return r == util::LineChannel::ReadResult::kEof ? ConnEnd::kEof
+                                                        : ConnEnd::kStop;
+      }
+      const bool keep = server.submit(line, sink);
+      conn.rethrow_write_error();
+      if (!keep) return ConnEnd::kShutdown;
+    }
+  } catch (...) {
+    // The server queue still holds sinks that capture `conn`; flush them
+    // while it is alive (a dead peer drops replies quietly), THEN let the
+    // error unwind. Without this, the batcher thread would call into a
+    // destroyed connection.
+    server.drain();
+    throw;
+  }
+}
+
+int cmd_serve(const CommandLine& cmd, std::ostream& out) {
+  // Every flag is validated BEFORE the model load, so usage errors are
+  // instant (and exit 2) instead of surfacing after seconds of deserializing.
+  if (!cmd.has("model")) {
+    throw std::invalid_argument("serve: --model FILE is required");
+  }
+  const bool stdio = cmd.get_int("stdio", 0) != 0;
+  if (stdio && cmd.has("socket")) {
+    throw std::invalid_argument(
+        "serve: --socket and --stdio are mutually exclusive");
+  }
+  const std::string socket_path = cmd.get("socket", "");
+  core::ServeConfig config;
+  config.max_batch = cmd.get_int("max-batch", 8);
+  if (config.max_batch < 1 || config.max_batch > 4096) {
+    throw std::invalid_argument("serve: --max-batch must be in [1, 4096]");
+  }
+  const int max_wait = cmd.get_int("max-wait-us", 200);
+  if (max_wait < 0) {
+    throw std::invalid_argument("serve: --max-wait-us must be >= 0");
+  }
+  config.max_wait_us = max_wait;
+  const bool timing = cmd.get_int("timing", 0) != 0;
+
+  const core::StencilMart mart = core::load_model(cmd.get("model", ""));
+  core::AdvisorServer server(mart, config);
+
+  g_serve_stop.store(false);
+  const ScopedSignal on_term(SIGTERM, serve_stop_handler);
+  const ScopedSignal on_int(SIGINT, serve_stop_handler);
+  const ScopedSignal ignore_pipe(SIGPIPE, SIG_IGN);
+
+  if (socket_path.empty()) {
+    serve_connection(server, STDIN_FILENO, STDOUT_FILENO);
+  } else {
+    const int listen_fd = util::listen_unix(socket_path);
+    out << "serve: listening on " << socket_path << std::endl;
+    try {
+      // One client at a time; pipelined requests on a connection provide
+      // the concurrency the admission batcher coalesces.
+      ConnEnd end = ConnEnd::kEof;
+      while (end == ConnEnd::kEof) {
+        const int fd = util::accept_unix(listen_fd, &g_serve_stop);
+        if (fd < 0) break;  // SIGTERM/SIGINT while waiting for a client
+        try {
+          end = serve_connection(server, fd, fd);
+        } catch (...) {
+          ::close(fd);
+          throw;
+        }
+        ::close(fd);
+      }
+    } catch (...) {
+      ::close(listen_fd);
+      ::unlink(socket_path.c_str());
+      throw;
+    }
+    ::close(listen_fd);
+    ::unlink(socket_path.c_str());
+  }
+
+  if (timing) {
+    const auto counters = server.counters_snapshot();
+    out << "serve: served=" << counters.served
+        << " errors=" << counters.errors
+        << " memo_hits=" << counters.memo_hits
+        << " batches=" << counters.batches << " p50_us=" << counters.p50_us
+        << " p99_us=" << counters.p99_us
+        << " qps=" << util::format_double(counters.qps, 1) << '\n'
+        << util::timing_report();
+  }
   return 0;
 }
 
@@ -288,7 +458,8 @@ std::uint64_t CommandLine::get_u64(const std::string& key,
 /// (`--out --timing 1`) stays a parse error instead of silently eating the
 /// next option.
 bool is_boolean_flag(const std::string& key) {
-  return key == "resume" || key == "checksum" || key == "timing";
+  return key == "resume" || key == "checksum" || key == "timing" ||
+         key == "stdio";
 }
 
 CommandLine parse_command_line(const std::vector<std::string>& args) {
@@ -330,6 +501,10 @@ std::string usage() {
       "  advise   --shape star|box|cross --dims D --order N\n"
       "           [--gpu NAME] [--corpus FILE] [--timing 1] best-OC advice\n"
       "           [--model MODEL]                           serve a saved model\n"
+      "  serve    --model MODEL [--socket PATH | --stdio]   resident daemon\n"
+      "           [--max-batch N] [--max-wait-us U] [--timing]\n"
+      "           (line protocol: advise|predict|stats|ping|shutdown;\n"
+      "            batches concurrent requests, memoizes per stencil)\n"
       "  codegen  --shape ... --dims D --order N --oc NAME  emit CUDA\n"
       "  features --shape ... --dims D --order N            Table II vector\n"
       "  ocs                                                Table I OCs\n"
@@ -343,6 +518,7 @@ int run_command(const CommandLine& cmd, std::ostream& out) {
   if (cmd.command == "gpus") return cmd_gpus(out);
   if (cmd.command == "train") return cmd_train(cmd, out);
   if (cmd.command == "advise") return cmd_advise(cmd, out);
+  if (cmd.command == "serve") return cmd_serve(cmd, out);
   if (cmd.command == "codegen") return cmd_codegen(cmd, out);
   if (cmd.command == "features") return cmd_features(cmd, out);
   out << usage();

@@ -7,6 +7,7 @@
 //   smartctl train    --corpus corpus.txt --out model.smart
 //   smartctl advise   --model model.smart --shape star --order 2 --gpu V100
 //   smartctl advise   --corpus corpus.txt --shape star --order 2 --gpu V100
+//   smartctl serve    --model model.smart --socket /tmp/smart.sock
 //   smartctl codegen  --shape box --dims 3 --order 2 --oc ST_RT [--out dir]
 //
 // The argument parser and command dispatch live in the library so they are

@@ -1,0 +1,332 @@
+#include "core/advisor_server.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <stdexcept>
+
+#include "util/table.hpp"
+#include "util/timing.hpp"
+
+namespace smart::core {
+
+namespace {
+
+std::string hexfloat(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point from,
+                         std::chrono::steady_clock::time_point to) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from).count();
+  return us < 0 ? 0 : static_cast<std::uint64_t>(us);
+}
+
+}  // namespace
+
+std::string advise_report(const stencil::StencilPattern& pattern,
+                          const std::string& gpu, const OcAdvice& advice,
+                          const GpuRecommendation& rec) {
+  std::string out;
+  out += "stencil " + pattern.name() + " on " + gpu + ":\n";
+  out += "  group        " + advice.group_name + '\n';
+  out += "  OC           " + advice.oc.name() + '\n';
+  out += "  setting      " + advice.setting.to_string() + '\n';
+  out += "  tuned time   " + util::format_double(advice.expected_time_ms, 3) +
+         " ms (simulated)\n";
+  out += "  model est.   " + util::format_double(advice.predicted_time_ms, 3) +
+         " ms\n";
+  out += "  fastest GPU  " + rec.fastest_gpu + '\n';
+  out += "  best rental  " + rec.cheapest_gpu + '\n';
+  return out;
+}
+
+AdvisorServer::AdvisorServer(const StencilMart& mart, ServeConfig config)
+    : mart_(mart), config_(config) {
+  if (!mart.trained()) {
+    throw std::logic_error("AdvisorServer: the model must be trained");
+  }
+  if (config_.max_batch < 1) {
+    throw std::invalid_argument("AdvisorServer: max_batch must be >= 1");
+  }
+  if (config_.max_wait_us < 0) {
+    throw std::invalid_argument("AdvisorServer: max_wait_us must be >= 0");
+  }
+  if (config_.memo_capacity == 0) config_.memo_capacity = 1;
+  batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+AdvisorServer::~AdvisorServer() {
+  drain();
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  batcher_.join();
+}
+
+bool AdvisorServer::submit(std::string_view line, const Sink& sink) {
+  bool blank = true;
+  for (const char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') {
+      blank = false;
+      break;
+    }
+  }
+  if (blank) return !shutdown_;
+
+  auto parsed = serve::parse_request(line);
+  if (shutdown_) {
+    sink(serve::err_reply(parsed.id, "server is shutting down"));
+    {
+      const std::lock_guard<std::mutex> lk(stats_mu_);
+      ++errors_;
+    }
+    return false;
+  }
+  if (!parsed.ok) {
+    sink(serve::err_reply(parsed.id, parsed.error));
+    {
+      const std::lock_guard<std::mutex> lk(stats_mu_);
+      ++errors_;
+    }
+    return true;
+  }
+
+  serve::Request& request = parsed.request;
+  switch (request.verb) {
+    case serve::Verb::kPing:
+      sink(serve::ok_reply(request.id, "pong v1"));
+      return true;
+    case serve::Verb::kStats: {
+      ServeCounters counters;
+      {
+        const std::lock_guard<std::mutex> lk(stats_mu_);
+        counters = snapshot_locked();
+        // Reset-on-stats: each stats reply reports the window since the
+        // previous one, so a long-lived daemon's percentiles stay current.
+        latency_.reset();
+        served_ = errors_ = memo_hits_ = batches_ = max_batch_seen_ = 0;
+        window_start_ = Clock::now();
+      }
+      char qps[32];
+      std::snprintf(qps, sizeof qps, "%.1f", counters.qps);
+      std::string payload = "served=" + std::to_string(counters.served);
+      payload += " errors=" + std::to_string(counters.errors);
+      payload += " memo_hits=" + std::to_string(counters.memo_hits);
+      payload += " batches=" + std::to_string(counters.batches);
+      payload += " max_batch=" + std::to_string(counters.max_batch_seen);
+      payload += " p50_us=" + std::to_string(counters.p50_us);
+      payload += " p99_us=" + std::to_string(counters.p99_us);
+      payload += " qps=";
+      payload += qps;
+      sink(serve::ok_reply(request.id, payload));
+      return true;
+    }
+    case serve::Verb::kShutdown: {
+      {
+        const std::lock_guard<std::mutex> lk(mu_);
+        shutdown_ = true;
+      }
+      drain();  // every request submitted before the shutdown answers first
+      sink(serve::ok_reply(request.id, "bye"));
+      return false;
+    }
+    case serve::Verb::kAdvise:
+    case serve::Verb::kPredict:
+      break;
+  }
+
+  Pending pending;
+  pending.request = std::move(request);
+  pending.sink = sink;
+  pending.enqueued = Clock::now();
+
+  {
+    const std::lock_guard<std::mutex> lk(memo_mu_);
+    const auto it = memo_.find(pending.request.memo_key);
+    if (it != memo_.end()) {
+      const MemoEntry entry = it->second;
+      {
+        const std::lock_guard<std::mutex> slk(stats_mu_);
+        ++memo_hits_;
+      }
+      respond(pending, entry.ok, entry.payload);
+      return true;
+    }
+  }
+
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void AdvisorServer::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  draining_ = true;
+  cv_.notify_all();
+  idle_cv_.wait(lk, [&] { return queue_.empty() && !busy_; });
+  draining_ = false;
+}
+
+void AdvisorServer::batcher_loop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      idle_cv_.notify_all();
+      continue;
+    }
+    // Admission batching: flush on max_batch, on the max_wait_us age of the
+    // oldest pending request, or immediately when draining.
+    const auto deadline =
+        queue_.front().enqueued + std::chrono::microseconds(config_.max_wait_us);
+    while (queue_.size() < static_cast<std::size_t>(config_.max_batch) &&
+           !draining_ && !stopping_ && Clock::now() < deadline) {
+      cv_.wait_until(lk, deadline);
+    }
+    const std::size_t take =
+        std::min(queue_.size(), static_cast<std::size_t>(config_.max_batch));
+    std::vector<Pending> batch(
+        std::make_move_iterator(queue_.begin()),
+        std::make_move_iterator(queue_.begin() +
+                                static_cast<std::ptrdiff_t>(take)));
+    queue_.erase(queue_.begin(),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(take));
+    busy_ = true;
+    lk.unlock();
+    execute_batch(std::move(batch));
+    lk.lock();
+    busy_ = false;
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+void AdvisorServer::execute_batch(std::vector<Pending> batch) {
+  {
+    const std::lock_guard<std::mutex> lk(stats_mu_);
+    ++batches_;
+    max_batch_seen_ = std::max<std::uint64_t>(max_batch_seen_, batch.size());
+  }
+
+  // Within-batch dedup + a second memo check (another batch may have
+  // computed a key between submit() and now).
+  std::unordered_map<std::string, std::size_t> unique_index;
+  std::vector<AdviseBatchItem> unique_items;
+  std::vector<const serve::Request*> unique_requests;
+  std::vector<std::size_t> pending_unique(batch.size());
+  std::vector<char> pending_done(batch.size(), 0);
+  {
+    const std::lock_guard<std::mutex> lk(memo_mu_);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const serve::Request& request = batch[i].request;
+      const auto hit = memo_.find(request.memo_key);
+      if (hit != memo_.end()) {
+        const MemoEntry entry = hit->second;
+        {
+          const std::lock_guard<std::mutex> slk(stats_mu_);
+          ++memo_hits_;
+        }
+        respond(batch[i], entry.ok, entry.payload);
+        pending_done[i] = 1;
+        continue;
+      }
+      const auto [it, inserted] =
+          unique_index.try_emplace(request.memo_key, unique_items.size());
+      if (inserted) {
+        AdviseBatchItem item;
+        item.pattern = request.pattern;
+        item.gpu = request.gpu;
+        item.recommend = request.verb == serve::Verb::kAdvise;
+        unique_items.push_back(std::move(item));
+        unique_requests.push_back(&request);
+      }
+      pending_unique[i] = it->second;
+    }
+  }
+  if (unique_items.empty()) return;
+
+  std::vector<MemoEntry> replies(unique_items.size());
+  try {
+    const util::PhaseTimer timer("serve.batch", batch.size());
+    const auto results = mart_.advise_batch(unique_items);
+    for (std::size_t u = 0; u < results.size(); ++u) {
+      if (!results[u].ok()) {
+        replies[u] = {false, results[u].error};
+        continue;
+      }
+      if (unique_requests[u]->verb == serve::Verb::kAdvise) {
+        replies[u] = {true, serve::escape_text(advise_report(
+                                unique_items[u].pattern, unique_items[u].gpu,
+                                results[u].advice, results[u].rec))};
+      } else {
+        replies[u] = {true,
+                      "predicted_ms=" +
+                          hexfloat(results[u].advice.predicted_time_ms) +
+                          " ms=" +
+                          util::format_double(
+                              results[u].advice.predicted_time_ms, 3)};
+      }
+    }
+  } catch (const std::exception& e) {
+    // advise_batch reports per-item problems in-band; reaching here means a
+    // systemic failure (e.g. allocation) — answer the batch, keep serving.
+    for (auto& reply : replies) reply = {false, e.what()};
+  }
+
+  {
+    const std::lock_guard<std::mutex> lk(memo_mu_);
+    if (memo_.size() + replies.size() > config_.memo_capacity) memo_.clear();
+    for (std::size_t u = 0; u < replies.size(); ++u) {
+      memo_.emplace(unique_requests[u]->memo_key, replies[u]);
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (pending_done[i]) continue;
+    const MemoEntry& reply = replies[pending_unique[i]];
+    respond(batch[i], reply.ok, reply.payload);
+  }
+}
+
+void AdvisorServer::respond(const Pending& pending, bool ok,
+                            const std::string& payload) {
+  const std::uint64_t us = elapsed_us(pending.enqueued, Clock::now());
+  {
+    const std::lock_guard<std::mutex> lk(stats_mu_);
+    latency_.record(us);
+    if (ok) ++served_;
+    else ++errors_;
+  }
+  pending.sink(ok ? serve::ok_reply(pending.request.id, payload)
+                  : serve::err_reply(pending.request.id, payload));
+}
+
+ServeCounters AdvisorServer::snapshot_locked() const {
+  ServeCounters counters;
+  counters.served = served_;
+  counters.errors = errors_;
+  counters.memo_hits = memo_hits_;
+  counters.batches = batches_;
+  counters.max_batch_seen = max_batch_seen_;
+  counters.p50_us = latency_.percentile(50.0);
+  counters.p99_us = latency_.percentile(99.0);
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - window_start_).count();
+  counters.qps = seconds > 0.0 ? static_cast<double>(served_) / seconds : 0.0;
+  return counters;
+}
+
+ServeCounters AdvisorServer::counters_snapshot() const {
+  const std::lock_guard<std::mutex> lk(stats_mu_);
+  return snapshot_locked();
+}
+
+}  // namespace smart::core

@@ -1,0 +1,150 @@
+// Resident advisory daemon core (the `smartctl serve` engine): one loaded
+// StencilMart serves advise/predict requests arriving as protocol lines,
+// coalescing concurrent arrivals into StencilMart::advise_batch calls —
+// admission batching over the batched-inference layer — with a per-stencil
+// response memo so repeated queries for the same (verb, stencil, GPU) never
+// recompute. Transport-agnostic: the caller feeds lines in and receives
+// reply lines through a per-request sink callback, so the same engine runs
+// under stdio, a unix socket, the in-process tests and the bench harness.
+//
+// Determinism contract: a reply's BYTES depend only on the request's
+// canonical (verb, stencil, GPU) key and the loaded model — never on
+// arrival order, batch composition, `max_batch`, `max_wait_us`,
+// SMART_THREADS, or memo hits. That holds because advise_batch is
+// bit-identical to per-item advise()/recommend_gpu() (core/mart.hpp) and
+// every cached value is the deterministic function it memoizes. The
+// black-box harness (tests + scripts/check.sh) enforces it: shuffled
+// request sets at any batch size and thread count must produce
+// byte-identical response sets, equal to one-shot `smartctl advise
+// --model` output.
+//
+// Threading: submit() may be called from one producer thread (the
+// transport reader); replies for batched work are delivered on the
+// internal batcher thread, and control-plane replies (ping/stats/errors/
+// memo hits) on the submitting thread — sinks must therefore be
+// thread-safe. stats/ping are control-plane: they answer immediately and
+// are not ordered relative to in-flight advise/predict work.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mart.hpp"
+#include "core/serve_protocol.hpp"
+#include "util/histogram.hpp"
+
+namespace smart::core {
+
+/// The exact multi-line report `smartctl advise` prints for one stencil —
+/// shared by the CLI and the serve daemon so their outputs cannot drift.
+std::string advise_report(const stencil::StencilPattern& pattern,
+                          const std::string& gpu, const OcAdvice& advice,
+                          const GpuRecommendation& rec);
+
+struct ServeConfig {
+  /// Admission batch flush thresholds: a batch executes as soon as
+  /// max_batch requests are pending, or max_wait_us after the OLDEST
+  /// pending request arrived, whichever comes first.
+  int max_batch = 8;
+  long long max_wait_us = 200;
+  /// Response-memo entries kept before the cache is wholesale evicted
+  /// (simple epoch eviction; correctness never depends on cache state).
+  std::size_t memo_capacity = 1 << 16;
+};
+
+/// Snapshot of the serve counters (the `stats` verb payload).
+struct ServeCounters {
+  std::uint64_t served = 0;       // ok replies to advise/predict
+  std::uint64_t errors = 0;       // err replies (parse + execution)
+  std::uint64_t memo_hits = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch_seen = 0;
+  std::uint64_t p50_us = 0;       // request latency percentiles
+  std::uint64_t p99_us = 0;
+  double qps = 0.0;               // served / seconds since last reset
+};
+
+class AdvisorServer {
+ public:
+  /// Reply sink: receives exactly one reply line (no trailing newline) per
+  /// submitted non-empty request line. Must be thread-safe.
+  using Sink = std::function<void(const std::string&)>;
+
+  /// `mart` must be trained and must outlive the server.
+  AdvisorServer(const StencilMart& mart, ServeConfig config);
+  ~AdvisorServer();
+  AdvisorServer(const AdvisorServer&) = delete;
+  AdvisorServer& operator=(const AdvisorServer&) = delete;
+
+  /// Feeds one request line. Empty / all-space lines are ignored (no
+  /// reply). Returns false once a shutdown request has been accepted — all
+  /// requests submitted before it are answered first (drain), then the
+  /// shutdown's own `ok <id> bye` reply is delivered; the caller should
+  /// stop reading. Lines submitted after shutdown get an err reply.
+  bool submit(std::string_view line, const Sink& sink);
+
+  /// Blocks until every pending request has been answered (EOF/SIGTERM
+  /// drain). The server stays usable afterwards.
+  void drain();
+
+  /// Counters + latency percentiles since the last reset. The `stats` verb
+  /// replies with this snapshot and then RESETS it (documented
+  /// reset-on-stats semantics), so successive stats requests report
+  /// disjoint windows.
+  ServeCounters counters_snapshot() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    serve::Request request;
+    Sink sink;
+    Clock::time_point enqueued{};
+  };
+
+  void batcher_loop();
+  void execute_batch(std::vector<Pending> batch);
+  /// Delivers a reply, records latency + served/error counters.
+  void respond(const Pending& pending, bool ok, const std::string& payload);
+  ServeCounters snapshot_locked() const;
+
+  const StencilMart& mart_;
+  ServeConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // queue producer -> batcher
+  std::condition_variable idle_cv_;   // batcher -> drain()/shutdown waiters
+  std::vector<Pending> queue_;
+  bool busy_ = false;                 // a batch is executing
+  bool draining_ = false;             // flush regardless of thresholds
+  bool stopping_ = false;             // destructor: batcher thread exits
+  bool shutdown_ = false;             // shutdown verb accepted
+
+  mutable std::mutex memo_mu_;
+  struct MemoEntry {
+    bool ok = false;
+    std::string payload;
+  };
+  std::unordered_map<std::string, MemoEntry> memo_;
+
+  mutable std::mutex stats_mu_;
+  util::LatencyHistogram latency_;
+  std::uint64_t served_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t memo_hits_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t max_batch_seen_ = 0;
+  Clock::time_point window_start_ = Clock::now();
+
+  std::thread batcher_;
+};
+
+}  // namespace smart::core

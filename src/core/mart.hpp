@@ -13,7 +13,9 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/classification.hpp"
 #include "core/oc_merger.hpp"
@@ -46,6 +48,25 @@ struct GpuRecommendation {
   double cheapest_cost_score = 0.0;
 };
 
+/// One query of an advise_batch() call: a stencil on a named GPU, with or
+/// without the cross-GPU rental recommendation.
+struct AdviseBatchItem {
+  stencil::StencilPattern pattern{2, {}};
+  std::string gpu = "V100";
+  bool recommend = true;
+};
+
+/// Per-item outcome of advise_batch(). An invalid item (unknown GPU, wrong
+/// dimensionality, no runnable variant) carries the diagnostic in `error`
+/// instead of failing the whole batch — exactly the message the equivalent
+/// single advise()/recommend_gpu() call would have thrown.
+struct AdviseBatchResult {
+  OcAdvice advice{};
+  GpuRecommendation rec{};  // filled only when the item asked for it
+  std::string error;
+  bool ok() const noexcept { return error.empty(); }
+};
+
 class StencilMart {
  public:
   explicit StencilMart(MartConfig config);
@@ -68,6 +89,17 @@ class StencilMart {
   /// model predicts the time of the advised variant; cost efficiency
   /// weighs it by rental price (GPUs without a price are skipped there).
   GpuRecommendation recommend_gpu(const stencil::StencilPattern& pattern) const;
+
+  /// Batched advise + recommend: classification and tuning run once per
+  /// distinct (stencil, GPU) variant across the whole batch (parallel on
+  /// the task pool), and every regression estimate of the batch is funnelled
+  /// through ONE predict_variants call. Each result is bit-identical to the
+  /// per-item advise()/recommend_gpu() pair — batching and within-batch
+  /// deduplication change cost, never values — which is the determinism
+  /// contract the serve daemon's admission batcher is built on. Item
+  /// patterns must stay alive for the duration of the call.
+  std::vector<AdviseBatchResult> advise_batch(
+      std::span<const AdviseBatchItem> items) const;
 
   const ProfileDataset& dataset() const { return *dataset_; }
   const OcMerger& merger() const { return merger_; }

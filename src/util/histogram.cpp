@@ -1,0 +1,57 @@
+#include "util/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace smart::util {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t value) noexcept {
+  if (value < kLinearMax) return static_cast<std::size_t>(value);
+  const int exponent = std::bit_width(value) - 1;  // >= kSubBits + 1
+  const std::uint64_t sub = (value >> (exponent - kSubBits)) & ((1u << kSubBits) - 1);
+  return static_cast<std::size_t>(kLinearMax) +
+         static_cast<std::size_t>(exponent - (kSubBits + 1)) * (1u << kSubBits) +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_bound(std::size_t bucket) noexcept {
+  if (bucket < kLinearMax) return bucket;
+  const std::size_t rel = bucket - static_cast<std::size_t>(kLinearMax);
+  const int exponent = static_cast<int>(rel / (1u << kSubBits)) + kSubBits + 1;
+  const std::uint64_t sub = rel % (1u << kSubBits);
+  const std::uint64_t width = 1ull << (exponent - kSubBits);
+  return (1ull << exponent) + (sub + 1) * width - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t value) noexcept {
+  ++total_;
+  if (value > max_) max_ = value;
+  if (value >= kMaxTrackable) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bucket_index(value)];
+}
+
+std::uint64_t LatencyHistogram::percentile(double p) const noexcept {
+  if (total_ == 0) return 0;
+  if (p <= 0.0) p = 100.0 / static_cast<double>(total_);
+  if (p > 100.0) p = 100.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total_)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cumulative += counts_[b];
+    if (cumulative >= rank) return bucket_upper_bound(b);
+  }
+  return max_;  // rank falls into the overflow bucket
+}
+
+void LatencyHistogram::reset() noexcept {
+  counts_.fill(0);
+  overflow_ = 0;
+  total_ = 0;
+  max_ = 0;
+}
+
+}  // namespace smart::util

@@ -1,0 +1,63 @@
+// Monotonic latency histogram for the serve-mode request counters: a
+// log-linear bucket layout (HdrHistogram-style) over microsecond values.
+// Values below kLinearMax land in exact unit buckets; above that, each
+// power-of-two octave is split into 2^kSubBits linear sub-buckets, so the
+// relative quantization error is bounded by 1/2^kSubBits (6.25%). Values at
+// or beyond kMaxTrackable go to a dedicated overflow bucket. record() is
+// O(1) with no allocation, so the serve hot path can time every request.
+//
+// Percentiles use the nearest-rank definition (the smallest recorded bucket
+// whose cumulative count reaches ceil(p/100 * n)) and return the bucket's
+// inclusive upper bound, which makes p50/p99 on known sequences exact as
+// long as the values are bucket-exact (e.g. < kLinearMax). Not thread-safe;
+// the serve layer guards it with its stats mutex.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace smart::util {
+
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits linear buckets per octave.
+  static constexpr int kSubBits = 4;
+  /// Values in [0, kLinearMax) are recorded exactly (unit buckets).
+  static constexpr std::uint64_t kLinearMax = 1ull << (kSubBits + 1);
+  /// Values >= kMaxTrackable (~71 minutes in microseconds) overflow.
+  static constexpr std::uint64_t kMaxTrackable = 1ull << 32;
+
+  void record(std::uint64_t value) noexcept;
+
+  std::uint64_t count() const noexcept { return total_; }
+  std::uint64_t overflow_count() const noexcept { return overflow_; }
+  std::uint64_t max_recorded() const noexcept { return max_; }
+
+  /// Nearest-rank percentile, p in (0, 100]. Returns the inclusive upper
+  /// bound of the bucket holding the rank-th smallest recorded value; if
+  /// that rank lands in the overflow bucket, returns max_recorded().
+  /// Returns 0 when nothing has been recorded.
+  std::uint64_t percentile(double p) const noexcept;
+
+  void reset() noexcept;
+
+  /// Bucket index a value maps to (exposed for the unit tests).
+  static std::size_t bucket_index(std::uint64_t value) noexcept;
+  /// Largest value mapping to `bucket` (the percentile representative).
+  static std::uint64_t bucket_upper_bound(std::size_t bucket) noexcept;
+
+ private:
+  // Octaves with exponent in [kSubBits+1, 31] each contribute 2^kSubBits
+  // sub-buckets after the kLinearMax exact unit buckets.
+  static constexpr std::size_t kOctaves = 32 - (kSubBits + 1);
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kLinearMax) + kOctaves * (1u << kSubBits);
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace smart::util

@@ -1,0 +1,198 @@
+#include "util/transport.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace smart::util {
+
+namespace {
+
+constexpr int kPollTimeoutMs = 50;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+bool LineChannel::fill(const std::atomic<bool>* stop,
+                       LineChannel::ReadResult& result) {
+  for (;;) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      result = ReadResult::kInterrupted;
+      return false;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal: loop re-checks the stop flag
+      throw_errno("serve: poll failed");
+    }
+    if (ready == 0) continue;  // timeout: re-check the stop flag
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("serve: read failed");
+    }
+    if (n == 0) {
+      result = ReadResult::kEof;
+      return false;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+}
+
+LineChannel::ReadResult LineChannel::read_line(std::string& line,
+                                               const std::atomic<bool>* stop) {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      if (discarding_) {
+        // Tail of an oversize line: drop it and hand back the truncated head.
+        pos_ = nl + 1;
+        discarding_ = false;
+        line = std::move(oversize_);
+        oversize_.clear();
+      } else {
+        line.assign(buf_, pos_, nl - pos_);
+        pos_ = nl + 1;
+      }
+      if (pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+      } else if (pos_ > kMaxLineBytes) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return ReadResult::kLine;
+    }
+
+    // No newline buffered. Cap the pending partial line before reading more.
+    if (!discarding_ && buf_.size() - pos_ > kMaxLineBytes) {
+      oversize_.assign(buf_, pos_, kMaxLineBytes + 1);
+      discarding_ = true;
+      buf_.clear();
+      pos_ = 0;
+    } else if (discarding_) {
+      buf_.clear();
+      pos_ = 0;
+    }
+
+    ReadResult result = ReadResult::kEof;
+    if (!fill(stop, result)) {
+      if (result == ReadResult::kEof) {
+        if (discarding_) {
+          discarding_ = false;
+          line = std::move(oversize_);
+          oversize_.clear();
+          return ReadResult::kLine;
+        }
+        if (pos_ < buf_.size()) {
+          // Unterminated final line.
+          line.assign(buf_, pos_, buf_.size() - pos_);
+          buf_.clear();
+          pos_ = 0;
+          if (!line.empty() && line.back() == '\r') line.pop_back();
+          return ReadResult::kLine;
+        }
+      }
+      return result;
+    }
+  }
+}
+
+void LineChannel::write_all(std::string_view data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd_, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        throw std::runtime_error(
+            "serve: peer closed the connection mid-reply");
+      }
+      throw_errno("serve: write failed");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+namespace {
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("serve: socket path '" + path +
+                             "' is empty or too long");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("serve: socket failed");
+  ::unlink(path.c_str());  // take over a stale socket file
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("serve: bind('" + path + "') failed");
+  }
+  if (::listen(fd, 64) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    errno = saved;
+    throw_errno("serve: listen failed");
+  }
+  return fd;
+}
+
+int accept_unix(int listen_fd, const std::atomic<bool>* stop) {
+  for (;;) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) return -1;
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("serve: poll(listen) failed");
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      throw_errno("serve: accept failed");
+    }
+    return fd;
+  }
+}
+
+int connect_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("serve: socket failed");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("serve: connect('" + path + "') failed");
+  }
+  return fd;
+}
+
+}  // namespace smart::util

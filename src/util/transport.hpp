@@ -1,0 +1,79 @@
+// Byte transports for the serve daemon: a buffered line reader/writer over
+// a raw file descriptor (works for stdin/stdout and for sockets alike) plus
+// AF_UNIX listen/accept/connect helpers. All blocking operations poll with
+// a short timeout and honour an optional stop flag, so a SIGTERM handler
+// that sets the flag unblocks the daemon within one poll interval without
+// relying on EINTR semantics of any particular libc wrapper.
+//
+// Oversize handling: a line longer than kMaxLineBytes is returned truncated
+// to kMaxLineBytes + 1 bytes and the remainder up to the next newline is
+// discarded, so the protocol layer sees one over-limit "line" (which it
+// rejects) and the stream stays synchronized — an attacker feeding an
+// endless newline-free stream cannot grow the buffer without bound.
+//
+// Error handling: write_all throws std::runtime_error on any write failure
+// (EPIPE surfaces as an exception instead of SIGPIPE death — the daemon
+// ignores SIGPIPE while serving), and read failures other than EOF throw
+// likewise.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace smart::util {
+
+/// Hard cap on one protocol line (request or response).
+inline constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
+class LineChannel {
+ public:
+  /// Wraps (but does not own) an open file descriptor.
+  explicit LineChannel(int fd) noexcept : fd_(fd) {}
+
+  enum class ReadResult {
+    kLine,         // `line` holds the next newline-terminated line
+    kEof,          // orderly end of stream (no partial data pending)
+    kInterrupted,  // the stop flag was raised before a full line arrived
+  };
+
+  /// Reads the next '\n'-terminated line (terminator stripped; a trailing
+  /// '\r' is also stripped so CRLF clients work). A final unterminated line
+  /// at EOF is returned as a line; the following call reports kEof. Lines
+  /// beyond kMaxLineBytes are truncated to kMaxLineBytes + 1 bytes (see
+  /// header comment). Throws std::runtime_error on read errors.
+  ReadResult read_line(std::string& line, const std::atomic<bool>* stop = nullptr);
+
+  /// Writes every byte of `data`. Throws std::runtime_error on failure
+  /// (EPIPE is reported as "peer closed the connection mid-reply").
+  void write_all(std::string_view data);
+
+  int fd() const noexcept { return fd_; }
+
+ private:
+  /// Appends more bytes to buf_. Returns false on EOF/stop with `result`
+  /// set; true when bytes arrived.
+  bool fill(const std::atomic<bool>* stop, ReadResult& result);
+
+  int fd_;
+  std::string buf_;
+  std::size_t pos_ = 0;     // first unconsumed byte of buf_
+  bool discarding_ = false; // inside the tail of an oversize line
+  std::string oversize_;    // truncated head of the oversize line
+};
+
+/// Creates, binds and listens on an AF_UNIX stream socket. Any stale socket
+/// file at `path` is removed first (the daemon takes ownership of the
+/// path). Throws std::runtime_error on failure (including over-long paths).
+int listen_unix(const std::string& path);
+
+/// Accepts one connection, polling so `stop` is honoured. Returns the
+/// connection fd, or -1 when the stop flag was raised. Throws on errors.
+int accept_unix(int listen_fd, const std::atomic<bool>* stop = nullptr);
+
+/// Connects to an AF_UNIX stream socket. Throws std::runtime_error when the
+/// connection cannot be established.
+int connect_unix(const std::string& path);
+
+}  // namespace smart::util

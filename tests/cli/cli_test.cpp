@@ -296,5 +296,60 @@ TEST(CliRun, TrainServeRoundTripMatchesCorpusTraining) {
   std::remove(model.c_str());
 }
 
+// Serve flag validation happens BEFORE the model load: every case below
+// must throw std::invalid_argument (exit 2, usage text) without touching
+// the filesystem — none of these model paths exist.
+TEST(CliRun, ServeRequiresModel) {
+  std::ostringstream out;
+  EXPECT_THROW(run_command(parse({"serve"}), out), std::invalid_argument);
+  EXPECT_THROW(run_command(parse({"serve", "--stdio"}), out),
+               std::invalid_argument);
+}
+
+TEST(CliRun, ServeRejectsSocketPlusStdio) {
+  std::ostringstream out;
+  EXPECT_THROW(run_command(parse({"serve", "--model", "m.smart", "--socket",
+                                  "/tmp/s.sock", "--stdio"}),
+                           out),
+               std::invalid_argument);
+}
+
+TEST(CliRun, ServeValidatesBatchingKnobs) {
+  std::ostringstream out;
+  EXPECT_THROW(run_command(parse({"serve", "--model", "m.smart", "--stdio",
+                                  "--max-batch", "0"}),
+                           out),
+               std::invalid_argument);
+  EXPECT_THROW(run_command(parse({"serve", "--model", "m.smart", "--stdio",
+                                  "--max-batch", "5000"}),
+                           out),
+               std::invalid_argument);
+  EXPECT_THROW(run_command(parse({"serve", "--model", "m.smart", "--stdio",
+                                  "--max-wait-us", "-1"}),
+                           out),
+               std::invalid_argument);
+  EXPECT_THROW(run_command(parse({"serve", "--model", "m.smart", "--stdio",
+                                  "--max-batch", "2x"}),
+                           out),
+               std::invalid_argument);
+}
+
+TEST(CliRun, ServeMissingModelFileIsRuntimeError) {
+  // Past flag validation, a nonexistent artifact is the PR 5 runtime-error
+  // contract (exit 1, one-line smartctl: error:), not a usage error.
+  std::ostringstream out;
+  EXPECT_THROW(run_command(parse({"serve", "--model",
+                                  "/nonexistent/model.smart", "--stdio"}),
+                           out),
+               std::runtime_error);
+}
+
+TEST(CliRun, UsageMentionsServe) {
+  std::ostringstream out;
+  run_command(parse({"help"}), out);
+  EXPECT_NE(out.str().find("serve"), std::string::npos);
+  EXPECT_NE(out.str().find("--max-batch"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace smart::cli

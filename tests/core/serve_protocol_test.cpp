@@ -1,0 +1,189 @@
+// Serve protocol codec: valid request forms, canonical memo keys, a
+// table-driven corpus of malformed lines (every one must parse to a
+// structured error, never throw), the escape/unescape round trip, and a
+// seeded mutation fuzz over parse_request. The same malformed corpus runs
+// black-box through the live daemon via tools/serve_harness (--fuzz) under
+// the sanitizer build in scripts/check.sh.
+#include "core/serve_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace smart::core::serve {
+namespace {
+
+TEST(ServeProtocol, ParsesAdviseWithDefaults) {
+  const auto r = parse_request("advise a1");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.request.verb, Verb::kAdvise);
+  EXPECT_EQ(r.request.id, "a1");
+  EXPECT_EQ(r.request.gpu, "V100");
+  EXPECT_EQ(r.request.pattern.name(), "star2d2r");  // shape=star dims=2 order=2
+  EXPECT_FALSE(r.request.memo_key.empty());
+}
+
+TEST(ServeProtocol, ParsesExplicitShapeAndGpu) {
+  const auto r =
+      parse_request("predict p-9 shape=box dims=3 order=1 gpu=A100");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.request.verb, Verb::kPredict);
+  EXPECT_EQ(r.request.gpu, "A100");
+  EXPECT_EQ(r.request.pattern.name(), "box3d1r");
+}
+
+TEST(ServeProtocol, ControlVerbsTakeNoOptions) {
+  EXPECT_TRUE(parse_request("ping x").ok);
+  EXPECT_TRUE(parse_request("stats s.1").ok);
+  EXPECT_TRUE(parse_request("shutdown z:2").ok);
+  EXPECT_FALSE(parse_request("ping x shape=star").ok);
+}
+
+TEST(ServeProtocol, TokenizerHandlesRepeatedSpaces) {
+  const auto r = parse_request("  advise   a2   shape=cross   order=3  ");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.request.pattern.name(), "cross2d3r");
+}
+
+TEST(ServeProtocol, MemoKeyIsCanonicalAcrossSpellings) {
+  // The same stencil via offsets= in shuffled order, with a duplicate point,
+  // must produce the identical memo key as the shape= spelling (the pattern
+  // constructor sorts and dedups).
+  const auto a = parse_request("advise x1 shape=star dims=2 order=1");
+  const auto b = parse_request("advise x2 offsets=0,1;1,0;0,0;0,-1;-1,0;0,1");
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_EQ(a.request.memo_key, b.request.memo_key);
+  // Different verbs (and different GPUs) key differently.
+  const auto c = parse_request("predict x3 shape=star dims=2 order=1");
+  const auto d = parse_request("advise x4 shape=star dims=2 order=1 gpu=A100");
+  ASSERT_TRUE(c.ok && d.ok);
+  EXPECT_NE(a.request.memo_key, c.request.memo_key);
+  EXPECT_NE(a.request.memo_key, d.request.memo_key);
+}
+
+/// The malformed corpus (mirrors tools/serve_harness): every line must
+/// yield ok=false with a non-empty diagnostic and the request id when it
+/// was parseable — and parse_request must never throw.
+struct MalformedCase {
+  const char* line;
+  const char* want_id;  // "-" when the id itself is unparseable
+};
+
+std::vector<MalformedCase> malformed_cases() {
+  static const std::string long_gpu = "advise f13 gpu=" + std::string(40, 'G');
+  static const std::string long_id = "advise " + std::string(70, 'i');
+  static const std::string ctl = std::string("advise f26 shape=star\x01");
+  static const std::string oversize =
+      "advise f27 " + std::string(70 * 1024, 'x');
+  return {
+      {"bogus f01", "-"},
+      {"advise", "-"},
+      {"advise bad*id shape=star", "-"},
+      {"advise f04 shape=star extra", "f04"},
+      {"advise f05 shape=", "f05"},
+      {"advise f06 shape=hex", "f06"},
+      {"advise f07 dims=4", "f07"},
+      {"advise f08 dims=2x", "f08"},
+      {"advise f09 order=9", "f09"},
+      {"advise f10 order=-1", "f10"},
+      {"advise f11 order=2abc", "f11"},
+      {"advise f12 gpu=bad!name", "f12"},
+      {long_gpu.c_str(), "f13"},
+      {"advise f14 foo=bar", "f14"},
+      {"advise f15 shape=star shape=box", "f15"},
+      {"advise f16 offsets=0,0 shape=star", "f16"},
+      {"advise f17 offsets=1", "f17"},
+      {"advise f18 offsets=9,9", "f18"},
+      {"advise f19 offsets=1,2,3,4", "f19"},
+      {"advise f20 offsets=0,0;;1,1", "f20"},
+      {"advise f21 offsets=0,0;1,1,1", "f21"},
+      {"ping f22 extra", "f22"},
+      {"stats f23 k=v", "f23"},
+      {"predict", "-"},
+      {long_id.c_str(), "-"},
+      {ctl.c_str(), "-"},
+      {oversize.c_str(), "-"},
+      {"", "-"},
+      {"advise f30 =value", "f30"},
+      {"advise f31 offsets=0,0;1,", "f31"},
+  };
+}
+
+TEST(ServeProtocol, MalformedCorpusAllRejectedWithIds) {
+  const auto cases = malformed_cases();
+  ASSERT_GE(cases.size(), 20u);
+  for (const auto& c : cases) {
+    ParseResult r;
+    EXPECT_NO_THROW(r = parse_request(c.line));
+    EXPECT_FALSE(r.ok) << "accepted: " << c.line;
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_EQ(r.id, c.want_id) << "line: " << c.line;
+    // Errors embed into a one-line reply with the id in column two.
+    const std::string reply = err_reply(r.id, r.error);
+    EXPECT_EQ(reply.rfind("err " + r.id + ' ', 0), 0u);
+    EXPECT_EQ(reply.find('\n'), std::string::npos);
+  }
+}
+
+TEST(ServeProtocol, EscapeRoundTrip) {
+  const std::vector<std::string> samples = {
+      "",
+      "plain",
+      "two\nlines\n",
+      "backslash \\ and \\n literal",
+      "\\\\n",          // escaped backslash followed by n
+      "trailing\\",
+      std::string("interior\nnew\\nline mix\n\\"),
+  };
+  for (const auto& s : samples) {
+    const std::string escaped = escape_text(s);
+    EXPECT_EQ(escaped.find('\n'), std::string::npos) << "sample: " << s;
+    EXPECT_EQ(unescape_text(escaped), s);
+  }
+}
+
+TEST(ServeProtocol, ErrReplyFlattensControlBytes) {
+  const std::string reply = err_reply("id1", "bad\nmulti\tline\x01msg");
+  EXPECT_EQ(reply.find('\n'), std::string::npos);
+  EXPECT_EQ(reply.find('\t'), std::string::npos);
+  EXPECT_EQ(reply.find('\x01'), std::string::npos);
+  EXPECT_EQ(err_reply("", "m"), "err - m");
+}
+
+TEST(ServeProtocol, MutationFuzzNeverThrows) {
+  // Seeded point mutations of a valid request: parse_request must return a
+  // structured verdict for every mutant, never throw, and errors must stay
+  // one-line printable.
+  const std::string base = "advise m000 shape=star order=2 gpu=V100";
+  util::Rng rng(20260809);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string line = base;
+    const int edits = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    for (int e = 0; e < edits && !line.empty(); ++e) {
+      const auto pos = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(line.size()) - 1));
+      const char c = static_cast<char>(rng.uniform_int(0, 255));  // any byte
+      switch (rng.uniform_int(0, 2)) {
+        case 0: line[pos] = c; break;
+        case 1: line.insert(pos, 1, c); break;
+        default: line.erase(pos, 1); break;
+      }
+    }
+    ParseResult r;
+    ASSERT_NO_THROW(r = parse_request(line)) << "line bytes: " << line.size();
+    if (!r.ok) {
+      EXPECT_FALSE(r.error.empty());
+      const std::string reply = err_reply(r.id, r.error);
+      for (const char ch : reply) {
+        EXPECT_TRUE(ch >= 0x20 && ch <= 0x7e) << "non-printable in reply";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smart::core::serve

@@ -1,0 +1,109 @@
+// LatencyHistogram: exact percentiles on known sequences, log-linear bucket
+// geometry, overflow handling and reset — the serve daemon's p50/p99
+// counters are only as trustworthy as these invariants.
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace smart::util {
+namespace {
+
+TEST(LatencyHistogram, ExactPercentilesOnKnownSequence) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 10; ++v) h.record(v);
+  // Values below kLinearMax land in exact unit buckets, so nearest-rank
+  // percentiles are exact: rank ceil(.5*10)=5 -> 5, ceil(.99*10)=10 -> 10.
+  EXPECT_EQ(h.percentile(50.0), 5u);
+  EXPECT_EQ(h.percentile(90.0), 9u);
+  EXPECT_EQ(h.percentile(99.0), 10u);
+  EXPECT_EQ(h.percentile(100.0), 10u);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.max_recorded(), 10u);
+}
+
+TEST(LatencyHistogram, MedianOfOddCountAndRepeats) {
+  LatencyHistogram h;
+  h.record(2);
+  h.record(2);
+  h.record(7);
+  EXPECT_EQ(h.percentile(50.0), 2u);  // rank ceil(1.5)=2 -> second value
+  EXPECT_EQ(h.percentile(99.0), 7u);
+}
+
+TEST(LatencyHistogram, SingleValue) {
+  LatencyHistogram h;
+  h.record(0);
+  EXPECT_EQ(h.percentile(50.0), 0u);
+  EXPECT_EQ(h.percentile(99.0), 0u);
+}
+
+TEST(LatencyHistogram, EmptyReportsZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50.0), 0u);
+  EXPECT_EQ(h.percentile(99.0), 0u);
+}
+
+TEST(LatencyHistogram, BucketGeometry) {
+  // Unit buckets below kLinearMax.
+  for (std::uint64_t v = 0; v < LatencyHistogram::kLinearMax; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(v), v);
+    EXPECT_EQ(LatencyHistogram::bucket_upper_bound(v), v);
+  }
+  // Above it: every value maps to a bucket whose inclusive upper bound is
+  // >= the value, with relative quantization error bounded by 1/2^kSubBits.
+  const std::uint64_t samples[] = {32,   33,   63,        64,
+                                   1000, 4096, 123456789,
+                                   LatencyHistogram::kMaxTrackable - 1};
+  for (const std::uint64_t v : samples) {
+    const std::size_t b = LatencyHistogram::bucket_index(v);
+    const std::uint64_t ub = LatencyHistogram::bucket_upper_bound(b);
+    EXPECT_GE(ub, v);
+    EXPECT_LE(ub - v, v >> LatencyHistogram::kSubBits)
+        << "value " << v << " bucket " << b << " ub " << ub;
+    // Upper bounds are the largest member of their bucket: the next value
+    // up maps to a different bucket.
+    EXPECT_NE(LatencyHistogram::bucket_index(ub + 1), b);
+    EXPECT_EQ(LatencyHistogram::bucket_index(ub), b);
+  }
+}
+
+TEST(LatencyHistogram, QuantizedPercentileUsesBucketUpperBound) {
+  LatencyHistogram h;
+  h.record(1000);
+  EXPECT_EQ(h.percentile(50.0),
+            LatencyHistogram::bucket_upper_bound(
+                LatencyHistogram::bucket_index(1000)));
+}
+
+TEST(LatencyHistogram, OverflowBucket) {
+  LatencyHistogram h;
+  h.record(5);
+  h.record(LatencyHistogram::kMaxTrackable);        // exactly at the edge
+  h.record(LatencyHistogram::kMaxTrackable * 2);    // far beyond
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.overflow_count(), 2u);
+  EXPECT_EQ(h.max_recorded(), LatencyHistogram::kMaxTrackable * 2);
+  // Ranks landing in the overflow bucket report the recorded maximum.
+  EXPECT_EQ(h.percentile(99.0), LatencyHistogram::kMaxTrackable * 2);
+  EXPECT_EQ(h.percentile(50.0), LatencyHistogram::kMaxTrackable * 2);
+  EXPECT_EQ(h.percentile(1.0), 5u);
+}
+
+TEST(LatencyHistogram, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.record(3);
+  h.record(LatencyHistogram::kMaxTrackable + 1);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.overflow_count(), 0u);
+  EXPECT_EQ(h.max_recorded(), 0u);
+  EXPECT_EQ(h.percentile(50.0), 0u);
+  h.record(4);  // usable after reset
+  EXPECT_EQ(h.percentile(99.0), 4u);
+}
+
+}  // namespace
+}  // namespace smart::util

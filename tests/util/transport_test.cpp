@@ -1,0 +1,149 @@
+// LineChannel over a socketpair: line splitting across arbitrary write
+// chunks, CRLF handling, oversize truncation with stream resync, stop-flag
+// interruption, and EPIPE surfacing as an exception (the serve daemon's
+// broken-pipe contract depends on it).
+#include "util/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <string>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace smart::util {
+namespace {
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, &a), 0); }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+  int* operator&() { return &a; }  // socketpair wants int[2]
+};
+
+void write_raw(int fd, const std::string& data) {
+  ASSERT_EQ(::write(fd, data.data(), data.size()),
+            static_cast<ssize_t>(data.size()));
+}
+
+TEST(Transport, SplitsLinesAndStripsTerminators) {
+  SocketPair sp;
+  LineChannel channel(sp.b);
+  write_raw(sp.a, "alpha\nbeta\r\n\ngamma");
+  ::close(sp.a);
+  sp.a = -1;
+
+  std::string line;
+  ASSERT_EQ(channel.read_line(line), LineChannel::ReadResult::kLine);
+  EXPECT_EQ(line, "alpha");
+  ASSERT_EQ(channel.read_line(line), LineChannel::ReadResult::kLine);
+  EXPECT_EQ(line, "beta");  // CRLF stripped
+  ASSERT_EQ(channel.read_line(line), LineChannel::ReadResult::kLine);
+  EXPECT_EQ(line, "");  // empty line preserved as a line
+  ASSERT_EQ(channel.read_line(line), LineChannel::ReadResult::kLine);
+  EXPECT_EQ(line, "gamma");  // unterminated final line
+  EXPECT_EQ(channel.read_line(line), LineChannel::ReadResult::kEof);
+}
+
+TEST(Transport, ReassemblesLinesAcrossWriteChunks) {
+  SocketPair sp;
+  LineChannel channel(sp.b);
+  write_raw(sp.a, "hel");
+  write_raw(sp.a, "lo\nwo");
+  write_raw(sp.a, "rld\n");
+  std::string line;
+  ASSERT_EQ(channel.read_line(line), LineChannel::ReadResult::kLine);
+  EXPECT_EQ(line, "hello");
+  ASSERT_EQ(channel.read_line(line), LineChannel::ReadResult::kLine);
+  EXPECT_EQ(line, "world");
+}
+
+TEST(Transport, OversizeLineTruncatedAndStreamResyncs) {
+  SocketPair sp;
+  LineChannel channel(sp.b);
+  // Writer thread: socket buffers cannot hold the whole oversize line.
+  const std::string big(kMaxLineBytes + 4096, 'x');
+  std::thread writer([&] {
+    std::string data = big;
+    data += "\nnext\n";
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::write(sp.a, data.data() + off, data.size() - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+  });
+
+  std::string line;
+  ASSERT_EQ(channel.read_line(line), LineChannel::ReadResult::kLine);
+  // Truncated to kMaxLineBytes + 1 so the protocol layer must reject it...
+  EXPECT_EQ(line.size(), kMaxLineBytes + 1);
+  EXPECT_EQ(line[0], 'x');
+  // ...and the stream stays synchronized at the next real line.
+  ASSERT_EQ(channel.read_line(line), LineChannel::ReadResult::kLine);
+  EXPECT_EQ(line, "next");
+  writer.join();
+}
+
+TEST(Transport, StopFlagInterruptsRead) {
+  SocketPair sp;
+  LineChannel channel(sp.b);
+  std::atomic<bool> stop{true};  // raised before the read: returns promptly
+  std::string line;
+  EXPECT_EQ(channel.read_line(line, &stop), LineChannel::ReadResult::kInterrupted);
+}
+
+TEST(Transport, WriteToClosedPeerThrowsInsteadOfSigpipe) {
+  const auto previous = ::signal(SIGPIPE, SIG_IGN);
+  {
+    SocketPair sp;
+    LineChannel channel(sp.a);
+    ::close(sp.b);
+    sp.b = -1;
+    // Big enough to defeat any kernel buffering of the first write.
+    const std::string data(1 << 20, 'y');
+    EXPECT_THROW(
+        {
+          channel.write_all(data);
+          channel.write_all(data);
+        },
+        std::runtime_error);
+  }
+  ::signal(SIGPIPE, previous);
+}
+
+TEST(Transport, UnixSocketRoundTrip) {
+  const std::string path = "/tmp/smart_transport_test.sock";
+  const int listen_fd = listen_unix(path);
+  ASSERT_GE(listen_fd, 0);
+  const int client = connect_unix(path);
+  const int conn = accept_unix(listen_fd);
+  ASSERT_GE(conn, 0);
+
+  LineChannel to_server(client);
+  LineChannel from_client(conn);
+  to_server.write_all("ping x\n");
+  std::string line;
+  ASSERT_EQ(from_client.read_line(line), LineChannel::ReadResult::kLine);
+  EXPECT_EQ(line, "ping x");
+
+  ::close(client);
+  ::close(conn);
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+}
+
+TEST(Transport, ListenRejectsOverlongPath) {
+  EXPECT_THROW(listen_unix(std::string(300, 'p')), std::runtime_error);
+  EXPECT_THROW(listen_unix(""), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace smart::util

@@ -1,0 +1,364 @@
+// Black-box test client for `smartctl serve`: speaks the line protocol over
+// an AF_UNIX socket and enforces its contracts from the OUTSIDE of the
+// process boundary. scripts/check.sh and the determinism gate drive it in
+// four modes:
+//
+//   serve_harness --socket PATH --requests FILE [--shuffle SEED]
+//                 [--print raw|sorted|text] [--shutdown-after]
+//     Sends every non-blank line of FILE (optionally shuffled), expects
+//     exactly one reply per line, prints the replies. `sorted` prints the
+//     reply SET in lexicographic order — byte-identical output across
+//     arrival orders, batch sizes and thread counts is the determinism
+//     gate. `text` additionally unescapes ok-payloads so the output diffs
+//     directly against concatenated one-shot `smartctl advise` runs.
+//
+//   serve_harness --socket PATH --fuzz N --seed S
+//     Sends a curated corpus of malformed request lines (each MUST earn a
+//     one-line `err` reply carrying the request id) plus N seeded random
+//     mutations of a valid request (each must earn exactly one ok/err
+//     reply). The daemon must neither crash nor hang nor desynchronize.
+//
+//   serve_harness --socket PATH --requests FILE --abort
+//     Sends everything, then slams the connection shut with SO_LINGER{1,0}
+//     (RST) without reading replies — the daemon must die with the PR 5
+//     one-line `smartctl: error:` contract (rc 1), not SIGPIPE.
+//
+// All requests are pipelined from a sender thread while the main thread
+// reads replies, so socket buffers can never deadlock the harness; a
+// watchdog alarm turns a hung daemon into a test failure instead of a
+// wedged CI job.
+#include <atomic>
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/serve_protocol.hpp"
+#include "util/transport.hpp"
+
+namespace {
+
+// Self-contained xorshift so harness behaviour never couples to library RNG
+// changes (the harness must stay a fixed external yardstick).
+struct XorShift {
+  std::uint64_t s;
+  explicit XorShift(std::uint64_t seed) : s(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  std::size_t below(std::size_t n) { return static_cast<std::size_t>(next() % n); }
+};
+
+int fail(const std::string& message) {
+  std::cerr << "serve_harness: " << message << '\n';
+  return 1;
+}
+
+int connect_with_retry(const std::string& path, int attempts) {
+  for (int i = 0; i < attempts; ++i) {
+    try {
+      return smart::util::connect_unix(path);
+    } catch (const std::exception&) {
+      ::usleep(50 * 1000);
+    }
+  }
+  return smart::util::connect_unix(path);  // final attempt: let it throw
+}
+
+std::vector<std::string> load_requests(const std::string& file) {
+  std::vector<std::string> lines;
+  std::istream* in = &std::cin;
+  std::ifstream f;
+  if (file != "-") {
+    f.open(file);
+    if (!f) throw std::runtime_error("cannot open " + file);
+    in = &f;
+  }
+  std::string line;
+  while (std::getline(*in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Curated malformed lines: every one must earn an `err` reply (second
+/// column = the request id when it was parseable, `-` otherwise).
+std::vector<std::string> malformed_corpus() {
+  std::vector<std::string> corpus = {
+      "bogus f01",                                   // unknown verb
+      "advise",                                      // missing id
+      "advise bad*id shape=star",                    // invalid id charset
+      "advise f04 shape=star extra",                 // token without '='
+      "advise f05 shape=",                           // empty value
+      "advise f06 shape=hex",                        // unknown shape
+      "advise f07 dims=4",                           // dims out of range
+      "advise f08 dims=2x",                          // trailing junk
+      "advise f09 order=9",                          // order out of range
+      "advise f10 order=-1",                         // negative order
+      "advise f11 order=2abc",                       // non-integer order
+      "advise f12 gpu=bad!name",                     // gpu charset
+      "advise f13 gpu=" + std::string(40, 'G'),      // gpu too long
+      "advise f14 foo=bar",                          // unknown option
+      "advise f15 shape=star shape=box",             // duplicate option
+      "advise f16 offsets=0,0 shape=star",           // exclusive options
+      "advise f17 offsets=1",                        // tuple arity 1
+      "advise f18 offsets=9,9",                      // coordinate out of range
+      "advise f19 offsets=1,2,3,4",                  // tuple arity 4
+      "advise f20 offsets=0,0;;1,1",                 // empty tuple
+      "advise f21 offsets=0,0;1,1,1",                // mixed arities
+      "ping f22 extra",                              // ping takes no args
+      "stats f23 k=v",                               // stats takes no args
+      "predict",                                     // missing id again
+      "advise " + std::string(70, 'i'),              // id too long
+      std::string("advise f26 shape=star\x01"),      // non-printable byte
+      "advise f27 " + std::string(70 * 1024, 'x'),   // oversize line
+  };
+  return corpus;
+}
+
+/// 1-3 seeded point mutations of a valid request line. Mutants whose first
+/// token becomes `shutdown` are re-rolled (they would kill the daemon the
+/// rest of the corpus still needs).
+std::string mutate(const std::string& base, XorShift& rng) {
+  for (;;) {
+    std::string line = base;
+    const int edits = 1 + static_cast<int>(rng.below(3));
+    for (int e = 0; e < edits && !line.empty(); ++e) {
+      const std::size_t pos = rng.below(line.size());
+      const char c = static_cast<char>(0x21 + rng.below(0x7e - 0x21));
+      switch (rng.below(3)) {
+        case 0: line[pos] = c; break;
+        case 1: line.insert(pos, 1, c); break;
+        default: line.erase(pos, 1); break;
+      }
+    }
+    const std::string head = line.substr(0, line.find(' '));
+    if (line.empty() || head == "shutdown") continue;
+    return line;
+  }
+}
+
+struct Reply {
+  std::string line;
+  bool is_err = false;
+  std::string id;
+};
+
+Reply parse_reply(const std::string& line) {
+  Reply reply;
+  reply.line = line;
+  const std::size_t sp1 = line.find(' ');
+  const std::string status = line.substr(0, sp1);
+  reply.is_err = status == "err";
+  if (sp1 != std::string::npos) {
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    reply.id = line.substr(sp1 + 1, sp2 == std::string::npos
+                                        ? std::string::npos
+                                        : sp2 - sp1 - 1);
+  }
+  return reply;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path, requests_file, print_mode = "sorted";
+  long fuzz = 0;
+  std::uint64_t seed = 1;
+  bool shuffle = false, shutdown_after = false, abort_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "serve_harness: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") socket_path = value();
+    else if (arg == "--requests") requests_file = value();
+    else if (arg == "--print") print_mode = value();
+    else if (arg == "--shuffle") {
+      shuffle = true;
+      seed = std::strtoull(value().c_str(), nullptr, 10);
+    }
+    else if (arg == "--seed") seed = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--fuzz") fuzz = std::strtol(value().c_str(), nullptr, 10);
+    else if (arg == "--shutdown-after") shutdown_after = true;
+    else if (arg == "--abort") abort_mode = true;
+    else {
+      std::cerr << "serve_harness: unknown option " << arg << '\n';
+      return 2;
+    }
+  }
+  if (socket_path.empty()) return fail("--socket PATH is required");
+  const bool fuzz_mode = fuzz > 0 || requests_file.empty();
+
+  // Watchdog: a wedged daemon (or a protocol desync that makes us wait for
+  // a reply that never comes) fails loudly instead of hanging the gate.
+  ::alarm(180);
+
+  try {
+    std::vector<std::string> lines;
+    std::size_t curated = 0;
+    if (fuzz_mode) {
+      lines = malformed_corpus();
+      curated = lines.size();
+      XorShift rng(seed);
+      const std::string base = "advise m000 shape=star order=2 gpu=V100";
+      for (long i = 0; i < fuzz; ++i) lines.push_back(mutate(base, rng));
+    } else {
+      lines = load_requests(requests_file);
+      if (shuffle) {
+        XorShift rng(seed);
+        for (std::size_t i = lines.size(); i > 1; --i) {
+          std::swap(lines[i - 1], lines[rng.below(i)]);
+        }
+      }
+    }
+    if (lines.empty()) return fail("no requests to send");
+
+    const int fd = connect_with_retry(socket_path, 100);
+    smart::util::LineChannel channel(fd);
+
+    // Pipeline every request from a helper thread; read replies here.
+    std::string blob;
+    for (const auto& line : lines) {
+      blob += line;
+      blob += '\n';
+    }
+    std::atomic<bool> send_failed{false};
+    std::thread sender([&] {
+      try {
+        smart::util::LineChannel writer(fd);
+        writer.write_all(blob);
+      } catch (const std::exception&) {
+        send_failed.store(true);
+      }
+    });
+
+    if (abort_mode) {
+      sender.join();
+      // RST on close: the daemon's next reply write must fail mid-stream.
+      struct linger hard {};
+      hard.l_onoff = 1;
+      hard.l_linger = 0;
+      ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof hard);
+      ::close(fd);
+      std::cout << "aborted after " << lines.size() << " requests\n";
+      return 0;
+    }
+
+    std::vector<Reply> replies;
+    replies.reserve(lines.size());
+    std::string line;
+    while (replies.size() < lines.size()) {
+      const auto r = channel.read_line(line);
+      if (r != smart::util::LineChannel::ReadResult::kLine) {
+        sender.join();
+        return fail("connection closed after " +
+                    std::to_string(replies.size()) + "/" +
+                    std::to_string(lines.size()) + " replies");
+      }
+      if (line.empty()) continue;
+      const Reply reply = parse_reply(line);
+      if (!reply.is_err && reply.line.rfind("ok ", 0) != 0) {
+        sender.join();
+        return fail("malformed reply line: " + line);
+      }
+      replies.push_back(reply);
+    }
+    sender.join();
+    if (send_failed.load()) return fail("request send failed");
+
+    if (shutdown_after) {
+      smart::util::LineChannel writer(fd);
+      writer.write_all("shutdown h_end\n");
+      const auto r = channel.read_line(line);
+      if (r != smart::util::LineChannel::ReadResult::kLine ||
+          line != "ok h_end bye") {
+        return fail("bad shutdown reply: " + line);
+      }
+    }
+    ::close(fd);
+
+    if (fuzz_mode) {
+      std::size_t err_count = 0;
+      for (std::size_t i = 0; i < replies.size(); ++i) {
+        if (replies[i].is_err) ++err_count;
+      }
+      // Replies may arrive out of submission order (batching), so curated
+      // lines are checked by id: every parseable curated id must have an
+      // err reply; unparseable ones reply with id '-'.
+      std::map<std::string, const Reply*> by_id;
+      for (const auto& reply : replies) by_id.emplace(reply.id, &reply);
+      for (std::size_t i = 0; i < curated; ++i) {
+        const auto parsed = smart::core::serve::parse_request(lines[i]);
+        const std::string want_id = parsed.id;
+        if (want_id == "-") continue;  // id unparseable: reply is `err -`
+        const auto it = by_id.find(want_id);
+        if (it == by_id.end() || !it->second->is_err) {
+          return fail("curated malformed line " + std::to_string(i) +
+                      " (id " + want_id + ") did not earn an err reply");
+        }
+      }
+      if (err_count < curated) {
+        return fail("expected at least " + std::to_string(curated) +
+                    " err replies, got " + std::to_string(err_count));
+      }
+      std::cout << "fuzz ok: sent=" << lines.size()
+                << " replies=" << replies.size() << " err=" << err_count
+                << " ok=" << (replies.size() - err_count)
+                << " curated=" << curated << '\n';
+      return 0;
+    }
+
+    if (print_mode == "raw") {
+      for (const auto& reply : replies) std::cout << reply.line << '\n';
+    } else if (print_mode == "sorted") {
+      std::vector<std::string> sorted;
+      sorted.reserve(replies.size());
+      for (const auto& reply : replies) sorted.push_back(reply.line);
+      std::sort(sorted.begin(), sorted.end());
+      for (const auto& s : sorted) std::cout << s << '\n';
+    } else if (print_mode == "text") {
+      // Unescaped ok-payloads in id order: diffs directly against the
+      // concatenation of one-shot `smartctl advise` outputs.
+      std::vector<const Reply*> sorted;
+      sorted.reserve(replies.size());
+      for (const auto& reply : replies) sorted.push_back(&reply);
+      std::sort(sorted.begin(), sorted.end(),
+                [](const Reply* a, const Reply* b) { return a->id < b->id; });
+      for (const Reply* reply : sorted) {
+        if (reply->is_err) {
+          std::cout << reply->line << '\n';
+        } else {
+          const std::size_t payload = reply->line.find(' ', 3);
+          std::cout << smart::core::serve::unescape_text(
+              payload == std::string::npos ? ""
+                                           : reply->line.substr(payload + 1));
+        }
+      }
+    } else {
+      return fail("unknown --print mode '" + print_mode + "'");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+}
