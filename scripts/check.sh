@@ -20,6 +20,22 @@ echo "== ctest (SMART_THREADS=1) =="
 echo "== ctest (unrestricted threads) =="
 (cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")
 
+echo "== SIMD/precision equivalence gates (SMART_SIMD {0,1} x SMART_THREADS {1,4}) =="
+# The vectorized inference layer (DESIGN.md §13) must hold its contracts with
+# the fused/flattened kernels both off and on, serially and under the task
+# pool: strict/f64 bit-identical to the scalar walk, relaxed/f32 inside the
+# tolerance gate, batch-size and thread-count invariant.
+EQUIV_FILTER='SimdKernels.*:FlatForest.*:FeatureBinner.*'
+EQUIV_FILTER="$EQUIV_FILTER:PrecisionEquivalence.*:ParallelPrecisionEquivalence.*"
+for simd in 0 1; do
+  for threads in 1 4; do
+    echo "  SMART_SIMD=$simd SMART_THREADS=$threads"
+    SMART_SIMD=$simd SMART_THREADS=$threads "$BUILD_DIR/tests/smart_tests" \
+      --gtest_brief=1 --gtest_filter="$EQUIV_FILTER" | sed 's/^/    /'
+  done
+done
+echo "OK: equivalence suites pass with SMART_SIMD=0/1 at 1 and 4 threads"
+
 echo "== determinism digest (SMART_THREADS=1 vs default) =="
 SMARTCTL="$BUILD_DIR/tools/smartctl"
 PROFILE_ARGS=(profile --dims 3 --stencils 24 --samples 3 --seed 20220530 --checksum 1)
@@ -263,6 +279,53 @@ for mb in 1 8 64; do
 done
 echo "OK: reply sets byte-identical across max-batch {1,8,64} x threads {1,4} x shuffled arrival"
 
+# SMART_SIMD=0 must not change one reply byte: the fused/flattened strict
+# kernels carry the same bit-exact contract as the scalar walk they replace.
+start_serve 4 --max-batch 8 --max-wait-us 200 --simd 0
+"$HARNESS" --socket "$SOCK" --requests "$ARTDIR/serve_requests.txt" \
+  --shuffle 7 --print sorted --shutdown-after > "$ARTDIR/serve_sorted.txt"
+if ! wait "$serve_pid"; then
+  echo "FAIL: daemon exited non-zero after shutdown verb (--simd 0 leg)" >&2
+  exit 1
+fi
+serve_pid=""
+if ! cmp -s "$ARTDIR/serve_sorted.txt" "$golden"; then
+  echo "FAIL: --simd 0 reply set diverged from the SIMD reply set" >&2
+  diff "$golden" "$ARTDIR/serve_sorted.txt" >&2 || true
+  exit 1
+fi
+echo "OK: --simd 0 daemon replies byte-identical to the vectorized daemon"
+
+echo "== serve daemon: --precision f32 determinism matrix =="
+# The relaxed kernels are batch-size- and thread-count-invariant per element
+# (DESIGN.md §13), so an f32 daemon's reply set must also be byte-identical
+# across batching and threading — against its own f32 reference, which may
+# legitimately differ from the f64 reply bytes.
+f32_golden=""
+for mb in 1 64; do
+  for t in 1 4; do
+    start_serve "$t" --max-batch "$mb" --max-wait-us 200 --precision f32
+    "$HARNESS" --socket "$SOCK" --requests "$ARTDIR/serve_requests.txt" \
+      --shuffle $((mb * 10 + t + 5)) --print sorted --shutdown-after \
+      > "$ARTDIR/serve_sorted.txt"
+    if ! wait "$serve_pid"; then
+      echo "FAIL: f32 daemon exited non-zero after shutdown verb" >&2
+      exit 1
+    fi
+    serve_pid=""
+    if [[ -z "$f32_golden" ]]; then
+      f32_golden="$ARTDIR/serve_golden_f32.txt"
+      cp "$ARTDIR/serve_sorted.txt" "$f32_golden"
+      echo "  f32 reference reply set: $(wc -l < "$f32_golden") replies (max-batch=$mb, SMART_THREADS=$t)"
+    elif ! cmp -s "$ARTDIR/serve_sorted.txt" "$f32_golden"; then
+      echo "FAIL: f32 reply set diverged at max-batch=$mb SMART_THREADS=$t" >&2
+      diff "$f32_golden" "$ARTDIR/serve_sorted.txt" >&2 || true
+      exit 1
+    fi
+  done
+done
+echo "OK: --precision f32 reply sets byte-identical across max-batch {1,64} x threads {1,4}"
+
 echo "== serve daemon: golden equivalence vs one-shot advise --model =="
 # serve answers through advise_batch plus the wire codec; the CLI answers
 # through per-call advise(). Unescaped serve replies in id order must be
@@ -369,6 +432,15 @@ ASAN_DIR=${ASAN_BUILD_DIR:-build-asan}
 cmake -B "$ASAN_DIR" -S . -DSMART_SANITIZE=ON >/dev/null
 cmake --build "$ASAN_DIR" -j"$(nproc)" --target smart_tests smartctl serve_harness
 (cd "$ASAN_DIR" && UBSAN_OPTIONS=halt_on_error=1 ctest --output-on-failure -j"$(nproc)" -L unit)
+# The unit label already covers the SIMD kernel + precision suites; add the
+# parallel-pool precision suite so the vectorized kernels also run sanitized
+# under the task pool, with the fused/flattened paths on and off.
+for simd in 0 1; do
+  echo "  sanitized equivalence pass: SMART_SIMD=$simd"
+  SMART_SIMD=$simd UBSAN_OPTIONS=halt_on_error=1 "$ASAN_DIR/tests/smart_tests" \
+    --gtest_brief=1 \
+    --gtest_filter='ParallelPrecisionEquivalence.*:SimdKernels.*' | sed 's/^/    /'
+done
 echo "OK: unit suite clean under AddressSanitizer + UBSan"
 
 echo "== sanitized serve daemon vs the fuzz corpus =="
@@ -391,10 +463,13 @@ echo "OK: sanitized daemon survived the malformed corpus and mutants"
 
 echo "== bench smoke: batched advisor inference =="
 # Small corpus (SMART_SCALE) keeps this a smoke test; the bench itself
-# fails (exit 1) if any batched prediction is not bit-identical to the
-# per-variant call, and appends a trajectory point to BENCH_advisor.json.
+# fails (exit 1) if any f64 batched prediction is not bit-identical to the
+# per-variant call or any f32 prediction is outside the tolerance gate, and
+# appends a trajectory point to BENCH_advisor.json. The >= 4x MLP f32
+# speedup acceptance gate applies at SMART_SCALE=1.
 SMART_SCALE=${SMART_BENCH_SCALE:-0.05} \
   SMART_BENCH_JSON="$PWD/BENCH_advisor.json" \
+  SMART_BENCH_REPEATS=1 \
   "$BUILD_DIR/bench/bench_advisor_batch"
 
 echo "== bench smoke: two-phase profiling substrate =="

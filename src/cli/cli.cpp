@@ -17,6 +17,7 @@
 #include "core/mart.hpp"
 #include "core/serialize.hpp"
 #include "core/stencilmart.hpp"
+#include "ml/simd.hpp"
 #include "stencil/features.hpp"
 #include "stencil/tensor_repr.hpp"
 #include "util/fault.hpp"
@@ -29,6 +30,17 @@
 namespace smart::cli {
 
 namespace {
+
+/// Validates an optional --precision value ("" = inherit SMART_PRECISION)
+/// before any expensive work, so a typo exits 2 instantly.
+std::string precision_option(const CommandLine& cmd, const char* subcommand) {
+  const std::string precision = cmd.get("precision", "");
+  if (!precision.empty() && precision != "f64" && precision != "f32") {
+    throw std::invalid_argument(std::string(subcommand) +
+                                ": --precision must be f64 or f32");
+  }
+  return precision;
+}
 
 stencil::StencilPattern shape_from_options(const CommandLine& cmd) {
   const std::string shape = cmd.get("shape", "star");
@@ -172,6 +184,11 @@ int cmd_advise(const CommandLine& cmd, std::ostream& out) {
   if (cmd.has("model") && cmd.has("corpus")) {
     throw std::invalid_argument(
         "advise: --model and --corpus are mutually exclusive");
+  }
+  const std::string precision = precision_option(cmd, "advise");
+  std::optional<ml::PrecisionSection> precision_section;
+  if (!precision.empty()) {
+    precision_section.emplace(ml::precision_from_string(precision.c_str()));
   }
 
   std::optional<core::StencilMart> mart;
@@ -328,6 +345,11 @@ int cmd_serve(const CommandLine& cmd, std::ostream& out) {
     throw std::invalid_argument("serve: --max-wait-us must be >= 0");
   }
   config.max_wait_us = max_wait;
+  config.precision = precision_option(cmd, "serve");
+  config.simd = cmd.get_int("simd", -1);
+  if (config.simd < -1 || config.simd > 1) {
+    throw std::invalid_argument("serve: --simd must be 0 or 1");
+  }
   const bool timing = cmd.get_int("timing", 0) != 0;
 
   const core::StencilMart mart = core::load_model(cmd.get("model", ""));
@@ -489,7 +511,8 @@ CommandLine parse_command_line(const std::vector<std::string>& args) {
 std::string usage() {
   return
       "smartctl — StencilMART command line\n"
-      "  (SMART_THREADS caps the task pool; SMART_TIMING=1 prints counters)\n"
+      "  (SMART_THREADS caps the task pool; SMART_TIMING=1 prints counters;\n"
+      "   SMART_SIMD=0 scalar inference; SMART_PRECISION=f32 relaxed FP)\n"
       "  generate --dims D --order N --count K [--seed S]   random stencils\n"
       "  profile  --dims D --stencils N [--out FILE]        build a corpus\n"
       "           [--checksum] [--timing]                   determinism digest\n"
@@ -500,9 +523,10 @@ std::string usage() {
       "  train    --out MODEL [--corpus FILE] [--timing 1]  fit + save a model\n"
       "  advise   --shape star|box|cross --dims D --order N\n"
       "           [--gpu NAME] [--corpus FILE] [--timing 1] best-OC advice\n"
-      "           [--model MODEL]                           serve a saved model\n"
+      "           [--model MODEL] [--precision f64|f32]     serve a saved model\n"
       "  serve    --model MODEL [--socket PATH | --stdio]   resident daemon\n"
       "           [--max-batch N] [--max-wait-us U] [--timing]\n"
+      "           [--precision f64|f32] [--simd 0|1]         f32 = relaxed-FP inference\n"
       "           (line protocol: advise|predict|stats|ping|shutdown;\n"
       "            batches concurrent requests, memoizes per stencil)\n"
       "  codegen  --shape ... --dims D --order N --oc NAME  emit CUDA\n"

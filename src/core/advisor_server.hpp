@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -39,6 +40,7 @@
 
 #include "core/mart.hpp"
 #include "core/serve_protocol.hpp"
+#include "ml/simd.hpp"
 #include "util/histogram.hpp"
 
 namespace smart::core {
@@ -58,6 +60,16 @@ struct ServeConfig {
   /// Response-memo entries kept before the cache is wholesale evicted
   /// (simple epoch eviction; correctness never depends on cache state).
   std::size_t memo_capacity = 1 << 16;
+  /// Inference-mode overrides held for the server's lifetime (the knobs are
+  /// process-global — see ml/simd.hpp — so the batcher thread inherits
+  /// them; the previous values are restored on destruction). `precision` is
+  /// "" (inherit), "f64" or "f32"; `simd` is -1 (inherit), 0 or 1. An
+  /// unknown precision string throws std::invalid_argument at construction.
+  /// With "f32" the determinism contract below still holds per machine:
+  /// the relaxed kernels' per-element math is batch-size-, row-group- and
+  /// thread-count-invariant.
+  std::string precision;
+  int simd = -1;
 };
 
 /// Snapshot of the serve counters (the `stats` verb payload).
@@ -118,6 +130,11 @@ class AdvisorServer {
 
   const StencilMart& mart_;
   ServeConfig config_;
+  // Applied before the batcher thread spawns; destroyed after it joins
+  // (members precede batcher_, and the destructor joins explicitly), so the
+  // overrides cover every batch the server ever executes.
+  std::optional<ml::SimdSection> simd_override_;
+  std::optional<ml::PrecisionSection> precision_override_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;        // queue producer -> batcher

@@ -109,4 +109,16 @@ void EncodingCache::assemble_aux_row(std::span<float> dst, std::size_t stencil,
   std::copy(prob_f.begin(), prob_f.end(), out);
 }
 
+void EncodingCache::assemble_aux_rows(ml::Matrix& out,
+                                      std::span<const AuxRowKey> keys,
+                                      bool include_stencil_features) const {
+  const std::size_t dim = aux_dim(include_stencil_features);
+  out.reshape_overwrite(keys.size(), dim);
+  util::parallel_for(keys.size(), [&](std::size_t i) {
+    const AuxRowKey& k = keys[i];
+    assemble_aux_row({out.row(i).data(), dim}, k.stencil, k.oc, k.setting,
+                     k.gpu, include_stencil_features);
+  });
+}
+
 }  // namespace smart::core

@@ -17,8 +17,18 @@
 #include <vector>
 
 #include "core/profile_dataset.hpp"
+#include "ml/matrix.hpp"
 
 namespace smart::core {
+
+/// Identifies one auxiliary feature row for EncodingCache::assemble_aux_rows:
+/// the (stencil, OC, setting, GPU) coordinates of a profiled instance.
+struct AuxRowKey {
+  std::size_t stencil = 0;
+  std::size_t oc = 0;
+  std::size_t setting = 0;
+  std::size_t gpu = 0;
+};
 
 class EncodingCache {
  public:
@@ -69,6 +79,14 @@ class EncodingCache {
   void assemble_aux_row(std::span<float> dst, std::size_t stencil,
                         std::size_t oc, std::size_t setting, std::size_t gpu,
                         bool include_stencil_features) const;
+
+  /// Batched assemble_aux_row: reshapes `out` to keys.size() x aux_dim(...)
+  /// and fills row i from keys[i], fanning rows over the task pool (each row
+  /// is a disjoint write, so the result is thread-count invariant and
+  /// bit-identical to per-row assembly). This is the single feature-assembly
+  /// entry point of the batched inference paths.
+  void assemble_aux_rows(ml::Matrix& out, std::span<const AuxRowKey> keys,
+                         bool include_stencil_features) const;
 
  private:
   std::size_t num_stencils_ = 0;

@@ -103,14 +103,16 @@ double RegressionTask::measured(std::size_t idx, std::size_t gpu) const {
 ml::Matrix RegressionTask::build_aux_features(
     const std::vector<RegressionInstance>& rows,
     bool include_stencil_features) const {
-  // Rows assemble from cached segments (bit-identical to feature_row) and
-  // write disjoint matrix rows, so the fill is thread-count invariant.
-  ml::Matrix out(rows.size(), cache_.aux_dim(include_stencil_features));
-  util::parallel_for(rows.size(), [&](std::size_t i) {
-    const RegressionInstance& ins = rows[i];
-    cache_.assemble_aux_row(out.row(i), ins.stencil, ins.oc, ins.setting,
-                            ins.gpu, include_stencil_features);
-  });
+  // Rows assemble from cached segments (bit-identical to feature_row);
+  // assemble_aux_rows writes disjoint matrix rows in parallel, so the fill
+  // is thread-count invariant.
+  std::vector<AuxRowKey> keys;
+  keys.reserve(rows.size());
+  for (const RegressionInstance& ins : rows) {
+    keys.push_back({ins.stencil, ins.oc, ins.setting, ins.gpu});
+  }
+  ml::Matrix out;
+  cache_.assemble_aux_rows(out, keys, include_stencil_features);
   return out;
 }
 
@@ -399,11 +401,15 @@ std::vector<double> RegressionTask::predict_block_log(
     // GBR consumes raw (unscaled) features, matching fit_full.
     return gbr_->predict(aux);
   }
+  // The NN kinds scale into a reused scratch matrix: the batched sweeps
+  // call this once per 512-row block, and the allocating transform()
+  // dominated small-block latency.
+  aux_scaler_.transform_into(aux, scaled_scratch_);
   if (fitted_kind_ == RegressorKind::kMlp) {
-    return mlp_->predict(aux_scaler_.transform(aux));
+    return mlp_->predict(scaled_scratch_);
   }
   return convmlp_->predict_gathered(*unique_tensors, tensor_row,
-                                    aux_scaler_.transform(aux));
+                                    scaled_scratch_);
 }
 
 void RegressionTask::predict_pairs(
@@ -412,9 +418,9 @@ void RegressionTask::predict_pairs(
   if (!fitted_) throw std::logic_error("RegressionTask::predict before fit_full");
   const util::PhaseTimer timer("infer.predict_batch", pairs.size());
   const bool include_sf = fitted_kind_ != RegressorKind::kConvMlp;
-  const std::size_t dim = cache_.aux_dim(include_sf);
   ml::Matrix aux;
   ml::Matrix tensors;
+  std::vector<AuxRowKey> keys;
   // stencil -> block-local tensor row; reset (for touched entries only)
   // after each block.
   std::vector<int> stencil_slot;
@@ -424,13 +430,13 @@ void RegressionTask::predict_pairs(
   std::vector<std::size_t> tensor_row;
   for (std::size_t begin = 0; begin < pairs.size(); begin += kPredictRows) {
     const std::size_t n = std::min(pairs.size() - begin, kPredictRows);
-    aux.resize(n, dim);
-    util::parallel_for(n, [&](std::size_t i) {
+    keys.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
       const auto& [idx, gpu] = pairs[begin + i];
       const RegressionInstance& ins = instances_[idx];
-      cache_.assemble_aux_row(aux.row(i), ins.stencil, ins.oc, ins.setting,
-                              gpu, include_sf);
-    });
+      keys[i] = {ins.stencil, ins.oc, ins.setting, gpu};
+    }
+    cache_.assemble_aux_rows(aux, keys, include_sf);
     if (fitted_kind_ == RegressorKind::kConvMlp) {
       // An advisor sweep repeats each stencil across many OC/setting/GPU
       // rows: the conv branch only needs each distinct tensor once.

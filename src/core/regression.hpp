@@ -186,6 +186,12 @@ class RegressionTask {
   std::unique_ptr<ml::NnRegressor> mlp_;
   std::unique_ptr<ml::ConvMlpRegressor> convmlp_;
   ml::MaxAbsScaler aux_scaler_;
+  /// Scaled NN input of the block predict_block_log is running (mutable
+  /// scratch under logically-const predict paths). Safe because the batched
+  /// entry points iterate blocks serially, and concurrent predict calls on
+  /// one task were never supported — the NN predict itself mutates per-net
+  /// scratch buffers.
+  mutable ml::Matrix scaled_scratch_;
 };
 
 }  // namespace smart::core

@@ -35,16 +35,24 @@ void MaxAbsScaler::fit(const Matrix& x) {
 }
 
 Matrix MaxAbsScaler::transform(const Matrix& x) const {
+  Matrix out;
+  transform_into(x, out);
+  return out;
+}
+
+void MaxAbsScaler::transform_into(const Matrix& x, Matrix& out) const {
   if (x.cols() != scales_.size()) {
     throw std::invalid_argument("MaxAbsScaler: width mismatch");
   }
-  Matrix out = x;
+  if (&out == &x) {
+    throw std::invalid_argument("MaxAbsScaler::transform_into: aliased output");
+  }
+  out.reshape_overwrite(x.rows(), x.cols());
   for (std::size_t r = 0; r < out.rows(); ++r) {
     for (std::size_t c = 0; c < out.cols(); ++c) {
-      out.at(r, c) /= scales_[c];
+      out.at(r, c) = x.at(r, c) / scales_[c];
     }
   }
-  return out;
 }
 
 void MaxAbsScaler::save(std::ostream& out) const {

@@ -32,6 +32,10 @@ class MaxAbsScaler {
  public:
   void fit(const Matrix& x);
   Matrix transform(const Matrix& x) const;
+  /// transform() into a caller-owned matrix (reshaped as needed) so hot
+  /// inference loops reuse one scratch allocation per batch. Bit-identical
+  /// to transform(); `out` must not alias `x`.
+  void transform_into(const Matrix& x, Matrix& out) const;
   Matrix fit_transform(const Matrix& x) {
     fit(x);
     return transform(x);

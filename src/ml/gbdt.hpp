@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ml/dataset.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/tree.hpp"
 #include "util/rng.hpp"
 
@@ -30,6 +31,10 @@ class GbdtRegressor {
   /// Batched prediction: iterates trees-outer/rows-inner over cache-sized
   /// row blocks. Each row adds the trees in ensemble order, so every output
   /// is bit-identical to predict_row on that row for any thread count.
+  /// When ml::simd_enabled(), the inner walk uses the flattened lockstep
+  /// layout (FlatForest) — same comparisons, same double accumulation, so
+  /// still bit-identical in every precision mode; SMART_SIMD=0 falls back
+  /// to the per-row pointer walk.
   std::vector<double> predict(const Matrix& x) const;
 
   std::size_t num_trees() const noexcept { return trees_.size(); }
@@ -48,6 +53,7 @@ class GbdtRegressor {
   GbdtParams params_;
   FeatureBinner binner_;
   std::vector<RegressionTree> trees_;
+  FlatForest flat_;  // rebuilt by fit()/load(), never serialized
   double base_ = 0.0;
 };
 
@@ -67,7 +73,9 @@ class GbdtClassifier {
   /// Batched argmax prediction, trees-outer/rows-inner over row blocks with
   /// one score buffer per block (no per-row allocation). Labels equal
   /// predict_row on every row: the scores accumulate in ensemble order and
-  /// softmax is strictly monotone, so the argmax is unchanged.
+  /// softmax is strictly monotone, so the argmax is unchanged. Uses the
+  /// flattened lockstep walk when ml::simd_enabled() (bit-identical, see
+  /// GbdtRegressor::predict).
   std::vector<int> predict(const Matrix& x) const;
 
   int num_classes() const noexcept { return num_classes_; }
@@ -89,6 +97,7 @@ class GbdtClassifier {
   GbdtParams params_;
   FeatureBinner binner_;
   std::vector<RegressionTree> trees_;  // rounds x classes, row-major
+  FlatForest flat_;  // rebuilt by fit()/load(), never serialized
   int num_classes_ = 0;
   std::vector<double> base_scores_;    // log class priors
 };

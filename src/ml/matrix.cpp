@@ -83,7 +83,20 @@ constexpr std::size_t kJTile = 8;
 /// the plain tiled kernel.
 constexpr std::size_t kITile = 4;
 
-/// NR output rows of C = A * B, j-tiled. Per output element the
+/// Epilogue shared by the tiled kernels: the raw accumulator when
+/// `bias == nullptr`, else the accumulator plus the broadcast bias, through
+/// ReLU when `relu`. The bias add and the max are one FP op each, applied
+/// after the full k sum — the exact per-element sequence of the legacy
+/// matmul-then-bias-loop-then-ReLU-pass, so fused results are bit-identical
+/// to the unfused ones.
+inline float finish_elem(float acc, const float* bias, std::size_t j,
+                         bool relu) {
+  if (bias != nullptr) acc += bias[j];
+  if (relu) acc = acc > 0.0f ? acc : 0.0f;
+  return acc;
+}
+
+/// NR output rows of C = act(A * B + bias), j-tiled. Per output element the
 /// accumulation runs over k ascending (zero a(i,k) skipped), exactly like
 /// the untiled i-k-j loop this replaces — blocking only changes where
 /// partial sums live and which elements progress together, never the order
@@ -91,7 +104,7 @@ constexpr std::size_t kITile = 4;
 /// for any NR and identical to the single-row kernel.
 template <std::size_t NR>
 inline void matmul_rows_tiled(const Matrix& a, const Matrix& b, Matrix& c,
-                              std::size_t i0) {
+                              std::size_t i0, const float* bias, bool relu) {
   const std::size_t inner = a.cols();
   const std::size_t cols = b.cols();
   const float* arow[NR];
@@ -112,7 +125,9 @@ inline void matmul_rows_tiled(const Matrix& a, const Matrix& b, Matrix& c,
       }
     }
     for (std::size_t r = 0; r < NR; ++r) {
-      for (std::size_t t = 0; t < kJTile; ++t) crow[r][j0 + t] = acc[r][t];
+      for (std::size_t t = 0; t < kJTile; ++t) {
+        crow[r][j0 + t] = finish_elem(acc[r][t], bias, j0 + t, relu);
+      }
     }
   }
   if (j0 < cols) {
@@ -127,34 +142,60 @@ inline void matmul_rows_tiled(const Matrix& a, const Matrix& b, Matrix& c,
       }
     }
     for (std::size_t r = 0; r < NR; ++r) {
-      for (std::size_t t = 0; t < width; ++t) crow[r][j0 + t] = acc[r][t];
+      for (std::size_t t = 0; t < width; ++t) {
+        crow[r][j0 + t] = finish_elem(acc[r][t], bias, j0 + t, relu);
+      }
     }
   }
 }
 
 /// All rows of the block [i0, i0 + n): full kITile groups, then singles.
 inline void matmul_block(const Matrix& a, const Matrix& b, Matrix& c,
-                         std::size_t i0, std::size_t n) {
+                         std::size_t i0, std::size_t n, const float* bias,
+                         bool relu) {
   std::size_t i = i0;
-  for (; i + kITile <= i0 + n; i += kITile) matmul_rows_tiled<kITile>(a, b, c, i);
-  for (; i < i0 + n; ++i) matmul_rows_tiled<1>(a, b, c, i);
+  for (; i + kITile <= i0 + n; i += kITile) {
+    matmul_rows_tiled<kITile>(a, b, c, i, bias, relu);
+  }
+  for (; i < i0 + n; ++i) matmul_rows_tiled<1>(a, b, c, i, bias, relu);
 }
 
-}  // namespace
-
-void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
+/// Shared driver of the strict kernels; `bias == nullptr` for plain matmul.
+void matmul_fused_driver(const Matrix& a, const Matrix& b, Matrix& c,
+                         const float* bias, bool relu) {
   if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
-  c.resize(a.rows(), b.cols());
+  if (&c == &a || &c == &b) {
+    throw std::invalid_argument("matmul_into: output aliases an input");
+  }
+  // The kernels write every element of c, so skip resize()'s zero-fill.
+  c.reshape_overwrite(a.rows(), b.cols());
   if (worth_parallel(a.rows(), a.cols(), b.cols())) {
     // One task per kITile row group (disjoint writes, any thread count).
     const std::size_t groups = (a.rows() + kITile - 1) / kITile;
     util::parallel_for(groups, [&](std::size_t gidx) {
       const std::size_t i0 = gidx * kITile;
-      matmul_block(a, b, c, i0, std::min(kITile, a.rows() - i0));
+      matmul_block(a, b, c, i0, std::min(kITile, a.rows() - i0), bias, relu);
     });
   } else {
-    matmul_block(a, b, c, 0, a.rows());
+    matmul_block(a, b, c, 0, a.rows(), bias, relu);
   }
+}
+
+}  // namespace
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  matmul_fused_driver(a, b, c, nullptr, false);
+}
+
+void matmul_bias_act_into(const Matrix& a, const Matrix& b, const Matrix& bias,
+                          bool relu, Matrix& c) {
+  if (bias.rows() != 1 || bias.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_bias_act_into: bad bias shape");
+  }
+  if (&c == &bias) {
+    throw std::invalid_argument("matmul_bias_act_into: output aliases bias");
+  }
+  matmul_fused_driver(a, b, c, bias.row(0).data(), relu);
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {

@@ -49,6 +49,16 @@ class Matrix {
     data_.assign(rows * cols, value);
   }
 
+  /// Reshapes like resize() but leaves element values unspecified (stale
+  /// contents from an earlier, possibly larger shape may remain). Only for
+  /// callers that overwrite every element before reading — the matmul
+  /// kernels do, which saves resize()'s O(rows*cols) zero-fill per batch.
+  void reshape_overwrite(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// He-uniform initialization for layer weights (fan_in = rows()).
   void init_he(util::Rng& rng);
 
@@ -76,7 +86,32 @@ Matrix matmul(const Matrix& a, const Matrix& b);
 /// inference loops reuse one allocation. Uses a register-tiled i-k-j kernel;
 /// every output element still accumulates over k in ascending order, so the
 /// result is bit-identical to matmul() and independent of the tiling.
+/// Throws std::invalid_argument when `c` aliases an input: the kernel
+/// reshapes and overwrites `c` before it finishes reading A and B, so an
+/// aliased call would silently corrupt the product.
 void matmul_into(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Strict fused inference kernel: C = act(A * B + bias) with `bias` a
+/// 1 x cols(B) row broadcast over the batch and act = ReLU when `relu`,
+/// identity otherwise. Per element this performs exactly the operations of
+/// matmul_into() followed by the legacy bias loop and ReLU pass, in the
+/// same order (sum over k ascending, then one bias add, then the max) — so
+/// fusing is bit-identical to the unfused three-pass path; it only removes
+/// the intermediate memory traffic. Same aliasing rule as matmul_into().
+void matmul_bias_act_into(const Matrix& a, const Matrix& b, const Matrix& bias,
+                          bool relu, Matrix& c);
+
+/// Relaxed float32 variant of matmul_bias_act_into() (the SMART_PRECISION
+/// "f32" mode, DESIGN.md §13): accumulation is still per-element over k
+/// ascending, but mul+add may contract to FMA and the column-remainder path
+/// splits the dot product over interleaved partial sums, so results are
+/// only tolerance-equivalent to the strict kernel. Dispatches once at
+/// runtime to the widest ISA this CPU supports (ml::dispatch_isa()) and
+/// falls back to a portable scalar-vector build elsewhere. For a fixed
+/// machine the output is deterministic and independent of batch size,
+/// blocking and thread count, exactly like the strict kernel.
+void matmul_bias_act_relaxed_into(const Matrix& a, const Matrix& b,
+                                  const Matrix& bias, bool relu, Matrix& c);
 
 /// C = A * B^T ((n x k) * (m x k) -> n x m).
 Matrix matmul_bt(const Matrix& a, const Matrix& b);

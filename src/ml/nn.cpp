@@ -5,6 +5,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "ml/simd.hpp"
 #include "util/serialize_io.hpp"
 #include "util/task_pool.hpp"
 
@@ -44,6 +45,14 @@ void Dense::infer(const Matrix& x, Matrix& out) {
   matmul_into(x, w_, out);
   for (std::size_t r = 0; r < out.rows(); ++r) {
     for (std::size_t c = 0; c < out.cols(); ++c) out.at(r, c) += b_.at(0, c);
+  }
+}
+
+void Dense::infer_fused(const Matrix& x, Matrix& out, bool relu) {
+  if (inference_precision() == Precision::kRelaxed) {
+    matmul_bias_act_relaxed_into(x, w_, b_, relu, out);
+  } else {
+    matmul_bias_act_into(x, w_, b_, relu, out);
   }
 }
 
@@ -438,9 +447,22 @@ const Matrix& Sequential::infer(const Matrix& x) {
     return infer_a_;
   }
   const Matrix* cur = &x;
-  for (auto& layer : layers_) {
+  // Peephole: a Dense immediately followed by ReLU runs as one fused kernel
+  // step (strict fusion is bit-identical, see matmul_bias_act_into), so the
+  // hot MLP path does one pass per layer pair instead of three. SMART_SIMD=0
+  // falls back to the plain per-layer walk.
+  const bool fuse = simd_enabled();
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
     Matrix& dst = (cur == &infer_a_) ? infer_b_ : infer_a_;
-    layer->infer(*cur, dst);
+    Dense* dense = fuse ? dynamic_cast<Dense*>(layers_[i].get()) : nullptr;
+    if (dense != nullptr) {
+      const bool relu = i + 1 < layers_.size() &&
+                        dynamic_cast<ReLU*>(layers_[i + 1].get()) != nullptr;
+      dense->infer_fused(*cur, dst, relu);
+      if (relu) ++i;
+    } else {
+      layers_[i]->infer(*cur, dst);
+    }
     cur = &dst;
   }
   return *cur;

@@ -18,7 +18,17 @@ void FeatureBinner::fit(const Matrix& x, int max_bins) {
   edges_.assign(x.cols(), {});
   std::vector<float> column(x.rows());
   for (std::size_t f = 0; f < x.cols(); ++f) {
-    for (std::size_t r = 0; r < x.rows(); ++r) column[r] = x.at(r, f);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      column[r] = x.at(r, f);
+      // Reject NaN at training time: it breaks nth_element's ordering
+      // below, and quarantined rows (the NaN-times convention) must never
+      // reach a fit. Prediction-time NaN is defined instead: it routes
+      // right at every split (see RegressionTree::predict_row).
+      if (std::isnan(column[r])) {
+        throw std::invalid_argument(
+            "FeatureBinner::fit: NaN feature value (train on finite rows)");
+      }
+    }
     // Only max_bins-1 quantile ranks are needed, not a total order: select
     // each rank with nth_element over the remaining suffix (the ranks are
     // ascending, so after partitioning at `done` every later rank lives in
@@ -259,6 +269,8 @@ double RegressionTree::predict_row(std::span<const float> features) const {
   int idx = 0;
   while (nodes_[static_cast<std::size_t>(idx)].feature >= 0) {
     const Node& n = nodes_[static_cast<std::size_t>(idx)];
+    // `<=` is false for NaN, so a NaN feature routes right at every split
+    // (the explicit contract shared with FlatForest's lockstep walk).
     idx = features[static_cast<std::size_t>(n.feature)] <= n.threshold
               ? n.left
               : n.right;

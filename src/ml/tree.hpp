@@ -22,6 +22,11 @@ inline constexpr int kMaxBins = 32;
 /// Per-feature quantile bin edges shared by every tree of an ensemble.
 class FeatureBinner {
  public:
+  /// Computes quantile bin edges per feature column. Throws
+  /// std::invalid_argument when any value is NaN: NaN violates
+  /// nth_element's strict weak ordering, and a tree fitted on NaN rows
+  /// would silently learn from the arbitrary routing. (Prediction-time NaN
+  /// is legal and routes right — see RegressionTree.)
   void fit(const Matrix& x, int max_bins = kMaxBins);
 
   /// Bin index of value `v` for feature `f` (0..bins(f)-1).
@@ -46,8 +51,24 @@ struct TreeParams {
 };
 
 /// A fitted tree. Nodes are stored in a flat array; leaves carry weights.
+///
+/// NaN routing contract: prediction traverses with `value <= threshold ?
+/// left : right`, so a NaN feature fails the comparison at every split and
+/// deterministically routes to the right ("greater") child — the same
+/// convention in the pointer walk here and in the flattened lockstep layout
+/// (ml/flat_forest.hpp). Training inputs must be NaN-free: FeatureBinner::
+/// fit rejects NaN outright (NaN breaks nth_element's ordering), so NaN can
+/// only ever appear at prediction time.
 class RegressionTree {
  public:
+  struct Node {
+    int feature = -1;      // -1 for leaves
+    float threshold = 0.0; // go left if value <= threshold (NaN goes right)
+    int left = -1;
+    int right = -1;
+    double weight = 0.0;   // leaf value
+  };
+
   /// Fits to gradients/hessians over the given row subset.
   /// `binned` is bin_matrix() output for the full matrix `x`.
   void fit(const Matrix& x, std::span<const std::uint8_t> binned,
@@ -72,15 +93,10 @@ class RegressionTree {
   void save(std::ostream& out) const;
   static RegressionTree load(std::istream& in);
 
- private:
-  struct Node {
-    int feature = -1;      // -1 for leaves
-    float threshold = 0.0; // go left if value <= threshold
-    int left = -1;
-    int right = -1;
-    double weight = 0.0;   // leaf value
-  };
+  /// Fitted nodes (index 0 is the root) — consumed by FlatForest::build.
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
 
+ private:
   int build(const Matrix& x, std::span<const std::uint8_t> binned,
             const FeatureBinner& binner, std::span<const double> g,
             std::span<const double> h, std::vector<std::size_t>& rows,
