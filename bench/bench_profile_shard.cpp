@@ -1,0 +1,228 @@
+// Sharded profiling bench: times each `--shard i/4` sweep against the
+// single-process sweep over the same corpus (DESIGN.md §14). The point of
+// sharding is fleet wall-clock: shard i pays the shared stages (stencil
+// generation + settings sampling) plus only its ~1/N slice of the
+// measure/analyze work, so the slowest shard must come in well under the
+// full sweep. Before any timing is reported, the four shard corpora are
+// merged and the result is asserted bit-identical — serialized bytes and
+// dataset_checksum — to the single-process corpus; a mismatch exits 1.
+//
+// All builds run single-threaded (util::SerialSection) so the ratio
+// measures work partitioning alone, not thread fan-out. Appends one
+// trajectory point per dimensionality to BENCH_shard.json (override with
+// SMART_BENCH_JSON). The acceptance gate — max per-shard wall <= 40% of
+// the single-process sweep — applies to the profiling-bound 3-D corpus at
+// SMART_SCALE=1.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common.hpp"
+#include "core/corpus_merge.hpp"
+#include "core/serialize.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <typename F>
+double wall_ms(F&& f) {
+  const auto start = Clock::now();
+  f();
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::string timestamp_utc() {
+  const std::time_t now = std::time(nullptr);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", std::gmtime(&now));
+  return buf;
+}
+
+constexpr std::size_t kShards = 4;
+
+struct BenchPoint {
+  int dims = 0;
+  std::size_t units = 0;         // (stencil, OC, GPU) work units
+  double single_ms = 0.0;        // unsharded build_profile_dataset wall
+  double max_shard_ms = 0.0;     // slowest of the 4 shard builds
+  double mean_shard_ms = 0.0;
+  double merge_ms = 0.0;         // merge_shard_corpora wall
+  double ratio = 0.0;            // max_shard_ms / single_ms
+  bool identical = false;        // merged == single, bitwise
+};
+
+/// Appends the points to a flat JSON array file (created if missing) so
+/// successive runs build a perf trajectory.
+void append_json(const std::string& path, const std::vector<BenchPoint>& points,
+                 double scale) {
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+  std::string body;
+  const auto open = existing.find('[');
+  const auto close = existing.rfind(']');
+  if (open != std::string::npos && close != std::string::npos && close > open) {
+    body = existing.substr(0, close);
+    while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
+      body.pop_back();
+    }
+  } else {
+    body = "[";
+  }
+  std::ostringstream out;
+  out << body;
+  const std::string stamp = timestamp_utc();
+  for (const BenchPoint& p : points) {
+    out << (body.size() > 1 ? ",\n" : "\n");
+    out << "  {\"bench\": \"profile_shard\", \"date\": \"" << stamp
+        << "\", \"scale\": " << scale << ", \"dims\": " << p.dims
+        << ", \"shards\": " << kShards << ", \"units\": " << p.units
+        << ", \"single_ms\": " << smart::util::format_double(p.single_ms, 2)
+        << ", \"max_shard_ms\": "
+        << smart::util::format_double(p.max_shard_ms, 2)
+        << ", \"mean_shard_ms\": "
+        << smart::util::format_double(p.mean_shard_ms, 2)
+        << ", \"merge_ms\": " << smart::util::format_double(p.merge_ms, 2)
+        << ", \"max_shard_ratio\": " << smart::util::format_double(p.ratio, 3)
+        << ", \"identical\": " << (p.identical ? "true" : "false") << "}";
+    body += "x";  // any non-"[" content switches to the comma separator
+  }
+  out << "\n]\n";
+  std::ofstream f(path, std::ios::trunc);
+  f << out.str();
+}
+
+std::string serialized(const smart::core::ProfileDataset& ds) {
+  std::ostringstream out;
+  smart::core::save_dataset(ds, out);
+  return out.str();
+}
+
+}  // namespace
+
+int main() {
+  using namespace smart;
+  bench::print_banner(
+      "sharded profiling fleet wall-clock",
+      "profile --shard i/4 vs the single-process sweep (DESIGN.md §14)");
+
+  const int repeats = [] {
+    const char* env = std::getenv("SMART_BENCH_REPEATS");
+    const int r = env ? std::atoi(env) : 3;
+    return r > 0 ? r : 1;
+  }();
+
+  util::Table table({"dims", "units", "single(ms)", "max-shard(ms)",
+                     "mean-shard(ms)", "merge(ms)", "max/single", "identical"});
+  std::vector<BenchPoint> points;
+  bool all_identical = true;
+
+  for (const int dims : {2, 3}) {
+    const auto cfg = bench::scaled_profile_config(dims);
+
+    // One thread: the ratio below must come from work partitioning alone.
+    const util::SerialSection serial;
+
+    BenchPoint p;
+    p.dims = dims;
+
+    // Min over INTERLEAVED repeats: every build produces the identical
+    // dataset, so the fastest run is the least-interference estimate — and
+    // each round times the single build and all four shard builds
+    // back-to-back, so slow machine drift (thermal/frequency states lasting
+    // seconds) hits every configuration alike instead of whichever block of
+    // repeats happened to run during it.
+    core::ProfileDataset single;
+    std::vector<core::ProfileDataset> shards(kShards);
+    p.single_ms = std::numeric_limits<double>::infinity();
+    std::vector<double> shard_best(
+        kShards, std::numeric_limits<double>::infinity());
+    for (int rep = 0; rep < repeats; ++rep) {
+      core::ProfileDataset built;
+      p.single_ms = std::min(
+          p.single_ms, wall_ms([&] { built = core::build_profile_dataset(cfg); }));
+      single = std::move(built);
+      for (std::size_t i = 0; i < kShards; ++i) {
+        core::ProfileRunOptions opts;
+        opts.shard = core::ShardSpec{i, kShards};
+        core::ProfileDataset shard;
+        shard_best[i] = std::min(shard_best[i], wall_ms([&] {
+                                   shard = core::build_profile_dataset(cfg, opts);
+                                 }));
+        shards[i] = std::move(shard);
+      }
+    }
+    p.units = single.stencils.size() * core::ProfileDataset::num_ocs() *
+              single.num_gpus();
+
+    std::vector<std::string> sources;
+    double shard_sum = 0.0;
+    for (std::size_t i = 0; i < kShards; ++i) {
+      p.max_shard_ms = std::max(p.max_shard_ms, shard_best[i]);
+      shard_sum += shard_best[i];
+      sources.push_back("shard" + std::to_string(i));
+    }
+    p.mean_shard_ms = shard_sum / static_cast<double>(kShards);
+
+    core::ProfileDataset merged;
+    p.merge_ms = wall_ms(
+        [&] { merged = core::merge_shard_corpora(std::move(shards), sources); });
+
+    p.identical = serialized(merged) == serialized(single) &&
+                  core::dataset_checksum(merged) ==
+                      core::dataset_checksum(single);
+    all_identical = all_identical && p.identical;
+    p.ratio = p.single_ms > 0.0 ? p.max_shard_ms / p.single_ms : 0.0;
+    points.push_back(p);
+
+    table.row()
+        .add(static_cast<long long>(p.dims))
+        .add(static_cast<long long>(p.units))
+        .add(p.single_ms, 1)
+        .add(p.max_shard_ms, 1)
+        .add(p.mean_shard_ms, 1)
+        .add(p.merge_ms, 1)
+        .add(p.ratio, 3)
+        .add(p.identical ? "yes" : "NO");
+  }
+
+  bench::emit(table, "profile_shard");
+
+  for (const BenchPoint& p : points) {
+    if (p.dims == 3) {
+      // The 3-D corpus is where profiling cost lives (PR 4): the shared
+      // stages are a small fraction of the build, so a 4-way shard split
+      // must cut the slowest shard's wall clock to <= 40%.
+      std::cout << "   profiling-bound 3-D corpus: slowest shard at "
+                << util::format_double(100.0 * p.ratio, 1)
+                << "% of the single-process sweep"
+                << " (acceptance gate at scale 1: <= 40%)\n";
+    }
+  }
+
+  if (!all_identical) {
+    std::cout << "FAIL: merged shard corpora diverge from the single-process "
+                 "corpus\n";
+    return 1;
+  }
+
+  const char* env_path = std::getenv("SMART_BENCH_JSON");
+  const std::string json_path = env_path ? env_path : "BENCH_shard.json";
+  append_json(json_path, points, util::experiment_scale());
+  std::cout << "   [json] " << json_path << "\n";
+  return 0;
+}

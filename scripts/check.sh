@@ -221,6 +221,131 @@ for threads in 1 4; do
 done
 echo "OK: kill -9 + --resume reproduces the golden corpus at 1 and 4 threads"
 
+echo "== sharded profiling + deterministic merge (N in {1,3,4} x SMART_THREADS {1,4}) =="
+# DESIGN.md §14: N shard sweeps over the golden 500-stencil corpus, merged,
+# must be BYTE-identical to the uninterrupted single-process corpus — the
+# checksum must equal the golden value and the serialized file must survive
+# cmp(1) — at both thread counts.
+"$SMARTCTL" "${GOLDEN_ARGS[@]}" --out "$ARTDIR/single.txt" >/dev/null
+for threads in 1 4; do
+  for n in 1 3 4; do
+    shard_files=()
+    for ((i = 0; i < n; ++i)); do
+      f="$ARTDIR/shard_t${threads}_n${n}_${i}.txt"
+      SMART_THREADS=$threads "$SMARTCTL" "${GOLDEN_ARGS[@]}" \
+        --shard "$i/$n" --out "$f" >/dev/null
+      shard_files+=("$f")
+    done
+    got=$(SMART_THREADS=$threads "$SMARTCTL" merge --out "$ARTDIR/merged.txt" \
+            "${shard_files[@]}" --checksum | grep '^checksum')
+    echo "  SMART_THREADS=$threads N=$n -> $got"
+    if [[ "$got" != "$GOLDEN_WANT" ]]; then
+      echo "FAIL: merged corpus checksum drifted from the golden value" >&2
+      exit 1
+    fi
+    if ! cmp -s "$ARTDIR/merged.txt" "$ARTDIR/single.txt"; then
+      echo "FAIL: merged corpus bytes differ from the single-process corpus" >&2
+      exit 1
+    fi
+  done
+done
+echo "OK: every shard partition merges byte-identical to the single-process corpus"
+
+echo "== sharded profiling: kill -9 one shard, --resume it, merge =="
+# SIGKILL shard 1 of 3 mid-sweep, resume it from its journal, and the merge
+# must still reproduce the single-process bytes.
+interrupted=0
+for try in 1 2 3 4 5; do
+  rm -f "$ARTDIR/shard_kill_journal.txt"
+  SMART_THREADS=4 "$SMARTCTL" "${GOLDEN_ARGS[@]}" --shard 1/3 \
+    --journal "$ARTDIR/shard_kill_journal.txt" \
+    --out "$ARTDIR/shard_killed.txt" >/dev/null 2>&1 &
+  victim=$!
+  while kill -0 "$victim" 2>/dev/null; do
+    lines=$(wc -l < "$ARTDIR/shard_kill_journal.txt" 2>/dev/null || echo 0)
+    if (( lines >= 3000 )); then
+      kill -9 "$victim" 2>/dev/null || true
+      break
+    fi
+  done
+  set +e
+  wait "$victim"
+  rc=$?
+  set -e
+  if [[ $rc -ne 0 ]]; then
+    interrupted=1
+    break
+  fi
+done
+if [[ $interrupted -ne 1 ]]; then
+  echo "FAIL: could not interrupt the shard sweep (machine too fast?)" >&2
+  exit 1
+fi
+SMART_THREADS=4 "$SMARTCTL" "${GOLDEN_ARGS[@]}" --shard 1/3 \
+  --journal "$ARTDIR/shard_kill_journal.txt" --resume \
+  --out "$ARTDIR/shard_killed.txt" | sed 's/^/  /'
+"$SMARTCTL" merge --out "$ARTDIR/merged.txt" \
+  "$ARTDIR/shard_t4_n3_0.txt" "$ARTDIR/shard_killed.txt" \
+  "$ARTDIR/shard_t4_n3_2.txt" >/dev/null
+if ! cmp -s "$ARTDIR/merged.txt" "$ARTDIR/single.txt"; then
+  echo "FAIL: merge after kill -9 + --resume differs from the single-process corpus" >&2
+  exit 1
+fi
+echo "OK: a killed-and-resumed shard merges byte-identical to the single-process corpus"
+
+echo "== sharded profiling: fault-injected shards merge byte-identical =="
+# The same fault spec (transient retries + permanent quarantines) applied to
+# the single run and to every shard: quarantine records must fold back into
+# the canonical single-run order and the bytes must match.
+SHARD_FAULTS="seed=13;measure:transient:p=0.05;measure:permanent:p=0.01"
+SHARD_FAULT_ARGS=(profile --dims 2 --stencils 20 --samples 2 --seed 7)
+"$SMARTCTL" "${SHARD_FAULT_ARGS[@]}" --faults "$SHARD_FAULTS" \
+  --out "$ARTDIR/fault_single.txt" | sed 's/^/  single: /'
+if ! grep -q 'quarantined' <("$SMARTCTL" "${SHARD_FAULT_ARGS[@]}" --faults "$SHARD_FAULTS"); then
+  echo "FAIL: fault spec quarantined nothing (gate is vacuous)" >&2
+  exit 1
+fi
+fault_files=()
+for i in 0 1 2; do
+  f="$ARTDIR/fault_shard_$i.txt"
+  SMART_THREADS=4 "$SMARTCTL" "${SHARD_FAULT_ARGS[@]}" --faults "$SHARD_FAULTS" \
+    --shard "$i/3" --out "$f" >/dev/null
+  fault_files+=("$f")
+done
+"$SMARTCTL" merge --out "$ARTDIR/fault_merged.txt" "${fault_files[@]}" >/dev/null
+if ! cmp -s "$ARTDIR/fault_merged.txt" "$ARTDIR/fault_single.txt"; then
+  echo "FAIL: fault-injected merge differs from the single-process corpus" >&2
+  exit 1
+fi
+echo "OK: fault-injected shards merge byte-identical, quarantines in canonical order"
+
+echo "== sharded profiling: merge validation rejects bad partitions =="
+set +e
+"$SMARTCTL" merge --out "$ARTDIR/merged.txt" \
+  "$ARTDIR/fault_shard_0.txt" "$ARTDIR/fault_shard_1.txt" \
+  >/dev/null 2>"$ARTDIR/merge_err.txt"
+rc_missing=$?
+"$SMARTCTL" merge --out "$ARTDIR/merged.txt" \
+  "$ARTDIR/fault_shard_0.txt" "$ARTDIR/fault_shard_0.txt" \
+  "$ARTDIR/fault_shard_2.txt" >/dev/null 2>"$ARTDIR/merge_err2.txt"
+rc_dup=$?
+"$SMARTCTL" profile --shard 3/3 >/dev/null 2>"$ARTDIR/shard_usage_err.txt"
+rc_shard_usage=$?
+set -e
+if [[ $rc_missing -ne 1 ]] || ! grep -q '^smartctl: error: merge:.*missing shard' "$ARTDIR/merge_err.txt"; then
+  echo "FAIL: incomplete partition should exit 1 with a missing-shard diagnostic" >&2
+  exit 1
+fi
+if [[ $rc_dup -ne 1 ]] || ! grep -q '^smartctl: error: merge:.*duplicate shard' "$ARTDIR/merge_err2.txt"; then
+  echo "FAIL: duplicate shard should exit 1 with a duplicate-shard diagnostic" >&2
+  exit 1
+fi
+if [[ $rc_shard_usage -ne 2 ]]; then
+  echo "FAIL: --shard 3/3 should be a usage error (rc 2, got $rc_shard_usage)" >&2
+  exit 1
+fi
+echo "OK: incomplete/duplicate partitions exit 1 with context; bad --shard grammar exits 2"
+
 echo "== serve daemon: response-set determinism matrix =="
 # The resident daemon's reply bytes must depend only on (verb, stencil, GPU)
 # and the model — never on batch composition, thread count, or arrival

@@ -14,6 +14,7 @@
 
 #include "codegen/cuda_codegen.hpp"
 #include "core/advisor_server.hpp"
+#include "core/corpus_merge.hpp"
 #include "core/mart.hpp"
 #include "core/serialize.hpp"
 #include "core/stencilmart.hpp"
@@ -71,6 +72,56 @@ int cmd_generate(const CommandLine& cmd, std::ostream& out) {
   return 0;
 }
 
+/// Strict `--shard i/N` grammar: two full decimal tokens around one '/',
+/// N >= 1, i < N. Everything else — "2/2", "x/3", "1/3junk", "1/", "/3",
+/// "-1/3", "1/0" — is a usage error (rc 2 + usage text), caught before any
+/// expensive work.
+core::ShardSpec parse_shard_option(const std::string& text) {
+  const auto reject = [&text]() -> void {
+    throw std::invalid_argument("profile: --shard must be i/N with 0 <= i < N "
+                                "(got '" + text + "')");
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) reject();
+  std::uint64_t index = 0;
+  std::uint64_t count = 0;
+  if (!util::parse_u64_strict(text.substr(0, slash), index) ||
+      !util::parse_u64_strict(text.substr(slash + 1), count)) {
+    reject();
+  }
+  if (count == 0 || index >= count) reject();
+  return core::ShardSpec{static_cast<std::size_t>(index),
+                         static_cast<std::size_t>(count)};
+}
+
+/// `profile --shard i/N --plan`: the fleet-planning view. Runs only the
+/// cheap stencil-generation stage and prints every shard's owned-unit
+/// count, so operators can sanity-check partition balance before paying
+/// for N real sweeps.
+int shard_plan(const core::ProfileConfig& config, const core::ShardSpec& shard,
+               std::ostream& out) {
+  const auto counts = core::shard_unit_counts(config, shard.count);
+  std::size_t total = 0;
+  for (const std::size_t c : counts) total += c;
+  util::Table table({"shard", "units", "share"});
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    std::string label = std::to_string(i) + "/" + std::to_string(shard.count);
+    if (i == shard.index) label += " *";
+    table.row()
+        .add(label)
+        .add(static_cast<long long>(counts[i]))
+        .add(total > 0 ? 100.0 * static_cast<double>(counts[i]) /
+                             static_cast<double>(total)
+                       : 0.0,
+             1);
+  }
+  table.print(out);
+  out << "plan: " << total << " work units over " << shard.count
+      << " shards (ideal " << total / shard.count
+      << " per shard); no measurements were run\n";
+  return 0;
+}
+
 int cmd_profile(const CommandLine& cmd, std::ostream& out) {
   core::ProfileConfig config;
   config.dims = cmd.get_int("dims", 2);
@@ -82,11 +133,18 @@ int cmd_profile(const CommandLine& cmd, std::ostream& out) {
   run.journal_path = cmd.get("journal", "");
   run.resume = cmd.get_int("resume", 0) != 0;
   run.retries = cmd.get_int("retries", run.retries);
+  if (cmd.has("shard")) run.shard = parse_shard_option(cmd.get("shard", ""));
   if (run.resume && run.journal_path.empty()) {
     throw std::invalid_argument("profile: --resume requires --journal FILE");
   }
   if (run.retries < 0) {
     throw std::invalid_argument("profile: --retries must be >= 0");
+  }
+  if (cmd.get_int("plan", 0) != 0) {
+    if (!cmd.has("shard")) {
+      throw std::invalid_argument("profile: --plan requires --shard i/N");
+    }
+    return shard_plan(config, run.shard, out);
   }
   // --faults scopes the injected schedule to this run; it overrides (and on
   // exit restores) any SMART_FAULTS environment spec.
@@ -100,6 +158,20 @@ int cmd_profile(const CommandLine& cmd, std::ostream& out) {
       << core::ProfileDataset::num_ocs() << " OCs x "
       << dataset.num_gpus() << " GPUs (" << dataset.num_instances()
       << " instances, " << util::parallel_threads() << " threads)\n";
+  if (run.shard.sharded()) {
+    const std::size_t total = dataset.stencils.size() *
+                              core::ProfileDataset::num_ocs() *
+                              dataset.num_gpus();
+    out << "shard " << run.shard.index << '/' << run.shard.count << ": owned "
+        << dataset.owned_units << "/" << total << " units ("
+        << util::format_double(total > 0 ? 100.0 *
+                                               static_cast<double>(
+                                                   dataset.owned_units) /
+                                               static_cast<double>(total)
+                                         : 0.0,
+                               1)
+        << "% of the sweep; ideal " << total / run.shard.count << ")\n";
+  }
   if (dataset.resumed_units > 0) {
     out << "resumed " << dataset.resumed_units << " completed units from "
         << run.journal_path << '\n';
@@ -119,6 +191,44 @@ int cmd_profile(const CommandLine& cmd, std::ostream& out) {
     core::save_dataset(dataset, cmd.get("out", ""));
     out << "saved to " << cmd.get("out", "") << '\n';
   }
+  return 0;
+}
+
+/// `smartctl merge --out FILE SHARD...`: fold shard corpora back into the
+/// single-run corpus. Validation (partition completeness, run identity,
+/// ownership) lives in core::merge_shard_corpora; load errors carry
+/// "<file>:<line>:" context from core::load_dataset. Both surface through
+/// the PR 5 exit-code contract (rc 1, one-line `smartctl: error:`).
+int cmd_merge(const CommandLine& cmd, std::ostream& out) {
+  if (!cmd.has("out")) {
+    throw std::invalid_argument("merge: --out FILE is required");
+  }
+  if (cmd.positional.empty()) {
+    throw std::invalid_argument(
+        "merge: at least one shard corpus file is required");
+  }
+  std::vector<core::ProfileDataset> shards;
+  shards.reserve(cmd.positional.size());
+  for (const std::string& path : cmd.positional) {
+    shards.push_back(core::load_dataset(path));
+  }
+  auto merged = core::merge_shard_corpora(std::move(shards), cmd.positional);
+  core::save_dataset(merged, cmd.get("out", ""));
+  out << "merged " << cmd.positional.size() << " shard"
+      << (cmd.positional.size() == 1 ? "" : "s") << " -> "
+      << cmd.get("out", "") << " (" << merged.stencils.size()
+      << " stencils, " << merged.owned_units << " work units";
+  if (!merged.quarantined.empty()) {
+    out << ", " << merged.quarantined.size() << " quarantined";
+  }
+  out << ")\n";
+  if (cmd.get_int("checksum", 0) != 0) {
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(core::dataset_checksum(merged)));
+    out << "checksum " << digest << '\n';
+  }
+  if (cmd.get_int("timing", 0) != 0) out << util::timing_report();
   return 0;
 }
 
@@ -481,7 +591,7 @@ std::uint64_t CommandLine::get_u64(const std::string& key,
 /// next option.
 bool is_boolean_flag(const std::string& key) {
   return key == "resume" || key == "checksum" || key == "timing" ||
-         key == "stdio";
+         key == "stdio" || key == "plan";
 }
 
 CommandLine parse_command_line(const std::vector<std::string>& args) {
@@ -491,8 +601,15 @@ CommandLine parse_command_line(const std::vector<std::string>& args) {
     throw std::invalid_argument("expected a subcommand before options");
   }
   cmd.command = args[0];
+  // Only merge takes positional operands (its shard files); everywhere else
+  // a bare token is a typo and must stay a loud parse error.
+  const bool allow_positional = cmd.command == "merge";
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (!args[i].starts_with("--")) {
+      if (allow_positional) {
+        cmd.positional.push_back(args[i]);
+        continue;
+      }
       throw std::invalid_argument("unexpected token '" + args[i] + "'");
     }
     const std::string key = args[i].substr(2);
@@ -520,6 +637,10 @@ std::string usage() {
       "           [--retries N] [--faults SPEC]             fault injection\n"
       "           (SPEC: seed=N;measure:transient:p=P[:fails=K];\n"
       "                  measure:permanent:p=P;worker:p=P[:fails=K];io:p=P)\n"
+      "           [--shard i/N [--plan]]                     sweep shard i of N\n"
+      "                                                      (--plan: counts only)\n"
+      "  merge    --out FILE SHARD... [--checksum] [--timing]\n"
+      "           fold N shard corpora into the bit-identical single-run corpus\n"
       "  train    --out MODEL [--corpus FILE] [--timing 1]  fit + save a model\n"
       "  advise   --shape star|box|cross --dims D --order N\n"
       "           [--gpu NAME] [--corpus FILE] [--timing 1] best-OC advice\n"
@@ -538,6 +659,7 @@ std::string usage() {
 int run_command(const CommandLine& cmd, std::ostream& out) {
   if (cmd.command == "generate") return cmd_generate(cmd, out);
   if (cmd.command == "profile") return cmd_profile(cmd, out);
+  if (cmd.command == "merge") return cmd_merge(cmd, out);
   if (cmd.command == "ocs") return cmd_ocs(out);
   if (cmd.command == "gpus") return cmd_gpus(out);
   if (cmd.command == "train") return cmd_train(cmd, out);

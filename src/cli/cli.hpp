@@ -1,7 +1,8 @@
 // smartctl: command-line front end for the StencilMART pipeline.
 //
 //   smartctl generate --dims 2 --order 3 --count 5 [--seed N]
-//   smartctl profile  --dims 2 --stencils 40 --out corpus.txt
+//   smartctl profile  --dims 2 --stencils 40 --out corpus.txt [--shard i/N]
+//   smartctl merge    --out corpus.txt shard0.txt shard1.txt ...
 //   smartctl ocs                          # list Table I combinations
 //   smartctl gpus                         # list Table III GPUs
 //   smartctl train    --corpus corpus.txt --out model.smart
@@ -22,10 +23,14 @@
 
 namespace smart::cli {
 
-/// Parsed command line: one subcommand plus --key value options.
+/// Parsed command line: one subcommand plus --key value options. Commands
+/// that take file operands (`smartctl merge --out FILE SHARD...`) also get
+/// the bare positional tokens, in order; for every other command a bare
+/// token stays a parse error.
 struct CommandLine {
   std::string command;
   std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
 
   bool has(const std::string& key) const { return options.contains(key); }
   std::string get(const std::string& key, const std::string& fallback) const;

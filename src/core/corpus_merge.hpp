@@ -1,0 +1,40 @@
+// Deterministic merge of sharded profiling corpora (DESIGN.md §14).
+//
+// `smartctl profile --shard i/N` sweeps only the work units a pure
+// partition hash assigns to shard i and writes a partial corpus whose
+// header pins (config identity, fault spec, retries, shard i/N). This
+// module folds the N partial corpora back into one complete corpus that is
+// bit-identical — dataset_checksum AND serialized bytes — to an
+// uninterrupted single-process run, because:
+//
+//   * ownership is a pure function of the unit identity (no RNG consumed),
+//     so every owned unit's noise stream and fault schedule match the
+//     unsharded run;
+//   * the merge validates the shards form EXACTLY the partition 0..N-1
+//     (no duplicates, no gaps, no overlap in measured units) over one
+//     coherent run identity (config, retries, fault spec);
+//   * measured times are folded from each unit's owner and quarantine
+//     records are re-sorted into the canonical single-run (stencil, oc,
+//     gpu) order — the same order PR 5's sweep emits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/profile_dataset.hpp"
+
+namespace smart::core {
+
+/// Merges the shard corpora into one complete corpus. `sources` names each
+/// shard in diagnostics (pass the file paths; when shorter than `shards`,
+/// missing entries fall back to "shard corpus #k"). The trivial N=1
+/// partition — one complete corpus — is accepted and passes through
+/// unchanged. Throws std::runtime_error (the smartctl rc-1 contract) with
+/// source context on any validation failure: mixed shard counts, duplicate
+/// or missing partition members, mismatched config identity / retry budget
+/// / fault spec, divergent stencils or settings, a measured or quarantined
+/// unit the writing shard does not own, or an owned unit left unmeasured.
+ProfileDataset merge_shard_corpora(std::vector<ProfileDataset> shards,
+                                   const std::vector<std::string>& sources);
+
+}  // namespace smart::core

@@ -25,6 +25,50 @@ namespace smart::core {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// The corpus stencil set (orders mixed over 1..max_order). Inherently
+/// sequential (one shared stream + dedup against all previous patterns),
+/// but cheap next to the measurement sweep — cheap enough that every shard
+/// of a fleet run regenerates it rather than shipping it around.
+/// Also returns each pattern's content hash (already computed for the dedup
+/// check): the caller reseeds three per-stencil streams and the shard filter
+/// from it, and hash() rewalks the whole offset list on every call.
+std::vector<stencil::StencilPattern> generate_stencils(
+    const ProfileConfig& config, std::vector<std::uint64_t>& hashes) {
+  const util::PhaseTimer timer("profile.generate",
+                               static_cast<std::uint64_t>(config.num_stencils));
+  util::Rng rng(config.seed);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<stencil::StencilPattern> stencils;
+  stencils.reserve(static_cast<std::size_t>(config.num_stencils));
+  hashes.clear();
+  hashes.reserve(static_cast<std::size_t>(config.num_stencils));
+  while (static_cast<int>(stencils.size()) < config.num_stencils) {
+    stencil::GeneratorConfig gc;
+    gc.dims = config.dims;
+    gc.order = 1 + static_cast<int>(rng.uniform_int(0, config.max_order - 1));
+    const stencil::RandomStencilGenerator gen(gc);
+    stencil::StencilPattern p = gen.generate(rng);
+    const std::uint64_t h = p.hash();
+    if (seen.insert(h).second) {
+      stencils.push_back(std::move(p));
+      hashes.push_back(h);
+    }
+  }
+  return stencils;
+}
+}
+
+std::size_t shard_owner(std::uint64_t stencil_hash, std::size_t oc,
+                        std::size_t gpu, std::size_t shard_count) noexcept {
+  if (shard_count <= 1) return 0;
+  // hash_combine alone is too linear to balance a modulus; the splitmix64
+  // finisher avalanches the unit identity first (same reasoning as the
+  // fault-injection coin in util/fault.cpp).
+  std::uint64_t key = util::hash_combine(
+      stencil_hash, (static_cast<std::uint64_t>(oc) << 32) |
+                        static_cast<std::uint64_t>(gpu));
+  return static_cast<std::size_t>(util::splitmix64(key) % shard_count);
 }
 
 std::size_t ProfileDataset::num_ocs() {
@@ -98,7 +142,10 @@ std::size_t ProfileDataset::num_instances() const {
     for (std::size_t oc = 0; oc < num_ocs(); ++oc) {
       for (std::size_t k = 0; k < settings[s][oc].size(); ++k) {
         for (std::size_t g = 0; g < gpus.size(); ++g) {
-          if (!std::isnan(times[s][g][oc][k])) {
+          // A shard corpus leaves non-owned units empty; only measured
+          // slots can count as instances.
+          const auto& ts = times[s][g][oc];
+          if (k < ts.size() && !std::isnan(ts[k])) {
             ++count;
             break;
           }
@@ -115,29 +162,18 @@ ProfileDataset build_profile_dataset(const ProfileConfig& config) {
 
 ProfileDataset build_profile_dataset(const ProfileConfig& config,
                                      const ProfileRunOptions& opts) {
+  if (opts.shard.count == 0 || opts.shard.index >= opts.shard.count) {
+    throw std::invalid_argument(
+        "build_profile_dataset: shard index must satisfy 0 <= i < N");
+  }
+
   ProfileDataset ds;
   ds.config = config;
   ds.problem = gpusim::ProblemSize::paper_default(config.dims);
   ds.gpus = gpusim::evaluation_gpus();
 
-  // --- Stencil generation: orders mixed over 1..max_order --------------
-  // Inherently sequential (one shared stream + dedup against all previous
-  // patterns), but cheap next to the measurement sweep below.
-  {
-    const util::PhaseTimer timer("profile.generate",
-                                 static_cast<std::uint64_t>(config.num_stencils));
-    util::Rng rng(config.seed);
-    std::unordered_set<std::uint64_t> seen;
-    ds.stencils.reserve(static_cast<std::size_t>(config.num_stencils));
-    while (static_cast<int>(ds.stencils.size()) < config.num_stencils) {
-      stencil::GeneratorConfig gc;
-      gc.dims = config.dims;
-      gc.order = 1 + static_cast<int>(rng.uniform_int(0, config.max_order - 1));
-      const stencil::RandomStencilGenerator gen(gc);
-      stencil::StencilPattern p = gen.generate(rng);
-      if (seen.insert(p.hash()).second) ds.stencils.push_back(std::move(p));
-    }
-  }
+  std::vector<std::uint64_t> stencil_hashes;
+  ds.stencils = generate_stencils(config, stencil_hashes);
   const std::size_t n = ds.stencils.size();
 
   // Per-stencil problem: paper default, optionally varied in size and
@@ -147,7 +183,7 @@ ProfileDataset build_profile_dataset(const ProfileConfig& config,
   const auto candidates = gpusim::ProblemSize::size_candidates(config.dims);
   ds.problems.assign(n, ds.problem);
   util::parallel_for(n, [&](std::size_t s) {
-    util::Rng prng(util::hash_combine(config.seed * 31, ds.stencils[s].hash()));
+    util::Rng prng(util::hash_combine(config.seed * 31, stencil_hashes[s]));
     gpusim::ProblemSize prob = ds.problem;
     if (config.vary_problem_size) prob = prng.pick(candidates);
     if (config.vary_boundary && prng.bernoulli(0.5)) {
@@ -168,7 +204,7 @@ ProfileDataset build_profile_dataset(const ProfileConfig& config,
     for (const auto& oc : ocs) spaces.emplace_back(oc, config.dims);
     ds.settings.assign(n, {});
     util::parallel_for(n, [&](std::size_t s) {
-      util::Rng srng(util::hash_combine(config.seed, ds.stencils[s].hash()));
+      util::Rng srng(util::hash_combine(config.seed, stencil_hashes[s]));
       ds.settings[s].resize(ocs.size());
       // Duplicate draws are dropped by a linear scan over the few hashes
       // sampled so far — same dedup decisions as a hash set, none of its
@@ -179,6 +215,7 @@ ProfileDataset build_profile_dataset(const ProfileConfig& config,
         const gpusim::ParamSpace& space = spaces[o];
         setting_seen.clear();
         auto& list = ds.settings[s][o];
+        list.reserve(static_cast<std::size_t>(config.samples_per_oc));
         for (int k = 0; k < config.samples_per_oc; ++k) {
           const gpusim::ParamSetting setting = space.random_setting(srng);
           const std::uint64_t h = setting.hash();
@@ -202,6 +239,12 @@ ProfileDataset build_profile_dataset(const ProfileConfig& config,
   const util::FaultInjector& injector = util::FaultInjector::global();
   const std::string fault_spec =
       injector.enabled() ? injector.spec().to_string() : std::string{};
+  // Pin the shard identity and run knobs into the dataset: a sharded corpus
+  // serializes them so `smartctl merge` can validate the fleet ran one
+  // coherent schedule.
+  ds.shard = opts.shard;
+  ds.shard_retries = opts.retries;
+  ds.shard_fault_spec = fault_spec;
   ProfileJournal journal;
   JournalReplay replay;
   if (!opts.journal_path.empty()) {
@@ -261,6 +304,28 @@ ProfileDataset build_profile_dataset(const ProfileConfig& config,
         ProfileJournal::unit_key(s, o, gi, ocs.size(), g));
   };
 
+  // Shard filter: a pure function of the unit identity, so skipping
+  // non-owned units cannot perturb any owned measurement (they share no
+  // mutable state, and noise/faults are identity-seeded). hash() walks the
+  // whole offset list, so the filter reuses the hashes generate_stencils
+  // already computed, never recomputing per unit.
+  const auto owned = [&](std::size_t s, std::size_t o, std::size_t gi) {
+    return !opts.shard.sharded() ||
+           shard_owner(stencil_hashes[s], o, gi, opts.shard.count) ==
+               opts.shard.index;
+  };
+  if (opts.shard.sharded()) {
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t o = 0; o < ocs.size(); ++o) {
+        for (std::size_t gi = 0; gi < g; ++gi) {
+          if (owned(s, o, gi)) ++ds.owned_units;
+        }
+      }
+    }
+  } else {
+    ds.owned_units = n * ocs.size() * g;
+  }
+
   std::mutex quarantine_mu;
   std::atomic<std::uint64_t> retry_attempts{0};
   {
@@ -291,7 +356,7 @@ ProfileDataset build_profile_dataset(const ProfileConfig& config,
       pending.clear();
       for (std::size_t idx = 0; idx < (s1 - s0) * per_stencil; ++idx) {
         const auto [s, o, gi] = unpack(idx);
-        if (!recovered(s, o, gi)) pending.push_back(idx);
+        if (!recovered(s, o, gi) && owned(s, o, gi)) pending.push_back(idx);
       }
       {
         const util::PhaseTimer atimer("profile.analyze", pending.size());
@@ -389,6 +454,26 @@ ProfileDataset build_profile_dataset(const ProfileConfig& config,
   return ds;
 }
 
+std::vector<std::size_t> shard_unit_counts(const ProfileConfig& config,
+                                           std::size_t shard_count) {
+  if (shard_count == 0) {
+    throw std::invalid_argument("shard_unit_counts: shard count must be >= 1");
+  }
+  std::vector<std::uint64_t> hashes;
+  generate_stencils(config, hashes);
+  const std::size_t num_ocs = ProfileDataset::num_ocs();
+  const std::size_t num_gpus = gpusim::evaluation_gpus().size();
+  std::vector<std::size_t> counts(shard_count, 0);
+  for (const std::uint64_t hash : hashes) {
+    for (std::size_t oc = 0; oc < num_ocs; ++oc) {
+      for (std::size_t gpu = 0; gpu < num_gpus; ++gpu) {
+        ++counts[shard_owner(hash, oc, gpu, shard_count)];
+      }
+    }
+  }
+  return counts;
+}
+
 std::uint64_t dataset_checksum(const ProfileDataset& ds) {
   // Order-sensitive FNV-1a over the dataset's identity-bearing content.
   // NaN (crashed variant) is folded as one canonical bit pattern so the
@@ -424,6 +509,15 @@ std::uint64_t dataset_checksum(const ProfileDataset& ds) {
     mix(q.oc);
     mix(q.gpu);
     mix(util::fnv1a64(q.reason));
+  }
+  // Shard identity + pinned run knobs are identity-bearing for partial
+  // corpora only; complete corpora (count == 1, including merged output)
+  // keep their pre-shard golden checksums.
+  if (ds.shard.sharded()) {
+    mix(ds.shard.index);
+    mix(ds.shard.count);
+    mix(static_cast<std::uint64_t>(ds.shard_retries));
+    mix(util::fnv1a64(ds.shard_fault_spec));
   }
   return h;
 }

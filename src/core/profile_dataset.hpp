@@ -46,6 +46,28 @@ struct QuarantineRecord {
                          const QuarantineRecord& b) = default;
 };
 
+/// Deterministic partition of the (stencil, OC, GPU) work-unit space for
+/// fleet-scale profiling: shard i of N owns exactly the units whose pure
+/// partition hash lands on i (see shard_owner). Ownership consumes no RNG
+/// state and reads nothing but the unit identity, so every owned unit's
+/// noise stream, fault schedule and retry budget are identical to the
+/// unsharded run — which is what makes `smartctl merge` bit-identical.
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;  // 1 == the whole work-unit space (unsharded)
+
+  bool sharded() const noexcept { return count > 1; }
+
+  friend bool operator==(const ShardSpec& a, const ShardSpec& b) = default;
+};
+
+/// Which shard of `shard_count` owns the work unit (stencil, oc, gpu).
+/// A pure splitmix64 finisher over the unit identity (the stencil's content
+/// hash, not its corpus position), so the partition is stable across runs,
+/// thread counts and process restarts, and near-balanced for any N.
+std::size_t shard_owner(std::uint64_t stencil_hash, std::size_t oc,
+                        std::size_t gpu, std::size_t shard_count) noexcept;
+
 /// Fault-tolerance knobs for one profiling run. None of them alter what a
 /// successful measurement returns — retries and the journal only decide
 /// when work is re-attempted or skipped — so any combination that completes
@@ -62,6 +84,11 @@ struct ProfileRunOptions {
   /// Transient-fault retry budget per work unit (total tries = 1 + retries,
   /// counted across resumes via journaled retry records).
   int retries = 2;
+  /// Sweep only the work units owned by this shard of the partition
+  /// (default: the whole space). Non-owned units are never analyzed or
+  /// measured; their time slots stay empty in the shard corpus and are
+  /// filled in by `merge_shard_corpora` (core/corpus_merge.hpp).
+  ShardSpec shard;
 };
 
 struct ProfileDataset {
@@ -84,6 +111,20 @@ struct ProfileDataset {
   /// Units recovered from the journal instead of re-measured (resume runs
   /// only; not serialized, not part of dataset_checksum).
   std::size_t resumed_units = 0;
+  /// Partition identity of this corpus; count == 1 for a complete corpus.
+  /// Sharded corpora serialize it (plus the pinned run knobs below) in a
+  /// `shard` header section so `smartctl merge` can refuse to splice
+  /// incompatible runs.
+  ShardSpec shard;
+  /// Run knobs pinned into a shard corpus header: the retry budget and the
+  /// canonical fault spec ("" = no injection). Every shard of one fleet run
+  /// must agree on them or the merged fault/retry schedule would not match
+  /// any single-process run.
+  int shard_retries = 2;
+  std::string shard_fault_spec;
+  /// Work units swept by this run (== the whole space unless sharded; not
+  /// serialized, not part of dataset_checksum).
+  std::size_t owned_units = 0;
 
   std::size_t num_gpus() const noexcept { return gpus.size(); }
   static std::size_t num_ocs();
@@ -127,9 +168,17 @@ ProfileDataset build_profile_dataset(const ProfileConfig& config);
 ProfileDataset build_profile_dataset(const ProfileConfig& config,
                                      const ProfileRunOptions& opts);
 
+/// Per-shard owned-unit counts for the work-unit space of `config` under an
+/// N-way partition — the fleet-planning view (`smartctl profile --shard i/N
+/// --plan`): runs only the cheap stencil-generation stage, no measurements.
+std::vector<std::size_t> shard_unit_counts(const ProfileConfig& config,
+                                           std::size_t shard_count);
+
 /// Order-sensitive 64-bit digest of stencils, sampled settings and measured
 /// times (NaN canonicalized). scripts/check.sh diffs it between a
-/// SMART_THREADS=1 run and an unrestricted run.
+/// SMART_THREADS=1 run and an unrestricted run. Sharded corpora additionally
+/// fold their shard identity and pinned run knobs, so two shards of one run
+/// never collide with each other or with the complete corpus.
 std::uint64_t dataset_checksum(const ProfileDataset& ds);
 
 }  // namespace smart::core

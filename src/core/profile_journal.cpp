@@ -29,7 +29,8 @@ std::string config_line(const ProfileConfig& config,
   util::write_f64(out, config.sim.noise_sigma);
   out << ' ' << config.sim.seed << ' ' << (config.vary_problem_size ? 1 : 0)
       << ' ' << (config.vary_boundary ? 1 : 0) << ' ' << opts.retries << ' '
-      << (fault_spec.empty() ? "-" : fault_spec);
+      << (fault_spec.empty() ? "-" : fault_spec) << ' ' << opts.shard.index
+      << '/' << opts.shard.count;
   return out.str();
 }
 

@@ -12,14 +12,14 @@
 //   stencilmart-journal-v1
 //   config <dims> <max_order> <num_stencils> <samples_per_oc> <seed>
 //          <noise_sigma> <sim_seed> <vary_size> <vary_boundary>
-//          <retries> <fault_spec|->                       (one line)
+//          <retries> <fault_spec|-> <shard_i/N>          (one line)
 //   unit  <s> <oc> <g> <n> <t0..tn-1>     completed unit (hexfloat|crash)
 //   retry <s> <oc> <g> <attempt> <kind>   failed attempt (transient|worker)
 //   quar  <s> <oc> <g> <reason...>        unit withdrawn from the sweep
 //
 // The config line pins a resume to the exact run that wrote the journal:
-// a different config, retry budget or fault spec would splice two
-// incompatible schedules and is rejected.
+// a different config, retry budget, fault spec or shard assignment would
+// splice two incompatible schedules and is rejected.
 #pragma once
 
 #include <cstdint>

@@ -103,6 +103,14 @@ void save_dataset(const ProfileDataset& ds, std::ostream& out) {
       << ds.config.seed << ' ' << ds.config.sim.noise_sigma << ' '
       << (ds.config.vary_problem_size ? 1 : 0) << ' '
       << (ds.config.vary_boundary ? 1 : 0) << '\n';
+  // Shard header: only partial corpora carry one, so a complete corpus —
+  // including `smartctl merge` output — stays byte-identical to the
+  // pre-shard format (and to an uninterrupted single-process run).
+  if (ds.shard.sharded()) {
+    out << "shard " << ds.shard.index << ' ' << ds.shard.count << ' '
+        << ds.shard_retries << ' '
+        << (ds.shard_fault_spec.empty() ? "-" : ds.shard_fault_spec) << '\n';
+  }
 
   for (std::size_t s = 0; s < ds.stencils.size(); ++s) {
     const auto& prob = ds.problems[s];
@@ -190,7 +198,16 @@ ProfileDataset load_dataset(std::istream& in, const std::string& source) {
     std::istringstream record(line);
     std::string tag;
     record >> tag;
-    if (tag == "stencil") {
+    if (tag == "shard") {
+      ctx.expect(!ds.shard.sharded(), "duplicate shard header");
+      std::string spec;
+      record >> ds.shard.index >> ds.shard.count >> ds.shard_retries >> spec;
+      ctx.expect(static_cast<bool>(record), "unparsable shard header");
+      ctx.expect(ds.shard.count >= 2 && ds.shard.index < ds.shard.count,
+                 "shard header out of range (want 0 <= i < N, N >= 2)");
+      ctx.expect(ds.shard_retries >= 0, "negative shard retry budget");
+      ds.shard_fault_spec = spec == "-" ? std::string{} : spec;
+    } else if (tag == "stencil") {
       gpusim::ProblemSize prob;
       int periodic = 0;
       std::string offsets;

@@ -6,6 +6,7 @@
 // runs and diff-friendly:
 //
 //   [header]   dims max_order num_stencils samples_per_oc seed noise_sigma
+//   [shard]    shard_idx shard_count retries fault_spec|-   (shards only)
 //   [stencil]  dims nx ny nz boundary offsets(x:y:z;...)
 //   [settings] stencil_idx oc_idx block_x block_y ... tb_depth
 //   [times]    stencil_idx gpu_idx oc_idx setting_idx time_ms|crash

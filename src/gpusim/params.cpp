@@ -140,7 +140,18 @@ ParamSetting ParamSpace::random_setting(util::Rng& rng) const {
       s.unroll = rng.pick(kUnroll);
     }
     if (oc_.tb) s.tb_depth = rng.pick(kTbDepth);
-    if (is_valid(s)) return s;
+    // Fast-path acceptance: every field above is drawn from its valid list
+    // (and untouched fields keep their neutral defaults), so of is_valid()'s
+    // rules only the thread-count bound and the merge/stream axis clash can
+    // actually fail. The rejection decisions — and therefore the rng
+    // sequence — are identical to running the full check; corpus sampling
+    // calls this tens of thousands of times per build.
+    // tests/gpusim/params_test.cpp pins random draws against is_valid().
+    const int threads = s.threads_per_block();
+    if (threads >= kMinThreads && threads <= kMaxThreads &&
+        !(merging && oc_.st && s.merge_dim == s.stream_dim)) {
+      return s;
+    }
   }
   throw std::runtime_error("ParamSpace::random_setting: no valid setting found");
 }

@@ -15,42 +15,53 @@ namespace {
 /// already-selected points is needed: everything selected so far has
 /// Chebyshev order < `order`, so the order filter excludes it. Duplicates
 /// (a shell point is reachable from several inner points) are dropped via a
-/// dense (2*order+1)^3 bitmap before the determinism sort, so the rng
-/// consumes the exact same draws as a hash-set implementation — this
-/// function is on the profiler's critical path.
+/// dense (2*order+1)^3 bitmap; the candidate pool is then read back by
+/// scanning that bitmap in ascending cell order, which IS lexicographic
+/// (x, y, z) Point order — so the rng consumes the exact same draws, in the
+/// same order, as the earlier sort-the-pool implementation, without
+/// materializing or sorting a pool. This function is on the profiler's
+/// critical path (thousands of short calls per corpus), hence the
+/// thread_local scratch bitmap.
 std::vector<Point> sample_order(const std::vector<Point>& previous, int dims,
                                 int order, double keep_prob, util::Rng& rng) {
   const std::size_t w = static_cast<std::size_t>(2 * order + 1);
-  std::vector<std::uint8_t> seen(w * w * w, 0);
-  std::vector<Point> pool;
+  static thread_local std::vector<std::uint8_t> seen;
+  seen.assign(w * w * w, 0);
   const int zlo = dims >= 3 ? -1 : 0;
   const int zhi = dims >= 3 ? 1 : 0;
   for (const Point& p : previous) {
+    // No zero-offset check needed: dx = dy = dz = 0 reproduces p itself,
+    // whose Chebyshev order is `order - 1`, so the order filter drops it.
+    // The per-axis |.| and row offsets hoist out of the inner loops.
     for (int dx = -1; dx <= 1; ++dx) {
+      const int x = p[0] + dx;
+      const int ax = x < 0 ? -x : x;
+      const std::size_t xoff = static_cast<std::size_t>(x + order) * w;
       for (int dy = -1; dy <= 1; ++dy) {
+        const int y = p[1] + dy;
+        const int ay = y < 0 ? -y : y;
+        const int axy = ax > ay ? ax : ay;
+        const std::size_t xyoff =
+            (xoff + static_cast<std::size_t>(y + order)) * w;
         for (int dz = zlo; dz <= zhi; ++dz) {
-          if (dx == 0 && dy == 0 && dz == 0) continue;
-          Point q;
-          q.coords[0] = static_cast<std::int8_t>(p[0] + dx);
-          q.coords[1] = static_cast<std::int8_t>(p[1] + dy);
-          q.coords[2] = static_cast<std::int8_t>(p[2] + dz);
-          if (q.order() != order) continue;  // drops lower-order backtracks
-          const std::size_t cell =
-              (static_cast<std::size_t>(q[0] + order) * w +
-               static_cast<std::size_t>(q[1] + order)) *
-                  w +
-              static_cast<std::size_t>(q[2] + order);
-          if (seen[cell] != 0) continue;
-          seen[cell] = 1;
-          pool.push_back(q);
+          const int z = p[2] + dz;
+          const int az = z < 0 ? -z : z;
+          if ((axy > az ? axy : az) != order) continue;  // lower-order backtrack
+          seen[xyoff + static_cast<std::size_t>(z + order)] = 1;
         }
       }
     }
   }
-  std::sort(pool.begin(), pool.end());
   std::vector<Point> selected;
-  for (const Point& q : pool) {
-    if (rng.bernoulli(keep_prob)) selected.push_back(q);
+  for (std::size_t cell = 0; cell < seen.size(); ++cell) {
+    if (seen[cell] == 0 || !rng.bernoulli(keep_prob)) continue;
+    Point q;
+    q.coords[0] = static_cast<std::int8_t>(
+        static_cast<int>(cell / (w * w)) - order);
+    q.coords[1] = static_cast<std::int8_t>(
+        static_cast<int>((cell / w) % w) - order);
+    q.coords[2] = static_cast<std::int8_t>(static_cast<int>(cell % w) - order);
+    selected.push_back(q);
   }
   return selected;
 }

@@ -351,5 +351,118 @@ TEST(CliRun, UsageMentionsServe) {
   EXPECT_NE(out.str().find("--max-batch"), std::string::npos);
 }
 
+TEST(CliParse, MergeTakesPositionalOperandsOtherCommandsDoNot) {
+  const auto cmd = parse({"merge", "--out", "full.txt", "a.txt", "b.txt"});
+  EXPECT_EQ(cmd.command, "merge");
+  EXPECT_EQ(cmd.get("out", ""), "full.txt");
+  ASSERT_EQ(cmd.positional.size(), 2u);
+  EXPECT_EQ(cmd.positional[0], "a.txt");
+  EXPECT_EQ(cmd.positional[1], "b.txt");
+  // Everywhere else a bare token stays a loud parse error.
+  EXPECT_THROW(parse({"profile", "a.txt"}), std::invalid_argument);
+}
+
+TEST(CliRun, ProfileRejectsMalformedShardGrammar) {
+  // Strict i/N grammar: out-of-range i, N=0, non-numeric, trailing junk,
+  // missing halves, sign characters — all usage errors before any work.
+  std::ostringstream out;
+  for (const char* bad : {"2/2", "3/2", "1/0", "0/0", "x/3", "1/3junk",
+                          "1/", "/3", "-1/3", "+1/3", "1//3", "1 /3", ""}) {
+    EXPECT_THROW(
+        run_command(parse({"profile", "--shard", std::string(bad)}), out),
+        std::invalid_argument)
+        << "accepted '" << bad << "'";
+  }
+}
+
+TEST(CliRun, ProfilePlanRequiresShard) {
+  std::ostringstream out;
+  EXPECT_THROW(run_command(parse({"profile", "--plan"}), out),
+               std::invalid_argument);
+}
+
+TEST(CliRun, ProfileShardPlanPrintsCountsWithoutMeasuring) {
+  std::ostringstream out;
+  EXPECT_EQ(run_command(parse({"profile", "--dims", "2", "--stencils", "6",
+                               "--samples", "2", "--seed", "99", "--shard",
+                               "1/3", "--plan"}),
+                        out),
+            0);
+  EXPECT_NE(out.str().find("plan:"), std::string::npos);
+  EXPECT_NE(out.str().find("no measurements were run"), std::string::npos);
+  EXPECT_EQ(out.str().find("profiled"), std::string::npos);
+}
+
+TEST(CliRun, MergeRequiresOutAndOperands) {
+  std::ostringstream out;
+  EXPECT_THROW(run_command(parse({"merge", "a.txt"}), out),
+               std::invalid_argument);
+  EXPECT_THROW(run_command(parse({"merge", "--out", "full.txt"}), out),
+               std::invalid_argument);
+}
+
+TEST(CliRun, MergeMissingShardFileIsRuntimeError) {
+  std::ostringstream out;
+  EXPECT_THROW(run_command(parse({"merge", "--out", "full.txt",
+                                  "/nonexistent/shard0.txt"}),
+                           out),
+               std::runtime_error);
+}
+
+TEST(CliRun, ShardSweepAndMergeEndToEnd) {
+  // Fleet recipe through the CLI: three shard sweeps, merge, and the merged
+  // checksum equals the single-process run's.
+  const std::string dir = testing::TempDir();
+  const auto shard_file = [&](int i) {
+    return dir + "smartctl_cli_shard" + std::to_string(i) + ".txt";
+  };
+  const std::string merged = dir + "smartctl_cli_merged.txt";
+
+  std::ostringstream single;
+  ASSERT_EQ(run_command(parse({"profile", "--dims", "2", "--stencils", "6",
+                               "--samples", "2", "--seed", "99",
+                               "--checksum"}),
+                        single),
+            0);
+  for (int i = 0; i < 3; ++i) {
+    std::ostringstream out;
+    ASSERT_EQ(run_command(parse({"profile", "--dims", "2", "--stencils", "6",
+                                 "--samples", "2", "--seed", "99", "--shard",
+                                 std::to_string(i) + "/3", "--out",
+                                 shard_file(i)}),
+                          out),
+              0);
+    // The coverage summary names the shard and its owned-unit share.
+    EXPECT_NE(out.str().find("shard " + std::to_string(i) + "/3: owned "),
+              std::string::npos);
+  }
+  std::ostringstream merge_out;
+  ASSERT_EQ(run_command(parse({"merge", "--out", merged, shard_file(0),
+                               shard_file(1), shard_file(2), "--checksum"}),
+                        merge_out),
+            0);
+  const auto checksum_line = [](const std::string& text) {
+    const auto at = text.find("checksum ");
+    return text.substr(at, text.find('\n', at) - at);
+  };
+  EXPECT_EQ(checksum_line(merge_out.str()), checksum_line(single.str()));
+
+  // Feeding the merge an incomplete partition is the rc-1 contract.
+  std::ostringstream bad;
+  EXPECT_THROW(run_command(parse({"merge", "--out", merged, shard_file(0),
+                                  shard_file(1)}),
+                           bad),
+               std::runtime_error);
+  for (int i = 0; i < 3; ++i) std::remove(shard_file(i).c_str());
+  std::remove(merged.c_str());
+}
+
+TEST(CliRun, UsageMentionsShardAndMerge) {
+  std::ostringstream out;
+  run_command(parse({"help"}), out);
+  EXPECT_NE(out.str().find("--shard i/N"), std::string::npos);
+  EXPECT_NE(out.str().find("merge"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace smart::cli
