@@ -23,6 +23,7 @@
 #include <fstream>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "common.hpp"
@@ -59,6 +60,12 @@ struct ServePoint {
   std::uint64_t p99_us = 0;
   double qps = 0.0;
   std::uint64_t memo_hits = 0;
+  // Concurrent-clients scaling: one pass over the distinct corpus with C
+  // producer threads submitting round-robin (each a stand-in for one
+  // connection's reader thread), equivalence-checked against C=1.
+  double qps_c1 = 0.0;
+  double qps_c4 = 0.0;
+  double qps_c16 = 0.0;
 };
 
 void append_json(const std::string& path, const ServePoint& p, double scale) {
@@ -93,7 +100,10 @@ void append_json(const std::string& path, const ServePoint& p, double scale) {
       << ", \"speedup\": " << smart::util::format_double(p.speedup, 1)
       << ", \"p50_us\": " << p.p50_us << ", \"p99_us\": " << p.p99_us
       << ", \"qps\": " << smart::util::format_double(p.qps, 1)
-      << ", \"memo_hits\": " << p.memo_hits << "}";
+      << ", \"memo_hits\": " << p.memo_hits
+      << ", \"qps_c1\": " << smart::util::format_double(p.qps_c1, 1)
+      << ", \"qps_c4\": " << smart::util::format_double(p.qps_c4, 1)
+      << ", \"qps_c16\": " << smart::util::format_double(p.qps_c16, 1) << "}";
   out << "\n]\n";
   std::ofstream f(path, std::ios::trunc);
   f << out.str();
@@ -212,6 +222,44 @@ int main() {
         core::serve::unescape_text(replies[i].substr(prefix.size())) == want;
   }
 
+  // --- concurrent-clients scaling: C producer threads over one pass of the
+  // distinct corpus, each on a fresh server (cold memo) so the C points are
+  // comparable. The sorted reply SET for every C must equal C=1's — the
+  // multi-client determinism contract, enforced before reporting.
+  const auto run_concurrent = [&](int producers,
+                                  std::vector<std::string>& sorted) {
+    core::AdvisorServer concurrent_server(mart, serve_config);
+    std::vector<std::string> all;
+    std::mutex all_mu;
+    const double ms = wall_ms([&] {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(producers));
+      for (int c = 0; c < producers; ++c) {
+        threads.emplace_back([&, c] {
+          for (std::size_t i = static_cast<std::size_t>(c);
+               i < requests.size(); i += static_cast<std::size_t>(producers)) {
+            concurrent_server.submit(requests[i], [&](const std::string& line) {
+              const std::lock_guard<std::mutex> lk(all_mu);
+              all.push_back(line);
+            });
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      concurrent_server.drain();
+    });
+    std::sort(all.begin(), all.end());
+    sorted = std::move(all);
+    return requests.empty() ? 0.0
+                            : static_cast<double>(requests.size()) * 1000.0 / ms;
+  };
+  std::vector<std::string> sorted_c1, sorted_c4, sorted_c16;
+  const double qps_c1 = run_concurrent(1, sorted_c1);
+  const double qps_c4 = run_concurrent(4, sorted_c4);
+  const double qps_c16 = run_concurrent(16, sorted_c16);
+  const bool concurrent_identical =
+      sorted_c4 == sorted_c1 && sorted_c16 == sorted_c1;
+
   ServePoint point;
   point.requests = total_requests;
   point.distinct = patterns.size();
@@ -224,6 +272,9 @@ int main() {
   point.p99_us = counters.p99_us;
   point.qps = counters.qps;
   point.memo_hits = counters.memo_hits;
+  point.qps_c1 = qps_c1;
+  point.qps_c4 = qps_c4;
+  point.qps_c16 = qps_c16;
 
   util::Table table({"mode", "requests", "ms/req", "p50(us)", "p99(us)",
                      "qps", "memo_hits"});
@@ -245,6 +296,21 @@ int main() {
       .add(std::to_string(point.memo_hits));
   bench::emit(table, "serve");
 
+  util::Table scaling({"clients", "requests", "qps", "vs 1 client"});
+  const auto scaling_row = [&](const char* label, double qps_c) {
+    scaling.row()
+        .add(label)
+        .add(static_cast<long long>(requests.size()))
+        .add(util::format_double(qps_c, 0))
+        .add(qps_c1 > 0.0 ? util::format_double(qps_c / qps_c1, 2) + "x" : "-");
+  };
+  scaling_row("1", qps_c1);
+  scaling_row("4", qps_c4);
+  scaling_row("16", qps_c16);
+  bench::emit(scaling, "serve concurrent-clients scaling");
+  std::cout << "   concurrent reply-set equivalence: "
+            << (concurrent_identical ? "verified" : "FAILED") << '\n';
+
   std::cout << "   resident speedup: "
             << util::format_double(point.speedup, 1) << "x over cold ("
             << point.distinct << " distinct stencils x " << kPasses
@@ -253,6 +319,10 @@ int main() {
 
   if (!identical) {
     std::cout << "FAIL: serve replies diverge from advise()/recommend_gpu()\n";
+    return 1;
+  }
+  if (!concurrent_identical) {
+    std::cout << "FAIL: concurrent-client reply sets diverge from 1-client\n";
     return 1;
   }
 

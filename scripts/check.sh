@@ -6,6 +6,12 @@
 # profiling-corpus checksum (smartctl profile --checksum 1) between the two
 # thread modes. Any divergence means a parallel loop broke the determinism
 # contract documented in src/util/task_pool.hpp.
+#
+# The serve gates then drive the resident daemon black-box: determinism
+# matrices, protocol fuzz, a multi-client chaos gate (16 connections,
+# client aborts, kill -9, SIGHUP hot reload mid-traffic), an overload
+# shedding gate against a tiny admission queue, and sanitizer legs
+# (ASan+UBSan over the unit suite + fuzz, TSan over the concurrent path).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -371,12 +377,19 @@ advise r12 shape=star dims=2 order=2 gpu=A100
 REQS
 
 start_serve() {  # usage: start_serve THREADS [extra serve flags...]
+  # Serves $SERVE_MODEL when set (the hot-reload gates point it at a live
+  # copy they overwrite mid-traffic), else the reference artifact.
   local threads=$1
   shift
   rm -f "$SOCK"
-  SMART_THREADS=$threads "$SMARTCTL" serve --model "$ARTDIR/model.smart" \
+  SMART_THREADS=$threads "$SMARTCTL" serve \
+    --model "${SERVE_MODEL:-$ARTDIR/model.smart}" \
     --socket "$SOCK" "$@" >/dev/null 2>"$ARTDIR/serve_stderr.txt" &
   serve_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -S "$SOCK" ]] && break
+    sleep 0.05
+  done
 }
 
 golden=""
@@ -519,38 +532,266 @@ fi
 serve_pid=""
 echo "  SIGTERM: drained and exited rc 0"
 
-# Client slams the connection shut (RST) without reading replies: the
-# daemon must follow the PR 5 contract — rc 1 with a one-line
-# `smartctl: error:` diagnostic — never die to a signal. The long batching
-# window keeps replies pending until after the RST lands; if the write
-# still races ahead, the daemon sees a clean EOF and keeps serving (rc 0
-# after SIGTERM) — both are contract-conforming, a signal death is not.
+# Client slams the connection shut (RST) without reading replies: since the
+# multi-client rework this is a SESSION-LOCAL event — the daemon logs it,
+# reaps the session, and MUST keep serving. A fresh client afterwards must
+# get the exact golden reply set, and the final SIGTERM drains to rc 0.
 start_serve 1 --max-batch 64 --max-wait-us 100000
 "$HARNESS" --socket "$SOCK" --requests "$ARTDIR/serve_requests.txt" \
   --abort >/dev/null
-set +e
-for _ in $(seq 1 100); do
-  kill -0 "$serve_pid" 2>/dev/null || break
-  sleep 0.1
-done
-kill -TERM "$serve_pid" 2>/dev/null
-wait "$serve_pid"
-rc_abort=$?
-set -e
-serve_pid=""
-if [[ $rc_abort -eq 1 ]]; then
-  if ! grep -q '^smartctl: error:' "$ARTDIR/serve_stderr.txt"; then
-    echo "FAIL: broken-pipe exit lacked the one-line diagnostic" >&2
-    exit 1
-  fi
-  echo "  client abort: rc 1 with one-line smartctl: error: diagnostic"
-elif [[ $rc_abort -eq 0 ]]; then
-  echo "  client abort: replies raced ahead of the RST; clean EOF path (rc 0)"
-else
-  echo "FAIL: daemon died abnormally on client abort (rc=$rc_abort)" >&2
+sleep 0.2
+if ! kill -0 "$serve_pid" 2>/dev/null; then
+  set +e; wait "$serve_pid"; rc_abort=$?; set -e
+  echo "FAIL: daemon died on client abort (rc=$rc_abort); aborts must be session-local" >&2
+  cat "$ARTDIR/serve_stderr.txt" >&2
   exit 1
 fi
+"$HARNESS" --socket "$SOCK" --requests "$ARTDIR/serve_requests.txt" \
+  --shuffle 17 --print sorted > "$ARTDIR/after_abort.txt"
+if ! cmp -s "$ARTDIR/after_abort.txt" "$golden"; then
+  echo "FAIL: replies to a fresh client after an abort diverged from golden" >&2
+  diff "$golden" "$ARTDIR/after_abort.txt" >&2 || true
+  exit 1
+fi
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+  echo "FAIL: SIGTERM after a client abort should still exit 0" >&2
+  exit 1
+fi
+serve_pid=""
+echo "  client abort: session reaped, fresh client served golden bytes, rc 0"
 echo "OK: shutdown verb, SIGTERM, and client abort all follow the exit contract"
+
+echo "== serve daemon: healthz + banner report the artifact envelope =="
+# The startup banner and the healthz verb must both carry the artifact's
+# format version and FNV-1a payload checksum — exactly the bytes recorded
+# in the artifact's own trailer — plus the model epoch.
+want_ck=$(grep -ao 'checksum [0-9a-f]\{16\}' "$ARTDIR/model.smart" | tail -1 | cut -d' ' -f2)
+printf 'healthz h1\nshutdown h2\n' \
+  | "$SMARTCTL" serve --model "$ARTDIR/model.smart" --stdio \
+  > "$ARTDIR/healthz_out.txt" 2>"$ARTDIR/healthz_err.txt"
+if ! grep -qx "ok h1 healthz epoch=1 version=stencilmart-model-v1 checksum=$want_ck" \
+    "$ARTDIR/healthz_out.txt"; then
+  echo "FAIL: healthz payload does not match the artifact envelope" >&2
+  cat "$ARTDIR/healthz_out.txt" >&2
+  exit 1
+fi
+if ! grep -q "serve: model .* version=stencilmart-model-v1 checksum=$want_ck epoch=1" \
+    "$ARTDIR/healthz_err.txt"; then
+  echo "FAIL: startup banner does not report the artifact envelope" >&2
+  cat "$ARTDIR/healthz_err.txt" >&2
+  exit 1
+fi
+echo "OK: banner and healthz report version + checksum + epoch from the artifact"
+
+echo "== serve daemon: multi-client chaos gate (16 clients, aborts, kill -9, mid-traffic reload) =="
+# Second model trained on a different corpus seed: the hot-reload target.
+# Reply bytes are a pure function of (verb, stencil, GPU, model epoch), so
+# every reply a chaos client receives must be a member of the union of the
+# two serial golden reply sets — and a post-reload client must receive the
+# epoch-B golden set exactly.
+"$SMARTCTL" profile --dims 2 --stencils 8 --samples 2 --seed 99 \
+  --out "$ARTDIR/corpusB.txt" >/dev/null
+"$SMARTCTL" train --corpus "$ARTDIR/corpusB.txt" --out "$ARTDIR/modelB.smart" >/dev/null
+
+# Chaos request mix: 96 requests cycling 6 stencil specs (plus one
+# malformed spec) under unique ids, so jittered multi-connection runs take
+# long enough for the mid-traffic reload to land inside them.
+C_SPECS=(
+  'advise %s shape=star dims=2 order=1 gpu=V100'
+  'advise %s shape=star dims=2 order=2 gpu=A100'
+  'advise %s shape=box dims=2 order=1 gpu=P100'
+  'predict %s shape=cross dims=2 order=3 gpu=2080Ti'
+  'predict %s shape=box dims=2 order=2 gpu=V100'
+  'advise %s gpu=bad!gpu'
+)
+: > "$ARTDIR/chaos_requests.txt"
+for i in $(seq 0 95); do
+  # shellcheck disable=SC2059
+  printf "${C_SPECS[$((i % 6))]}\n" "$(printf 'c%03d' "$i")" \
+    >> "$ARTDIR/chaos_requests.txt"
+done
+
+# Golden reply sets per epoch (serial, single connection, default threads).
+SERVE_MODEL="$ARTDIR/model.smart"
+start_serve 1 --max-batch 8 --max-wait-us 200
+"$HARNESS" --socket "$SOCK" --requests "$ARTDIR/chaos_requests.txt" \
+  --print sorted --shutdown-after > "$ARTDIR/chaos_goldenA.txt"
+wait "$serve_pid"; serve_pid=""
+SERVE_MODEL="$ARTDIR/modelB.smart"
+start_serve 1 --max-batch 8 --max-wait-us 200
+"$HARNESS" --socket "$SOCK" --requests "$ARTDIR/chaos_requests.txt" \
+  --print sorted --shutdown-after > "$ARTDIR/chaos_goldenB.txt"
+wait "$serve_pid"; serve_pid=""
+if cmp -s "$ARTDIR/chaos_goldenA.txt" "$ARTDIR/chaos_goldenB.txt"; then
+  echo "FAIL: models A and B produce identical replies (reload gate is vacuous)" >&2
+  exit 1
+fi
+sort -u "$ARTDIR/chaos_goldenA.txt" "$ARTDIR/chaos_goldenB.txt" \
+  > "$ARTDIR/chaos_union.txt"
+
+for t in 1 4; do
+  cp "$ARTDIR/model.smart" "$ARTDIR/model_live.smart"
+  SERVE_MODEL="$ARTDIR/model_live.smart"
+  start_serve "$t" --max-batch 8 --max-wait-us 500 --max-conns 64
+  # 16 concurrent well-behaved connections (2 harness procs x 8), shuffled
+  # arrival with per-line jitter so the run spans the reload...
+  chaos_pids=()
+  for c in 1 2; do
+    "$HARNESS" --socket "$SOCK" --requests "$ARTDIR/chaos_requests.txt" \
+      --shuffle $((t * 100 + c)) --connections 8 --jitter-us 8000 \
+      --print sorted > "$ARTDIR/chaos_out_$c.txt" &
+    chaos_pids+=($!)
+  done
+  # ...plus a client that RSTs mid-batch without reading replies...
+  "$HARNESS" --socket "$SOCK" --requests "$ARTDIR/chaos_requests.txt" \
+    --abort-after 7 >/dev/null &
+  abort_pid=$!
+  # ...plus a slow client that gets kill -9'd mid-conversation.
+  "$HARNESS" --socket "$SOCK" --requests "$ARTDIR/chaos_requests.txt" \
+    --jitter-us 20000 --print raw > /dev/null 2>&1 &
+  victim_pid=$!
+  sleep 0.05
+  # Hot swap the artifact under the live daemon, mid-traffic. The swap is
+  # an atomic rename: a plain cp over the live path races the reload
+  # poller, which would (correctly) reject the half-written artifact and
+  # keep serving epoch A.
+  cp "$ARTDIR/modelB.smart" "$ARTDIR/model_live.smart.tmp"
+  mv -f "$ARTDIR/model_live.smart.tmp" "$ARTDIR/model_live.smart"
+  kill -HUP "$serve_pid"
+  sleep 0.15
+  kill -9 "$victim_pid" 2>/dev/null || true
+  for p in "${chaos_pids[@]}"; do
+    if ! wait "$p"; then
+      echo "FAIL: a well-behaved chaos client failed (SMART_THREADS=$t)" >&2
+      exit 1
+    fi
+  done
+  set +e
+  wait "$abort_pid" 2>/dev/null
+  wait "$victim_pid" 2>/dev/null
+  set -e
+  if ! kill -0 "$serve_pid" 2>/dev/null; then
+    echo "FAIL: daemon died during chaos (SMART_THREADS=$t)" >&2
+    cat "$ARTDIR/serve_stderr.txt" >&2
+    exit 1
+  fi
+  # Every surviving reply must be byte-identical to a serial golden reply
+  # for ONE of the two epochs — shedding is off, so nothing else is legal.
+  cat "$ARTDIR/chaos_out_1.txt" "$ARTDIR/chaos_out_2.txt" \
+    > "$ARTDIR/chaos_all.txt"
+  stray=$(grep -Fxv -f "$ARTDIR/chaos_union.txt" "$ARTDIR/chaos_all.txt" || true)
+  if [[ -n "$stray" ]]; then
+    echo "FAIL: chaos replies outside union(goldenA, goldenB) at SMART_THREADS=$t:" >&2
+    echo "$stray" | head -5 >&2
+    exit 1
+  fi
+  # The reload must take effect: wait for healthz to report epoch=2 (HUP
+  # delivery is async to the clients draining; the swap itself is what is
+  # under test, not its latency), then a fresh client must get the epoch-B
+  # golden set exactly.
+  printf 'healthz hz\n' > "$ARTDIR/hz_request.txt"
+  reload_landed=""
+  for _ in $(seq 1 100); do
+    "$HARNESS" --socket "$SOCK" --requests "$ARTDIR/hz_request.txt" \
+      --print raw > "$ARTDIR/hz_reply.txt"
+    if grep -q '^ok hz healthz epoch=2 ' "$ARTDIR/hz_reply.txt"; then
+      reload_landed=1
+      break
+    fi
+    sleep 0.05
+  done
+  if [[ -z "$reload_landed" ]]; then
+    echo "FAIL: healthz does not report epoch=2 after SIGHUP reload" >&2
+    cat "$ARTDIR/hz_reply.txt" >&2
+    exit 1
+  fi
+  "$HARNESS" --socket "$SOCK" --requests "$ARTDIR/chaos_requests.txt" \
+    --shuffle $((t + 7)) --print sorted --shutdown-after \
+    > "$ARTDIR/chaos_post.txt"
+  if ! wait "$serve_pid"; then
+    echo "FAIL: daemon exited non-zero after chaos drain (SMART_THREADS=$t)" >&2
+    cat "$ARTDIR/serve_stderr.txt" >&2
+    exit 1
+  fi
+  serve_pid=""
+  if ! cmp -s "$ARTDIR/chaos_post.txt" "$ARTDIR/chaos_goldenB.txt"; then
+    echo "FAIL: post-reload replies differ from the epoch-B golden set" >&2
+    diff "$ARTDIR/chaos_goldenB.txt" "$ARTDIR/chaos_post.txt" >&2 || true
+    exit 1
+  fi
+  echo "  SMART_THREADS=$t: 16 conns + abort + kill -9 + SIGHUP reload -> replies in union, post-reload == goldenB, rc 0"
+done
+unset SERVE_MODEL
+echo "OK: chaos survivors byte-identical per answering epoch; daemon drains to rc 0"
+
+echo "== serve daemon: overload shedding gate (tiny --max-queue) =="
+# 600 requests flood a queue bounded at 2: most must be shed with the fixed
+# structured busy reply, every served reply must still be a golden epoch-A
+# byte pattern (ids normalized), stats must count the sheds, and the
+# daemon's RSS must stay bounded (no hidden buffering).
+: > "$ARTDIR/overload_requests.txt"
+for i in $(seq 0 599); do
+  # shellcheck disable=SC2059
+  printf "${C_SPECS[$((i % 6))]}\n" "$(printf 'o%03d' "$i")" \
+    >> "$ARTDIR/overload_requests.txt"
+done
+start_serve 1 --max-batch 1 --max-wait-us 0 --max-queue 2
+"$HARNESS" --socket "$SOCK" --requests "$ARTDIR/overload_requests.txt" \
+  --print sorted > "$ARTDIR/overload_replies.txt"
+if ! kill -0 "$serve_pid" 2>/dev/null; then
+  echo "FAIL: daemon died under overload" >&2
+  cat "$ARTDIR/serve_stderr.txt" >&2
+  exit 1
+fi
+rss_kb=$(awk '/^VmRSS:/ { print $2 }' "/proc/$serve_pid/status")
+if (( rss_kb > 524288 )); then
+  echo "FAIL: daemon RSS ${rss_kb}kB under overload (unbounded buffering?)" >&2
+  exit 1
+fi
+busy_count=$(grep -c 'busy (admission queue full)$' "$ARTDIR/overload_replies.txt" || true)
+ok_count=$(grep -c '^ok ' "$ARTDIR/overload_replies.txt" || true)
+total_replies=$(wc -l < "$ARTDIR/overload_replies.txt")
+echo "  replies: $total_replies total, $ok_count served, $busy_count shed busy, RSS ${rss_kb}kB"
+if [[ "$total_replies" -ne 600 ]]; then
+  echo "FAIL: expected exactly one reply per request (got $total_replies/600)" >&2
+  exit 1
+fi
+if (( busy_count < 1 )) || (( ok_count < 1 )); then
+  echo "FAIL: overload gate needs both served and shed replies to be non-vacuous" >&2
+  exit 1
+fi
+# Normalize ids to '-' on both sides (sed keeps the payload bytes intact):
+# every non-shed reply must be a golden epoch-A byte pattern; every shed
+# reply must be the fixed busy string.
+sed -E 's/^(ok|err) [^ ]+ /\1 - /' "$ARTDIR/chaos_goldenA.txt" | sort -u \
+  > "$ARTDIR/overload_allowed.txt"
+echo "err - busy (admission queue full)" >> "$ARTDIR/overload_allowed.txt"
+sort -u -o "$ARTDIR/overload_allowed.txt" "$ARTDIR/overload_allowed.txt"
+stray=$(sed -E 's/^(ok|err) [^ ]+ /\1 - /' "$ARTDIR/overload_replies.txt" \
+  | grep -Fxv -f "$ARTDIR/overload_allowed.txt" || true)
+if [[ -n "$stray" ]]; then
+  echo "FAIL: overload replies outside the golden + busy set:" >&2
+  echo "$stray" | head -5 >&2
+  exit 1
+fi
+# stats must account for the sheds.
+printf 'stats sx\n' > "$ARTDIR/stats_request.txt"
+"$HARNESS" --socket "$SOCK" --requests "$ARTDIR/stats_request.txt" \
+  --print raw > "$ARTDIR/stats_reply.txt"
+if ! grep -Eq 'shed_busy=[1-9][0-9]*' "$ARTDIR/stats_reply.txt"; then
+  echo "FAIL: stats does not report the busy sheds" >&2
+  cat "$ARTDIR/stats_reply.txt" >&2
+  exit 1
+fi
+"$HARNESS" --socket "$SOCK" --requests "$ARTDIR/hz_request.txt" \
+  --print raw --shutdown-after >/dev/null
+if ! wait "$serve_pid"; then
+  echo "FAIL: daemon exited non-zero after the overload drain" >&2
+  exit 1
+fi
+serve_pid=""
+echo "OK: overload shed with structured busy errors; served bytes golden; RSS bounded"
 
 echo "== sanitizer build (ASan+UBSan) over the unit suite =="
 ASAN_DIR=${ASAN_BUILD_DIR:-build-asan}
@@ -577,14 +818,87 @@ UBSAN_OPTIONS=halt_on_error=1 "$ASAN_DIR/tools/smartctl" serve \
   >/dev/null 2>"$ARTDIR/serve_stderr.txt" &
 serve_pid=$!
 "$ASAN_DIR/tools/serve_harness" --socket "$SOCK" --fuzz 200 --seed 9 \
-  --shutdown-after | sed 's/^/  /'
+  --connections 4 --shutdown-after | sed 's/^/  /'
 if ! wait "$serve_pid"; then
   echo "FAIL: sanitized daemon exited non-zero (see $ARTDIR/serve_stderr.txt)" >&2
   cat "$ARTDIR/serve_stderr.txt" >&2
   exit 1
 fi
 serve_pid=""
-echo "OK: sanitized daemon survived the malformed corpus and mutants"
+echo "OK: sanitized daemon survived the malformed corpus and mutants over 4 connections"
+
+echo "== ThreadSanitizer build over the concurrent serve path =="
+# A TSan-instrumented daemon runs a compressed chaos leg: 8 concurrent
+# jittered connections with a SIGHUP hot reload mid-traffic, then a full
+# drain. Any data race in the session/batcher/reload interplay aborts the
+# run (halt_on_error=1); replies must still land inside the two-epoch
+# union, and the post-reload set must equal the epoch-B golden set.
+TSAN_DIR=${TSAN_BUILD_DIR:-build-tsan}
+cmake -B "$TSAN_DIR" -S . -DSMART_SANITIZE=thread >/dev/null
+cmake --build "$TSAN_DIR" -j"$(nproc)" --target smartctl serve_harness
+rm -f "$SOCK"
+cp "$ARTDIR/model.smart" "$ARTDIR/model_live.smart"
+TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR/tools/smartctl" serve \
+  --model "$ARTDIR/model_live.smart" --socket "$SOCK" \
+  --max-batch 8 --max-wait-us 500 --max-conns 32 \
+  >/dev/null 2>"$ARTDIR/serve_stderr.txt" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [[ -S "$SOCK" ]] && break
+  sleep 0.05
+done
+"$TSAN_DIR/tools/serve_harness" --socket "$SOCK" \
+  --requests "$ARTDIR/chaos_requests.txt" --shuffle 3 --connections 8 \
+  --jitter-us 8000 --print sorted > "$ARTDIR/tsan_out.txt" &
+tsan_client=$!
+sleep 0.05
+cp "$ARTDIR/modelB.smart" "$ARTDIR/model_live.smart.tmp"
+mv -f "$ARTDIR/model_live.smart.tmp" "$ARTDIR/model_live.smart"  # atomic swap
+kill -HUP "$serve_pid"
+if ! wait "$tsan_client"; then
+  echo "FAIL: chaos client against the TSan daemon failed" >&2
+  cat "$ARTDIR/serve_stderr.txt" >&2
+  exit 1
+fi
+stray=$(grep -Fxv -f "$ARTDIR/chaos_union.txt" "$ARTDIR/tsan_out.txt" || true)
+if [[ -n "$stray" ]]; then
+  echo "FAIL: TSan daemon replies outside union(goldenA, goldenB):" >&2
+  echo "$stray" | head -5 >&2
+  exit 1
+fi
+# Wait for the reload to land (TSan stretches HUP-to-swap latency) before
+# demanding the epoch-B golden set.
+printf 'healthz hz\n' > "$ARTDIR/hz_request.txt"
+reload_landed=""
+for _ in $(seq 1 100); do
+  "$TSAN_DIR/tools/serve_harness" --socket "$SOCK" \
+    --requests "$ARTDIR/hz_request.txt" --print raw > "$ARTDIR/hz_reply.txt"
+  if grep -q '^ok hz healthz epoch=2 ' "$ARTDIR/hz_reply.txt"; then
+    reload_landed=1
+    break
+  fi
+  sleep 0.05
+done
+if [[ -z "$reload_landed" ]]; then
+  echo "FAIL: TSan daemon never reached epoch=2 after SIGHUP" >&2
+  cat "$ARTDIR/hz_reply.txt" "$ARTDIR/serve_stderr.txt" >&2
+  exit 1
+fi
+"$TSAN_DIR/tools/serve_harness" --socket "$SOCK" \
+  --requests "$ARTDIR/chaos_requests.txt" --shuffle 11 --print sorted \
+  --shutdown-after > "$ARTDIR/tsan_post.txt"
+if ! wait "$serve_pid"; then
+  echo "FAIL: TSan daemon exited non-zero (data race or drain failure)" >&2
+  cat "$ARTDIR/serve_stderr.txt" >&2
+  exit 1
+fi
+serve_pid=""
+if ! cmp -s "$ARTDIR/tsan_post.txt" "$ARTDIR/chaos_goldenB.txt"; then
+  echo "FAIL: TSan daemon post-reload replies differ from the epoch-B golden set" >&2
+  diff "$ARTDIR/chaos_goldenB.txt" "$ARTDIR/tsan_post.txt" >&2 || true
+  exit 1
+fi
+echo "OK: TSan daemon raced 8 jittered connections through a hot reload cleanly"
 
 echo "== bench smoke: batched advisor inference =="
 # Small corpus (SMART_SCALE) keeps this a smoke test; the bench itself

@@ -25,6 +25,11 @@ std::uint64_t elapsed_us(std::chrono::steady_clock::time_point from,
   return us < 0 ? 0 : static_cast<std::uint64_t>(us);
 }
 
+// Shed replies are fixed strings: the determinism contract demands reply
+// bytes carry no timing- or load-dependent data.
+constexpr const char* kBusyError = "busy (admission queue full)";
+constexpr const char* kDeadlineError = "deadline exceeded before execution";
+
 }  // namespace
 
 std::string advise_report(const stencil::StencilPattern& pattern,
@@ -45,8 +50,18 @@ std::string advise_report(const stencil::StencilPattern& pattern,
 }
 
 AdvisorServer::AdvisorServer(const StencilMart& mart, ServeConfig config)
-    : mart_(mart), config_(config) {
-  if (!mart.trained()) {
+    : AdvisorServer(
+          ModelSnapshot{std::shared_ptr<const StencilMart>(
+                            &mart, [](const StencilMart*) {}),
+                        "in-process", "-"},
+          std::move(config), nullptr) {}
+
+AdvisorServer::AdvisorServer(ModelSnapshot initial, ServeConfig config,
+                             ModelProvider provider)
+    : config_(std::move(config)),
+      model_(std::move(initial)),
+      provider_(std::move(provider)) {
+  if (model_.mart == nullptr || !model_.mart->trained()) {
     throw std::logic_error("AdvisorServer: the model must be trained");
   }
   if (config_.max_batch < 1) {
@@ -54,6 +69,12 @@ AdvisorServer::AdvisorServer(const StencilMart& mart, ServeConfig config)
   }
   if (config_.max_wait_us < 0) {
     throw std::invalid_argument("AdvisorServer: max_wait_us must be >= 0");
+  }
+  if (config_.max_queue < 1) {
+    throw std::invalid_argument("AdvisorServer: max_queue must be >= 1");
+  }
+  if (config_.deadline_us < 0) {
+    throw std::invalid_argument("AdvisorServer: deadline_us must be >= 0");
   }
   if (config_.memo_capacity == 0) config_.memo_capacity = 1;
   if (config_.simd >= 0) simd_override_.emplace(config_.simd != 0);
@@ -74,6 +95,52 @@ AdvisorServer::~AdvisorServer() {
   batcher_.join();
 }
 
+std::string AdvisorServer::healthz_payload() const {
+  std::string version, checksum;
+  {
+    const std::lock_guard<std::mutex> lk(model_mu_);
+    version = model_.version;
+    checksum = model_.checksum;
+  }
+  return "epoch=" + std::to_string(epoch()) + " version=" + version +
+         " checksum=" + checksum;
+}
+
+ModelSnapshot AdvisorServer::model_snapshot() const {
+  const std::lock_guard<std::mutex> lk(model_mu_);
+  return model_;
+}
+
+std::uint64_t AdvisorServer::reload() {
+  // One reload at a time: the provider call (artifact read + strict
+  // validation) runs outside the model lock so serving never stalls on it.
+  const std::lock_guard<std::mutex> rlk(reload_mu_);
+  if (!provider_) {
+    throw std::runtime_error(
+        "reload unavailable (not serving from a model artifact)");
+  }
+  ModelSnapshot fresh = provider_();
+  if (fresh.mart == nullptr || !fresh.mart->trained()) {
+    throw std::runtime_error("reload: provider returned an untrained model");
+  }
+  std::uint64_t next = 0;
+  {
+    const std::lock_guard<std::mutex> lk(model_mu_);
+    model_ = std::move(fresh);
+    next = epoch_.load(std::memory_order_relaxed) + 1;
+    epoch_.store(next, std::memory_order_release);
+  }
+  {
+    // The memo must never mix epochs: clear it and re-tag. A batch still
+    // running on the old model sees memo_epoch_ != its epoch and skips its
+    // inserts.
+    const std::lock_guard<std::mutex> lk(memo_mu_);
+    memo_.clear();
+    memo_epoch_ = next;
+  }
+  return next;
+}
+
 bool AdvisorServer::submit(std::string_view line, const Sink& sink) {
   bool blank = true;
   for (const char c : line) {
@@ -82,10 +149,10 @@ bool AdvisorServer::submit(std::string_view line, const Sink& sink) {
       break;
     }
   }
-  if (blank) return !shutdown_;
+  if (blank) return !shutdown_.load(std::memory_order_acquire);
 
   auto parsed = serve::parse_request(line);
-  if (shutdown_) {
+  if (shutdown_.load(std::memory_order_acquire)) {
     sink(serve::err_reply(parsed.id, "server is shutting down"));
     {
       const std::lock_guard<std::mutex> lk(stats_mu_);
@@ -107,6 +174,21 @@ bool AdvisorServer::submit(std::string_view line, const Sink& sink) {
     case serve::Verb::kPing:
       sink(serve::ok_reply(request.id, "pong v1"));
       return true;
+    case serve::Verb::kHealthz:
+      sink(serve::ok_reply(request.id, "healthz " + healthz_payload()));
+      return true;
+    case serve::Verb::kReload: {
+      try {
+        reload();
+        sink(serve::ok_reply(request.id, "reloaded " + healthz_payload()));
+      } catch (const std::exception& e) {
+        sink(serve::err_reply(request.id,
+                              std::string("reload failed: ") + e.what()));
+        const std::lock_guard<std::mutex> lk(stats_mu_);
+        ++errors_;
+      }
+      return true;
+    }
     case serve::Verb::kStats: {
       ServeCounters counters;
       {
@@ -116,6 +198,7 @@ bool AdvisorServer::submit(std::string_view line, const Sink& sink) {
         // previous one, so a long-lived daemon's percentiles stay current.
         latency_.reset();
         served_ = errors_ = memo_hits_ = batches_ = max_batch_seen_ = 0;
+        shed_busy_ = shed_deadline_ = 0;
         window_start_ = Clock::now();
       }
       char qps[32];
@@ -125,18 +208,18 @@ bool AdvisorServer::submit(std::string_view line, const Sink& sink) {
       payload += " memo_hits=" + std::to_string(counters.memo_hits);
       payload += " batches=" + std::to_string(counters.batches);
       payload += " max_batch=" + std::to_string(counters.max_batch_seen);
+      payload += " shed_busy=" + std::to_string(counters.shed_busy);
+      payload += " shed_deadline=" + std::to_string(counters.shed_deadline);
       payload += " p50_us=" + std::to_string(counters.p50_us);
       payload += " p99_us=" + std::to_string(counters.p99_us);
       payload += " qps=";
       payload += qps;
+      payload += " epoch=" + std::to_string(counters.epoch);
       sink(serve::ok_reply(request.id, payload));
       return true;
     }
     case serve::Verb::kShutdown: {
-      {
-        const std::lock_guard<std::mutex> lk(mu_);
-        shutdown_ = true;
-      }
+      shutdown_.store(true, std::memory_order_release);
       drain();  // every request submitted before the shutdown answers first
       sink(serve::ok_reply(request.id, "bye"));
       return false;
@@ -167,9 +250,16 @@ bool AdvisorServer::submit(std::string_view line, const Sink& sink) {
 
   {
     const std::lock_guard<std::mutex> lk(mu_);
-    queue_.push_back(std::move(pending));
+    // Bounded admission: shed instead of buffering without limit. The
+    // size check and the push share one critical section, so concurrent
+    // producers can never overshoot the bound.
+    if (queue_.size() < config_.max_queue) {
+      queue_.push_back(std::move(pending));
+      cv_.notify_all();
+      return true;
+    }
   }
-  cv_.notify_all();
+  shed(pending, /*deadline=*/false);
   return true;
 }
 
@@ -216,10 +306,39 @@ void AdvisorServer::batcher_loop() {
 }
 
 void AdvisorServer::execute_batch(std::vector<Pending> batch) {
+  // Expired requests are shed before any model work: their reply is the
+  // fixed deadline error, not a stale computation.
+  if (config_.deadline_us > 0) {
+    const auto now = Clock::now();
+    std::vector<Pending> kept;
+    kept.reserve(batch.size());
+    for (auto& pending : batch) {
+      if (elapsed_us(pending.enqueued, now) >
+          static_cast<std::uint64_t>(config_.deadline_us)) {
+        shed(pending, /*deadline=*/true);
+      } else {
+        kept.push_back(std::move(pending));
+      }
+    }
+    batch = std::move(kept);
+    if (batch.empty()) return;
+  }
+
   {
     const std::lock_guard<std::mutex> lk(stats_mu_);
     ++batches_;
     max_batch_seen_ = std::max<std::uint64_t>(max_batch_seen_, batch.size());
+  }
+
+  // Snapshot the epoch-tagged model slot: the whole batch computes on one
+  // model, and a concurrent reload can neither free it (shared_ptr) nor
+  // change this batch's reply bytes.
+  std::shared_ptr<const StencilMart> mart;
+  std::uint64_t batch_epoch = 0;
+  {
+    const std::lock_guard<std::mutex> lk(model_mu_);
+    mart = model_.mart;
+    batch_epoch = epoch_.load(std::memory_order_relaxed);
   }
 
   // Within-batch dedup + a second memo check (another batch may have
@@ -233,7 +352,8 @@ void AdvisorServer::execute_batch(std::vector<Pending> batch) {
     const std::lock_guard<std::mutex> lk(memo_mu_);
     for (std::size_t i = 0; i < batch.size(); ++i) {
       const serve::Request& request = batch[i].request;
-      const auto hit = memo_.find(request.memo_key);
+      const auto hit =
+          memo_epoch_ == batch_epoch ? memo_.find(request.memo_key) : memo_.end();
       if (hit != memo_.end()) {
         const MemoEntry entry = hit->second;
         {
@@ -262,7 +382,7 @@ void AdvisorServer::execute_batch(std::vector<Pending> batch) {
   std::vector<MemoEntry> replies(unique_items.size());
   try {
     const util::PhaseTimer timer("serve.batch", batch.size());
-    const auto results = mart_.advise_batch(unique_items);
+    const auto results = mart->advise_batch(unique_items);
     for (std::size_t u = 0; u < results.size(); ++u) {
       if (!results[u].ok()) {
         replies[u] = {false, results[u].error};
@@ -289,9 +409,13 @@ void AdvisorServer::execute_batch(std::vector<Pending> batch) {
 
   {
     const std::lock_guard<std::mutex> lk(memo_mu_);
-    if (memo_.size() + replies.size() > config_.memo_capacity) memo_.clear();
-    for (std::size_t u = 0; u < replies.size(); ++u) {
-      memo_.emplace(unique_requests[u]->memo_key, replies[u]);
+    // Inserts are valid only while the memo still belongs to this batch's
+    // epoch; after a reload they would poison the fresh model's cache.
+    if (memo_epoch_ == batch_epoch) {
+      if (memo_.size() + replies.size() > config_.memo_capacity) memo_.clear();
+      for (std::size_t u = 0; u < replies.size(); ++u) {
+        memo_.emplace(unique_requests[u]->memo_key, replies[u]);
+      }
     }
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -314,6 +438,17 @@ void AdvisorServer::respond(const Pending& pending, bool ok,
                   : serve::err_reply(pending.request.id, payload));
 }
 
+void AdvisorServer::shed(const Pending& pending, bool deadline) {
+  {
+    const std::lock_guard<std::mutex> lk(stats_mu_);
+    ++errors_;
+    if (deadline) ++shed_deadline_;
+    else ++shed_busy_;
+  }
+  pending.sink(serve::err_reply(pending.request.id,
+                                deadline ? kDeadlineError : kBusyError));
+}
+
 ServeCounters AdvisorServer::snapshot_locked() const {
   ServeCounters counters;
   counters.served = served_;
@@ -321,11 +456,14 @@ ServeCounters AdvisorServer::snapshot_locked() const {
   counters.memo_hits = memo_hits_;
   counters.batches = batches_;
   counters.max_batch_seen = max_batch_seen_;
+  counters.shed_busy = shed_busy_;
+  counters.shed_deadline = shed_deadline_;
   counters.p50_us = latency_.percentile(50.0);
   counters.p99_us = latency_.percentile(99.0);
   const double seconds =
       std::chrono::duration<double>(Clock::now() - window_start_).count();
   counters.qps = seconds > 0.0 ? static_cast<double>(served_) / seconds : 0.0;
+  counters.epoch = epoch();
   return counters;
 }
 

@@ -453,4 +453,45 @@ StencilMart load_model(const std::string& path) {
   return load_model(in, path);
 }
 
+ModelArtifactInfo inspect_model(std::istream& in) {
+  std::string magic;
+  if (!std::getline(in, magic)) {
+    throw std::runtime_error("load_model: empty stream");
+  }
+  if (magic != kModelMagic) {
+    if (magic.rfind(kModelMagicPrefix, 0) == 0) {
+      throw std::runtime_error("load_model: unsupported model format version '" +
+                               magic + "' (this build reads " +
+                               std::string(kModelMagic) + ")");
+    }
+    throw std::runtime_error(
+        "load_model: not a StencilMART model artifact (bad magic)");
+  }
+  util::expect_word(in, "payload", "load_model payload header");
+  const std::size_t payload_size =
+      util::read_size(in, "load_model payload size");
+  if (in.get() != '\n') {
+    throw std::runtime_error("load_model: malformed payload header");
+  }
+  std::string bytes(payload_size, '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(payload_size));
+  if (static_cast<std::size_t>(in.gcount()) != payload_size) {
+    throw std::runtime_error(
+        "load_model: truncated artifact (payload cut short)");
+  }
+  util::expect_word(in, "checksum", "load_model checksum header");
+  const std::string digest = util::read_token(in, "load_model checksum");
+  if (digest != checksum_hex(bytes)) {
+    throw std::runtime_error(
+        "load_model: checksum mismatch — the artifact is corrupted");
+  }
+  return ModelArtifactInfo{magic, digest};
+}
+
+ModelArtifactInfo inspect_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_model: cannot open " + path);
+  return inspect_model(in);
+}
+
 }  // namespace smart::core

@@ -67,4 +67,19 @@ StencilMart load_model(std::istream& in,
                        const std::string& source = "<stream>");
 StencilMart load_model(const std::string& path);
 
+/// Envelope metadata of a model artifact, read without parsing the payload.
+/// The serve daemon's startup banner and `healthz` reply report these so
+/// operators can confirm which artifact is live after a hot reload.
+struct ModelArtifactInfo {
+  std::string version;   // magic line, e.g. "stencilmart-model-v1"
+  std::string checksum;  // 16-hex FNV-1a 64 digest of the payload bytes
+};
+
+/// Reads and validates the artifact envelope (magic, payload byte count,
+/// checksum) and returns its metadata. Throws the same distinct
+/// std::runtime_error diagnostics as load_model for bad magic, unsupported
+/// version, truncation, and checksum mismatch.
+ModelArtifactInfo inspect_model(std::istream& in);
+ModelArtifactInfo inspect_model(const std::string& path);
+
 }  // namespace smart::core

@@ -104,6 +104,8 @@ std::string to_string(Verb verb) {
     case Verb::kPredict: return "predict";
     case Verb::kStats: return "stats";
     case Verb::kPing: return "ping";
+    case Verb::kHealthz: return "healthz";
+    case Verb::kReload: return "reload";
     case Verb::kShutdown: return "shutdown";
   }
   return "?";
@@ -127,9 +129,11 @@ ParseResult parse_request(std::string_view line) {
   else if (tokens[0] == "predict") verb = Verb::kPredict;
   else if (tokens[0] == "stats") verb = Verb::kStats;
   else if (tokens[0] == "ping") verb = Verb::kPing;
+  else if (tokens[0] == "healthz") verb = Verb::kHealthz;
+  else if (tokens[0] == "reload") verb = Verb::kReload;
   else if (tokens[0] == "shutdown") verb = Verb::kShutdown;
   else return fail("-", "unknown verb '" + tokens[0] +
-                        "' (advise|predict|stats|ping|shutdown)");
+                        "' (advise|predict|stats|ping|healthz|reload|shutdown)");
 
   if (tokens.size() < 2) return fail("-", "missing request id");
   const std::string& id = tokens[1];

@@ -5,15 +5,19 @@
 // stream.
 //
 //   request  := verb SP id (SP key "=" value)*
-//   verb     := "advise" | "predict" | "stats" | "ping" | "shutdown"
+//   verb     := "advise" | "predict" | "stats" | "ping" | "healthz"
+//             | "reload" | "shutdown"
 //   id       := 1..64 chars of [A-Za-z0-9_.:-]
 //   keys     := shape=star|box|cross  dims=2|3  order=1..4  gpu=NAME
 //               offsets=x,y[,z];x,y[,z];...   (alternative to shape/dims/
 //               order: an explicit offset list; dims = tuple arity)
 //   response := "ok" SP id SP payload | "err" SP id SP message
 //
-// advise/predict take a stencil spec + gpu; stats/ping/shutdown take no
-// keys. Empty lines are ignored. Anything else — unknown verbs, bad ids,
+// advise/predict take a stencil spec + gpu; stats/ping/healthz/reload/
+// shutdown take no keys. healthz reports the live model's version,
+// checksum and epoch; reload asks the daemon to re-validate and swap in
+// the model artifact it was started from (the epoch increments on
+// success). Empty lines are ignored. Anything else — unknown verbs, bad ids,
 // duplicate/unknown keys, malformed numbers, out-of-range geometry,
 // control bytes, oversize lines — yields `err <id-or-dash> <reason>`.
 //
@@ -34,7 +38,7 @@ namespace smart::core::serve {
 inline constexpr std::size_t kMaxRequestBytes = 64 * 1024;
 inline constexpr std::size_t kMaxIdBytes = 64;
 
-enum class Verb { kAdvise, kPredict, kStats, kPing, kShutdown };
+enum class Verb { kAdvise, kPredict, kStats, kPing, kHealthz, kReload, kShutdown };
 
 std::string to_string(Verb verb);
 

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -21,24 +22,48 @@ constexpr int kPollTimeoutMs = 50;
 
 }  // namespace
 
+void LineChannel::set_write_timeout_ms(int ms) {
+  write_timeout_ms_ = ms;
+  if (ms <= 0) return;
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw_errno("serve: fcntl(F_GETFL) failed");
+  if ((flags & O_NONBLOCK) == 0 &&
+      ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("serve: fcntl(F_SETFL, O_NONBLOCK) failed");
+  }
+}
+
 bool LineChannel::fill(const std::atomic<bool>* stop,
-                       LineChannel::ReadResult& result) {
+                       LineChannel::ReadResult& result, int& waited_ms) {
   for (;;) {
     if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
       result = ReadResult::kInterrupted;
       return false;
     }
+    if (idle_timeout_ms_ > 0 && waited_ms >= idle_timeout_ms_) {
+      result = ReadResult::kIdleTimeout;
+      return false;
+    }
+    int slice = kPollTimeoutMs;
+    if (idle_timeout_ms_ > 0 && idle_timeout_ms_ - waited_ms < slice) {
+      slice = idle_timeout_ms_ - waited_ms;
+    }
     pollfd pfd{fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
+    const int ready = ::poll(&pfd, 1, slice);
     if (ready < 0) {
       if (errno == EINTR) continue;  // signal: loop re-checks the stop flag
       throw_errno("serve: poll failed");
     }
-    if (ready == 0) continue;  // timeout: re-check the stop flag
+    if (ready == 0) {
+      waited_ms += slice;  // timeout: re-check stop flag and idle budget
+      continue;
+    }
     char chunk[4096];
     const ssize_t n = ::read(fd_, chunk, sizeof chunk);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // A non-blocking fd (write-timeout mode) can race poll readiness.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
       throw_errno("serve: read failed");
     }
     if (n == 0) {
@@ -52,6 +77,7 @@ bool LineChannel::fill(const std::atomic<bool>* stop,
 
 LineChannel::ReadResult LineChannel::read_line(std::string& line,
                                                const std::atomic<bool>* stop) {
+  int waited_ms = 0;  // idle budget spans the whole read_line call
   for (;;) {
     const std::size_t nl = buf_.find('\n', pos_);
     if (nl != std::string::npos) {
@@ -88,7 +114,7 @@ LineChannel::ReadResult LineChannel::read_line(std::string& line,
     }
 
     ReadResult result = ReadResult::kEof;
-    if (!fill(stop, result)) {
+    if (!fill(stop, result, waited_ms)) {
       if (result == ReadResult::kEof) {
         if (discarding_) {
           discarding_ = false;
@@ -112,11 +138,28 @@ LineChannel::ReadResult LineChannel::read_line(std::string& line,
 
 void LineChannel::write_all(std::string_view data) {
   std::size_t written = 0;
+  int stalled_ms = 0;  // time spent waiting for the peer's buffer to drain
   while (written < data.size()) {
     const ssize_t n =
         ::write(fd_, data.data() + written, data.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking fd (write-timeout mode): wait for drain, bounded.
+        if (write_timeout_ms_ > 0 && stalled_ms >= write_timeout_ms_) {
+          throw std::runtime_error(
+              "serve: peer too slow draining replies (write timeout)");
+        }
+        int slice = kPollTimeoutMs;
+        if (write_timeout_ms_ > 0 && write_timeout_ms_ - stalled_ms < slice) {
+          slice = write_timeout_ms_ - stalled_ms;
+        }
+        pollfd pfd{fd_, POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, slice);
+        if (ready < 0 && errno != EINTR) throw_errno("serve: poll(out) failed");
+        if (ready == 0) stalled_ms += slice;
+        continue;
+      }
       if (errno == EPIPE || errno == ECONNRESET) {
         throw std::runtime_error(
             "serve: peer closed the connection mid-reply");
@@ -124,6 +167,7 @@ void LineChannel::write_all(std::string_view data) {
       throw_errno("serve: write failed");
     }
     written += static_cast<std::size_t>(n);
+    stalled_ms = 0;  // progress resets the stall clock
   }
 }
 
@@ -184,15 +228,19 @@ int accept_unix(int listen_fd, const std::atomic<bool>* stop) {
 
 int connect_unix(const std::string& path) {
   const sockaddr_un addr = unix_address(path);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) throw_errno("serve: socket failed");
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("serve: socket failed");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      return fd;
+    }
     const int saved = errno;
     ::close(fd);
+    if (saved == EINTR) continue;  // interrupted: retry with a fresh socket
     errno = saved;
     throw_errno("serve: connect('" + path + "') failed");
   }
-  return fd;
 }
 
 }  // namespace smart::util

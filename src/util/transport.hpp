@@ -3,7 +3,10 @@
 // AF_UNIX listen/accept/connect helpers. All blocking operations poll with
 // a short timeout and honour an optional stop flag, so a SIGTERM handler
 // that sets the flag unblocks the daemon within one poll interval without
-// relying on EINTR semantics of any particular libc wrapper.
+// relying on EINTR semantics of any particular libc wrapper. Interrupted
+// poll/read/write/connect calls (EINTR) are always retried — a SIGHUP
+// aimed at the reload path must never surface as a spurious I/O error on
+// an unrelated connection.
 //
 // Oversize handling: a line longer than kMaxLineBytes is returned truncated
 // to kMaxLineBytes + 1 bytes and the remainder up to the next newline is
@@ -15,6 +18,12 @@
 // (EPIPE surfaces as an exception instead of SIGPIPE death — the daemon
 // ignores SIGPIPE while serving), and read failures other than EOF throw
 // likewise.
+//
+// Timeouts: set_idle_timeout_ms bounds how long read_line waits for the
+// next byte (kIdleTimeout result — the daemon reaps idle connections);
+// set_write_timeout_ms switches the fd to non-blocking and bounds how long
+// write_all waits for the peer to drain its socket buffer (a slow reader
+// becomes a thrown error instead of a stalled daemon thread).
 #pragma once
 
 #include <atomic>
@@ -36,6 +45,7 @@ class LineChannel {
     kLine,         // `line` holds the next newline-terminated line
     kEof,          // orderly end of stream (no partial data pending)
     kInterrupted,  // the stop flag was raised before a full line arrived
+    kIdleTimeout,  // no bytes arrived within the idle timeout
   };
 
   /// Reads the next '\n'-terminated line (terminator stripped; a trailing
@@ -46,17 +56,32 @@ class LineChannel {
   ReadResult read_line(std::string& line, const std::atomic<bool>* stop = nullptr);
 
   /// Writes every byte of `data`. Throws std::runtime_error on failure
-  /// (EPIPE is reported as "peer closed the connection mid-reply").
+  /// (EPIPE is reported as "peer closed the connection mid-reply"; a write
+  /// timeout as "peer too slow draining replies").
   void write_all(std::string_view data);
+
+  /// Bounds one read_line call: when no bytes arrive for `ms` milliseconds
+  /// the call returns kIdleTimeout instead of blocking forever. 0 disables
+  /// (the default).
+  void set_idle_timeout_ms(int ms) noexcept { idle_timeout_ms_ = ms; }
+
+  /// Bounds one write_all call: when the peer's socket buffer stays full
+  /// for `ms` milliseconds the call throws. Switches the fd to
+  /// non-blocking mode (reads keep working — fill() handles EAGAIN).
+  /// 0 disables (the default).
+  void set_write_timeout_ms(int ms);
 
   int fd() const noexcept { return fd_; }
 
  private:
-  /// Appends more bytes to buf_. Returns false on EOF/stop with `result`
-  /// set; true when bytes arrived.
-  bool fill(const std::atomic<bool>* stop, ReadResult& result);
+  /// Appends more bytes to buf_. Returns false on EOF/stop/idle-timeout
+  /// with `result` set; true when bytes arrived. `waited_ms` accumulates
+  /// poll time across fill calls of one read_line.
+  bool fill(const std::atomic<bool>* stop, ReadResult& result, int& waited_ms);
 
   int fd_;
+  int idle_timeout_ms_ = 0;
+  int write_timeout_ms_ = 0;
   std::string buf_;
   std::size_t pos_ = 0;     // first unconsumed byte of buf_
   bool discarding_ = false; // inside the tail of an oversize line
@@ -72,8 +97,8 @@ int listen_unix(const std::string& path);
 /// connection fd, or -1 when the stop flag was raised. Throws on errors.
 int accept_unix(int listen_fd, const std::atomic<bool>* stop = nullptr);
 
-/// Connects to an AF_UNIX stream socket. Throws std::runtime_error when the
-/// connection cannot be established.
+/// Connects to an AF_UNIX stream socket, retrying interrupted attempts.
+/// Throws std::runtime_error when the connection cannot be established.
 int connect_unix(const std::string& path);
 
 }  // namespace smart::util

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/timing.hpp"
 
@@ -332,6 +334,30 @@ TEST(CliRun, ServeValidatesBatchingKnobs) {
                                   "--max-batch", "2x"}),
                            out),
                std::invalid_argument);
+}
+
+TEST(CliRun, ServeValidatesRobustnessKnobs) {
+  // The PR 10 knobs: queue bound, deadline, connection capacity and
+  // per-connection limits all validate before any model I/O.
+  std::ostringstream out;
+  const auto reject = [&](std::vector<std::string> extra) {
+    std::vector<std::string> argv = {"serve", "--model", "m.smart", "--stdio"};
+    argv.insert(argv.end(), extra.begin(), extra.end());
+    EXPECT_THROW(run_command(parse_command_line(argv), out),
+                 std::invalid_argument)
+        << "accepted: " << extra[0] << ' ' << extra[1];
+  };
+  reject({"--max-queue", "0"});
+  reject({"--max-queue", "9999999"});
+  reject({"--max-queue", "1k"});
+  reject({"--deadline-us", "-1"});
+  reject({"--deadline-us", "fast"});
+  reject({"--max-conns", "0"});
+  reject({"--max-conns", "100000"});
+  reject({"--max-inflight", "0"});
+  reject({"--idle-timeout-ms", "-5"});
+  reject({"--write-timeout-ms", "-5"});
+  reject({"--faults", "bogus:p=1"});
 }
 
 TEST(CliRun, ServeMissingModelFileIsRuntimeError) {

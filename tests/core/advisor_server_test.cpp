@@ -23,6 +23,7 @@
 #include <cstdlib>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/mart.hpp"
@@ -377,9 +378,215 @@ TEST(AdvisorServer, RejectsInvalidConfigAndUntrainedMart) {
   ServeConfig bad;
   bad.max_batch = 0;
   EXPECT_THROW(AdvisorServer(test_mart(), bad), std::invalid_argument);
+  ServeConfig bad_queue;
+  bad_queue.max_queue = 0;
+  EXPECT_THROW(AdvisorServer(test_mart(), bad_queue), std::invalid_argument);
+  ServeConfig bad_deadline;
+  bad_deadline.deadline_us = -1;
+  EXPECT_THROW(AdvisorServer(test_mart(), bad_deadline), std::invalid_argument);
   MartConfig config;
   const StencilMart untrained(config);
   EXPECT_THROW(AdvisorServer(untrained, {}), std::logic_error);
+}
+
+TEST(AdvisorServer, BoundedQueueShedsWithStructuredBusyError) {
+  // Nothing can flush on its own (huge batch, huge timer), so the queue
+  // holds exactly what submit() admits: the third request must be shed
+  // synchronously with the fixed busy bytes, never buffered or dropped.
+  ServeConfig config;
+  config.max_batch = 4096;
+  config.max_wait_us = 30'000'000;
+  config.max_queue = 2;
+  AdvisorServer server(test_mart(), config);
+  ReplyCollector replies;
+  const auto sink = replies.sink();
+  server.submit("advise q1 shape=star order=1", sink);
+  server.submit("advise q2 shape=star order=2", sink);
+  server.submit("advise q3 shape=box order=1", sink);
+  {
+    const auto now = replies.snapshot();  // shed reply is synchronous
+    ASSERT_EQ(now.size(), 1u);
+    EXPECT_EQ(now[0], "err q3 busy (admission queue full)");
+  }
+  server.drain();
+  auto lines = replies.wait_for(3);
+  std::sort(lines.begin(), lines.end());
+  EXPECT_EQ(lines[1].rfind("ok q1 ", 0), 0u);
+  EXPECT_EQ(lines[2].rfind("ok q2 ", 0), 0u);
+  const auto counters = server.counters_snapshot();
+  EXPECT_EQ(counters.served, 2u);
+  EXPECT_EQ(counters.shed_busy, 1u);
+  EXPECT_EQ(counters.shed_deadline, 0u);
+  EXPECT_EQ(counters.epoch, 1u);
+
+  // The stats verb reports the shed counters and the (non-windowed) epoch.
+  server.submit("stats st", sink);
+  const auto after = replies.snapshot();
+  ASSERT_EQ(after.size(), 4u);
+  EXPECT_NE(after.back().find("shed_busy=1"), std::string::npos) << after.back();
+  EXPECT_NE(after.back().find("shed_deadline=0"), std::string::npos);
+  EXPECT_NE(after.back().find("epoch=1"), std::string::npos);
+}
+
+TEST(AdvisorServer, DeadlineShedsRequestsThatWaitedTooLong) {
+  // Every request waits ~20ms for the timer flush but the deadline is 1us:
+  // all of them must be shed with the fixed deadline bytes, and none may
+  // reach the model.
+  ServeConfig config;
+  config.max_batch = 4096;
+  config.max_wait_us = 20'000;
+  config.deadline_us = 1;
+  AdvisorServer server(test_mart(), config);
+  ReplyCollector replies;
+  const auto sink = replies.sink();
+  server.submit("advise dl1 shape=star order=2", sink);
+  server.submit("advise dl2 shape=box order=1", sink);
+  server.drain();
+  auto lines = replies.wait_for(2);
+  std::sort(lines.begin(), lines.end());
+  EXPECT_EQ(lines[0], "err dl1 deadline exceeded before execution");
+  EXPECT_EQ(lines[1], "err dl2 deadline exceeded before execution");
+  const auto counters = server.counters_snapshot();
+  EXPECT_EQ(counters.served, 0u);
+  EXPECT_EQ(counters.shed_deadline, 2u);
+}
+
+TEST(AdvisorServer, HealthzReportsEpochVersionChecksum) {
+  AdvisorServer server(test_mart(), {});
+  ReplyCollector replies;
+  const auto sink = replies.sink();
+  server.submit("healthz h1", sink);
+  const auto lines = replies.snapshot();  // healthz is synchronous
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "ok h1 healthz epoch=1 version=in-process checksum=-");
+  // The in-process ctor has no provider: reload must refuse, not crash.
+  server.submit("reload h2", sink);
+  const auto after = replies.snapshot();
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after.back(),
+            "err h2 reload failed: reload unavailable (not serving from a "
+            "model artifact)");
+  EXPECT_EQ(server.epoch(), 1u);
+}
+
+/// Second trained mart with a different corpus seed: reload swaps to it and
+/// the replies must flip to what a fresh server on B would produce.
+const StencilMart& test_mart_b() {
+  static const StencilMart mart = [] {
+    MartConfig config;
+    config.profile.dims = 2;
+    config.profile.num_stencils = 10;
+    config.profile.samples_per_oc = 2;
+    config.profile.seed = 777;
+    config.tuning_samples = 8;
+    StencilMart m(config);
+    m.train();
+    return m;
+  }();
+  return mart;
+}
+
+TEST(AdvisorServer, ReloadSwapsModelBumpsEpochAndClearsMemo) {
+  const auto wrap = [](const StencilMart& mart, std::string version,
+                       std::string checksum) {
+    return ModelSnapshot{
+        std::shared_ptr<const StencilMart>(&mart, [](const StencilMart*) {}),
+        std::move(version), std::move(checksum)};
+  };
+  AdvisorServer server(wrap(test_mart(), "vA", "aaaa"), {},
+                       [&] { return wrap(test_mart_b(), "vB", "bbbb"); });
+  ReplyCollector replies;
+  const auto sink = replies.sink();
+  const std::string request = "predict p0 shape=star order=2 gpu=V100";
+
+  server.submit(request, sink);
+  server.drain();
+  const std::string reply_a = replies.wait_for(1)[0];
+
+  server.submit("reload rl", sink);
+  const auto mid = replies.snapshot();
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_EQ(mid.back(), "ok rl reloaded epoch=2 version=vB checksum=bbbb");
+  EXPECT_EQ(server.epoch(), 2u);
+  EXPECT_EQ(server.model_snapshot().version, "vB");
+
+  server.submit(request, sink);
+  server.drain();
+  const std::string reply_b = replies.wait_for(3)[2];
+  // The two epochs trained on different corpora: the hexfloat payload
+  // flips, and the memo cannot have served epoch-1 bytes for epoch 2.
+  EXPECT_NE(reply_a, reply_b);
+  EXPECT_EQ(server.counters_snapshot().memo_hits, 0u);
+
+  // Replies on epoch 2 are bitwise what a fresh server on B produces.
+  AdvisorServer fresh_b(test_mart_b(), {});
+  ReplyCollector fresh_replies;
+  fresh_b.submit(request, fresh_replies.sink());
+  fresh_b.drain();
+  EXPECT_EQ(reply_b, fresh_replies.wait_for(1)[0]);
+
+  // The memo works again within the new epoch.
+  server.submit(request, sink);
+  server.drain();
+  replies.wait_for(4);
+  EXPECT_EQ(server.counters_snapshot().memo_hits, 1u);
+}
+
+TEST(AdvisorServer, FailedReloadLeavesServingModelUntouched) {
+  const auto wrap = [](const StencilMart& mart) {
+    return ModelSnapshot{
+        std::shared_ptr<const StencilMart>(&mart, [](const StencilMart*) {}),
+        "vA", "aaaa"};
+  };
+  int calls = 0;
+  AdvisorServer server(wrap(test_mart()), {}, [&]() -> ModelSnapshot {
+    ++calls;
+    throw std::runtime_error("artifact truncated");
+  });
+  ReplyCollector replies;
+  const auto sink = replies.sink();
+  server.submit("reload rf", sink);
+  const auto lines = replies.snapshot();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "err rf reload failed: artifact truncated");
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(server.epoch(), 1u);
+  EXPECT_EQ(server.model_snapshot().version, "vA");
+  // Still serving on the old model after the failed swap.
+  server.submit("predict ps shape=star order=2 gpu=V100", sink);
+  server.drain();
+  EXPECT_EQ(replies.wait_for(2).back().rfind("ok ps predicted_ms=", 0), 0u);
+}
+
+TEST(AdvisorServer, ConcurrentProducersPreserveReplySet) {
+  // submit() from many threads at once (the per-connection reader model):
+  // the merged reply set must equal the serial golden run, every time.
+  const auto requests = base_requests();
+  ServeConfig config;
+  config.max_batch = 4;
+  config.max_wait_us = 100;
+  const auto golden = run_request_set(requests, config);
+
+  for (int round = 0; round < 5; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    AdvisorServer server(test_mart(), config);
+    ReplyCollector replies;
+    const auto sink = replies.sink();
+    const int kProducers = 4;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (std::size_t i = p; i < requests.size(); i += kProducers) {
+          server.submit(requests[i], sink);
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+    server.drain();
+    auto lines = replies.wait_for(requests.size());
+    std::sort(lines.begin(), lines.end());
+    EXPECT_EQ(lines, golden);
+  }
 }
 
 }  // namespace

@@ -267,6 +267,54 @@ TEST(ModelArtifact, PayloadParseErrorsCarrySourceAndByteOffset) {
   expect_load_fails("definitely-not-a-model\n", "bad magic");
 }
 
+TEST(ModelArtifact, InspectModelReportsVersionAndChecksum) {
+  // inspect_model validates the envelope (the serve banner/healthz path)
+  // without parsing the payload; version and checksum must match the
+  // artifact bytes exactly.
+  const std::string& artifact = reference_artifact();
+  std::stringstream in(artifact);
+  const ModelArtifactInfo info = inspect_model(in);
+  EXPECT_EQ(info.version, "stencilmart-model-v1");
+  const std::size_t pos = artifact.rfind("checksum ") + 9;
+  EXPECT_EQ(info.checksum, artifact.substr(pos, 16));
+  char digest[17];
+  std::snprintf(digest, sizeof(digest), "%016llx",
+                static_cast<unsigned long long>(
+                    util::fnv1a64(reference_payload())));
+  EXPECT_EQ(info.checksum, digest);
+
+  // Path overload reads the same envelope from disk.
+  const std::string path = testing::TempDir() + "smart_inspect_test.smart";
+  save_model(trained_mart(RegressorKind::kGbr), path);
+  const ModelArtifactInfo from_file = inspect_model(path);
+  EXPECT_EQ(from_file.version, info.version);
+  EXPECT_EQ(from_file.checksum, info.checksum);
+  std::remove(path.c_str());
+}
+
+TEST(ModelArtifact, InspectModelRejectsEnvelopeCorruption) {
+  const auto expect_inspect_fails = [](const std::string& text,
+                                       const std::string& needle) {
+    std::stringstream in(text);
+    try {
+      inspect_model(in);
+      FAIL() << "inspect_model accepted a corrupted artifact";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "actual message: " << e.what();
+    }
+  };
+  expect_inspect_fails("definitely-not-a-model\n", "bad magic");
+  expect_inspect_fails("", "empty stream");
+  const std::string& artifact = reference_artifact();
+  expect_inspect_fails(artifact.substr(0, artifact.size() / 2), "truncated");
+  std::string flipped = artifact;
+  const std::size_t pos = flipped.rfind("checksum ") + 9;
+  flipped[pos] = flipped[pos] == 'f' ? '0' : 'f';
+  expect_inspect_fails(flipped, "checksum mismatch");
+  EXPECT_THROW(inspect_model("/nonexistent/model.smart"), std::runtime_error);
+}
+
 TEST(ModelArtifact, AtomicSaveLeavesDestinationIntactOnFailure) {
   const std::string path = testing::TempDir() + "smart_atomic_model.smart";
   save_model(trained_mart(RegressorKind::kGbr), path);

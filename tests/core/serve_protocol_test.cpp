@@ -43,6 +43,29 @@ TEST(ServeProtocol, ControlVerbsTakeNoOptions) {
   EXPECT_FALSE(parse_request("ping x shape=star").ok);
 }
 
+TEST(ServeProtocol, ParsesHealthzAndReloadVerbs) {
+  const auto h = parse_request("healthz h1");
+  ASSERT_TRUE(h.ok) << h.error;
+  EXPECT_EQ(h.request.verb, Verb::kHealthz);
+  EXPECT_EQ(h.request.id, "h1");
+  const auto r = parse_request("reload r1");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.request.verb, Verb::kReload);
+  // Control verbs: no options allowed.
+  EXPECT_FALSE(parse_request("healthz h2 shape=star").ok);
+  EXPECT_FALSE(parse_request("reload r2 gpu=V100").ok);
+  // Round trips through to_string.
+  EXPECT_EQ(to_string(Verb::kHealthz), std::string("healthz"));
+  EXPECT_EQ(to_string(Verb::kReload), std::string("reload"));
+}
+
+TEST(ServeProtocol, UnknownVerbDiagnosticListsAllVerbs) {
+  const auto r = parse_request("bogus b1");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("healthz"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("reload"), std::string::npos) << r.error;
+}
+
 TEST(ServeProtocol, TokenizerHandlesRepeatedSpaces) {
   const auto r = parse_request("  advise   a2   shape=cross   order=3  ");
   ASSERT_TRUE(r.ok) << r.error;
@@ -111,6 +134,8 @@ std::vector<MalformedCase> malformed_cases() {
       {"", "-"},
       {"advise f30 =value", "f30"},
       {"advise f31 offsets=0,0;1,", "f31"},
+      {"healthz f32 extra", "f32"},
+      {"reload f33 k=v", "f33"},
   };
 }
 

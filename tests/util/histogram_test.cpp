@@ -5,7 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace smart::util {
 namespace {
@@ -90,6 +95,55 @@ TEST(LatencyHistogram, OverflowBucket) {
   EXPECT_EQ(h.percentile(99.0), LatencyHistogram::kMaxTrackable * 2);
   EXPECT_EQ(h.percentile(50.0), LatencyHistogram::kMaxTrackable * 2);
   EXPECT_EQ(h.percentile(1.0), 5u);
+}
+
+TEST(LatencyHistogram, ConcurrentHammerConservesCountsAcrossWindowResets) {
+  // Models the serve daemon's stats window: recorder threads (batcher +
+  // control plane) and a stats reader that snapshots-then-resets, all
+  // serialized by one external mutex (the histogram itself is plain data
+  // guarded by AdvisorServer::stats_mu_). No record may be lost or double
+  // counted across resets: the windows must partition the recordings.
+  LatencyHistogram h;
+  std::mutex mu;
+  constexpr int kRecorders = 4;
+  constexpr int kPerThread = 5000;
+  std::atomic<bool> done{false};
+  std::uint64_t windows_total = 0;
+  std::uint64_t windows_seen = 0;
+
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      {
+        const std::lock_guard<std::mutex> lk(mu);
+        windows_total += h.count();  // snapshot...
+        h.reset();                   // ...then reset, atomically under mu
+        ++windows_seen;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kRecorders; ++t) {
+    recorders.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::lock_guard<std::mutex> lk(mu);
+        h.record(static_cast<std::uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& r : recorders) r.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const std::lock_guard<std::mutex> lk(mu);
+  EXPECT_EQ(windows_total + h.count(),
+            static_cast<std::uint64_t>(kRecorders) * kPerThread);
+  EXPECT_GE(windows_seen, 1u);
+  // Still fully usable after the hammer.
+  h.reset();
+  h.record(9);
+  EXPECT_EQ(h.percentile(99.0), 9u);
 }
 
 TEST(LatencyHistogram, ResetClearsEverything) {

@@ -7,10 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <string>
 #include <thread>
 
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -143,6 +145,79 @@ TEST(Transport, UnixSocketRoundTrip) {
 TEST(Transport, ListenRejectsOverlongPath) {
   EXPECT_THROW(listen_unix(std::string(300, 'p')), std::runtime_error);
   EXPECT_THROW(listen_unix(""), std::runtime_error);
+}
+
+TEST(Transport, IdleTimeoutReturnsAndChannelStaysUsable) {
+  SocketPair sp;
+  LineChannel channel(sp.b);
+  channel.set_idle_timeout_ms(60);
+  std::string line;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(channel.read_line(line), LineChannel::ReadResult::kIdleTimeout);
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  EXPECT_GE(waited, 50);   // honoured the budget...
+  EXPECT_LT(waited, 5000); // ...without blocking forever
+  // A timeout is not an error: bytes arriving later still read fine.
+  write_raw(sp.a, "after\n");
+  ASSERT_EQ(channel.read_line(line), LineChannel::ReadResult::kLine);
+  EXPECT_EQ(line, "after");
+}
+
+TEST(Transport, WriteTimeoutThrowsOnStalledPeer) {
+  const auto previous = ::signal(SIGPIPE, SIG_IGN);
+  {
+    SocketPair sp;
+    LineChannel channel(sp.a);
+    channel.set_write_timeout_ms(100);
+    // The peer never reads: the socket buffer fills, progress stops, and
+    // the bounded write must throw instead of stalling the daemon thread.
+    const std::string data(1 << 20, 'z');
+    bool threw = false;
+    try {
+      for (int i = 0; i < 64; ++i) channel.write_all(data);
+    } catch (const std::runtime_error& e) {
+      threw = true;
+      EXPECT_NE(std::string(e.what()).find("write timeout"),
+                std::string::npos)
+          << e.what();
+    }
+    EXPECT_TRUE(threw);
+  }
+  ::signal(SIGPIPE, previous);
+}
+
+std::atomic<int> g_usr1_hits{0};
+
+TEST(Transport, SignalWithoutSaRestartDoesNotBreakRead) {
+  // A signal handler installed WITHOUT SA_RESTART makes blocking poll/read
+  // return EINTR — exactly what the daemon's SIGHUP reload path produces.
+  // The channel must retry and deliver the line, never surface a spurious
+  // error or a phantom EOF.
+  struct sigaction sa {};
+  struct sigaction old {};
+  sa.sa_handler = [](int) { g_usr1_hits.fetch_add(1); };
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+  SocketPair sp;
+  LineChannel channel(sp.b);
+  const pthread_t reader = pthread_self();
+  std::thread pinger([&] {
+    for (int i = 0; i < 5; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      pthread_kill(reader, SIGUSR1);
+    }
+    write_raw(sp.a, "survived\n");
+  });
+  std::string line;
+  EXPECT_EQ(channel.read_line(line), LineChannel::ReadResult::kLine);
+  EXPECT_EQ(line, "survived");
+  pinger.join();
+  EXPECT_GE(g_usr1_hits.load(), 1);
+  sigaction(SIGUSR1, &old, nullptr);
 }
 
 }  // namespace

@@ -1,32 +1,37 @@
 // Black-box test client for `smartctl serve`: speaks the line protocol over
 // an AF_UNIX socket and enforces its contracts from the OUTSIDE of the
 // process boundary. scripts/check.sh and the determinism gate drive it in
-// four modes:
+// these modes:
 //
 //   serve_harness --socket PATH --requests FILE [--shuffle SEED]
 //                 [--print raw|sorted|text] [--shutdown-after]
+//                 [--connections C] [--jitter-us MAX]
 //     Sends every non-blank line of FILE (optionally shuffled), expects
 //     exactly one reply per line, prints the replies. `sorted` prints the
 //     reply SET in lexicographic order — byte-identical output across
-//     arrival orders, batch sizes and thread counts is the determinism
-//     gate. `text` additionally unescapes ok-payloads so the output diffs
-//     directly against concatenated one-shot `smartctl advise` runs.
+//     arrival orders, batch sizes, thread counts and connection counts is
+//     the determinism gate. `text` additionally unescapes ok-payloads so
+//     the output diffs directly against concatenated one-shot `smartctl
+//     advise` runs. `--connections C` spreads the requests round-robin
+//     over C concurrent sockets (the multi-client chaos gate);
+//     `--jitter-us MAX` sleeps a seeded random delay before each send,
+//     emulating slow/irregular peers.
 //
-//   serve_harness --socket PATH --fuzz N --seed S
+//   serve_harness --socket PATH --fuzz N --seed S [--connections C]
 //     Sends a curated corpus of malformed request lines (each MUST earn a
 //     one-line `err` reply carrying the request id) plus N seeded random
 //     mutations of a valid request (each must earn exactly one ok/err
 //     reply). The daemon must neither crash nor hang nor desynchronize.
 //
-//   serve_harness --socket PATH --requests FILE --abort
-//     Sends everything, then slams the connection shut with SO_LINGER{1,0}
-//     (RST) without reading replies — the daemon must die with the PR 5
-//     one-line `smartctl: error:` contract (rc 1), not SIGPIPE.
+//   serve_harness --socket PATH --requests FILE --abort [--abort-after K]
+//     Sends everything (or only the first K requests), then slams the
+//     connection shut with SO_LINGER{1,0} (RST) without reading replies —
+//     the daemon must survive the mid-batch disconnect and keep serving
+//     other clients.
 //
-// All requests are pipelined from a sender thread while the main thread
-// reads replies, so socket buffers can never deadlock the harness; a
-// watchdog alarm turns a hung daemon into a test failure instead of a
-// wedged CI job.
+// All requests are pipelined from a sender thread while a reader collects
+// replies, so socket buffers can never deadlock the harness; a watchdog
+// alarm turns a hung daemon into a test failure instead of a wedged CI job.
 #include <atomic>
 #include <algorithm>
 #include <cstdint>
@@ -132,8 +137,9 @@ std::vector<std::string> malformed_corpus() {
 }
 
 /// 1-3 seeded point mutations of a valid request line. Mutants whose first
-/// token becomes `shutdown` are re-rolled (they would kill the daemon the
-/// rest of the corpus still needs).
+/// token becomes `shutdown` (would kill the daemon the rest of the corpus
+/// still needs) or `reload` (would bump the model epoch mid-fuzz) are
+/// re-rolled.
 std::string mutate(const std::string& base, XorShift& rng) {
   for (;;) {
     std::string line = base;
@@ -148,7 +154,7 @@ std::string mutate(const std::string& base, XorShift& rng) {
       }
     }
     const std::string head = line.substr(0, line.find(' '));
-    if (line.empty() || head == "shutdown") continue;
+    if (line.empty() || head == "shutdown" || head == "reload") continue;
     return line;
   }
 }
@@ -174,11 +180,75 @@ Reply parse_reply(const std::string& line) {
   return reply;
 }
 
+/// One client connection: pipelines `lines` from a sender thread (with
+/// optional per-send jitter) and collects exactly one reply per line.
+struct ConnResult {
+  std::vector<Reply> replies;
+  std::string error;  // empty = success
+};
+
+void run_connection(const std::string& socket_path,
+                    const std::vector<std::string>& lines, long jitter_us,
+                    std::uint64_t jitter_seed, ConnResult& result) {
+  try {
+    const int fd = connect_with_retry(socket_path, 100);
+    smart::util::LineChannel channel(fd);
+    std::atomic<bool> send_failed{false};
+    std::thread sender([&] {
+      try {
+        smart::util::LineChannel writer(fd);
+        if (jitter_us > 0) {
+          XorShift rng(jitter_seed);
+          for (const auto& line : lines) {
+            ::usleep(static_cast<useconds_t>(
+                rng.below(static_cast<std::size_t>(jitter_us) + 1)));
+            writer.write_all(line + '\n');
+          }
+        } else {
+          std::string blob;
+          for (const auto& line : lines) {
+            blob += line;
+            blob += '\n';
+          }
+          writer.write_all(blob);
+        }
+      } catch (const std::exception&) {
+        send_failed.store(true);
+      }
+    });
+    result.replies.reserve(lines.size());
+    std::string line;
+    while (result.replies.size() < lines.size()) {
+      const auto r = channel.read_line(line);
+      if (r != smart::util::LineChannel::ReadResult::kLine) {
+        result.error = "connection closed after " +
+                       std::to_string(result.replies.size()) + "/" +
+                       std::to_string(lines.size()) + " replies";
+        break;
+      }
+      if (line.empty()) continue;
+      const Reply reply = parse_reply(line);
+      if (!reply.is_err && reply.line.rfind("ok ", 0) != 0) {
+        result.error = "malformed reply line: " + line;
+        break;
+      }
+      result.replies.push_back(reply);
+    }
+    sender.join();
+    ::close(fd);
+    if (result.error.empty() && send_failed.load()) {
+      result.error = "request send failed";
+    }
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path, requests_file, print_mode = "sorted";
-  long fuzz = 0;
+  long fuzz = 0, jitter_us = 0, abort_after = 0, connections = 1;
   std::uint64_t seed = 1;
   bool shuffle = false, shutdown_after = false, abort_mode = false;
   for (int i = 1; i < argc; ++i) {
@@ -199,6 +269,16 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--seed") seed = std::strtoull(value().c_str(), nullptr, 10);
     else if (arg == "--fuzz") fuzz = std::strtol(value().c_str(), nullptr, 10);
+    else if (arg == "--connections") {
+      connections = std::strtol(value().c_str(), nullptr, 10);
+    }
+    else if (arg == "--jitter-us") {
+      jitter_us = std::strtol(value().c_str(), nullptr, 10);
+    }
+    else if (arg == "--abort-after") {
+      abort_mode = true;
+      abort_after = std::strtol(value().c_str(), nullptr, 10);
+    }
     else if (arg == "--shutdown-after") shutdown_after = true;
     else if (arg == "--abort") abort_mode = true;
     else {
@@ -207,6 +287,13 @@ int main(int argc, char** argv) {
     }
   }
   if (socket_path.empty()) return fail("--socket PATH is required");
+  if (connections < 1 || connections > 64) {
+    return fail("--connections must be in [1, 64]");
+  }
+  if (abort_mode && connections != 1) {
+    return fail("--abort/--abort-after require --connections 1");
+  }
+  if (abort_after < 0) return fail("--abort-after must be >= 0");
   const bool fuzz_mode = fuzz > 0 || requests_file.empty();
 
   // Watchdog: a wedged daemon (or a protocol desync that makes us wait for
@@ -233,28 +320,21 @@ int main(int argc, char** argv) {
     }
     if (lines.empty()) return fail("no requests to send");
 
-    const int fd = connect_with_retry(socket_path, 100);
-    smart::util::LineChannel channel(fd);
-
-    // Pipeline every request from a helper thread; read replies here.
-    std::string blob;
-    for (const auto& line : lines) {
-      blob += line;
-      blob += '\n';
-    }
-    std::atomic<bool> send_failed{false};
-    std::thread sender([&] {
-      try {
-        smart::util::LineChannel writer(fd);
-        writer.write_all(blob);
-      } catch (const std::exception&) {
-        send_failed.store(true);
-      }
-    });
-
     if (abort_mode) {
-      sender.join();
-      // RST on close: the daemon's next reply write must fail mid-stream.
+      // Mid-batch disconnect: send the first K requests (all by default),
+      // then RST the socket without reading a single reply. The daemon
+      // must shrug this client off and keep serving everyone else.
+      if (abort_after > 0 && static_cast<std::size_t>(abort_after) < lines.size()) {
+        lines.resize(static_cast<std::size_t>(abort_after));
+      }
+      const int fd = connect_with_retry(socket_path, 100);
+      std::string blob;
+      for (const auto& line : lines) {
+        blob += line;
+        blob += '\n';
+      }
+      smart::util::LineChannel writer(fd);
+      writer.write_all(blob);
       struct linger hard {};
       hard.l_onoff = 1;
       hard.l_linger = 0;
@@ -264,38 +344,45 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    // Round-robin the request list over C concurrent connections; each
+    // runs its own sender + reader. C=1 degenerates to the classic
+    // single-socket pipelined client.
+    std::vector<std::vector<std::string>> split(
+        static_cast<std::size_t>(connections));
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      split[i % static_cast<std::size_t>(connections)].push_back(lines[i]);
+    }
+    std::vector<ConnResult> results(static_cast<std::size_t>(connections));
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(connections));
+    for (std::size_t c = 0; c < static_cast<std::size_t>(connections); ++c) {
+      workers.emplace_back([&, c] {
+        run_connection(socket_path, split[c], jitter_us,
+                       seed * 1000003ull + c + 1, results[c]);
+      });
+    }
+    for (auto& worker : workers) worker.join();
     std::vector<Reply> replies;
     replies.reserve(lines.size());
-    std::string line;
-    while (replies.size() < lines.size()) {
-      const auto r = channel.read_line(line);
-      if (r != smart::util::LineChannel::ReadResult::kLine) {
-        sender.join();
-        return fail("connection closed after " +
-                    std::to_string(replies.size()) + "/" +
-                    std::to_string(lines.size()) + " replies");
-      }
-      if (line.empty()) continue;
-      const Reply reply = parse_reply(line);
-      if (!reply.is_err && reply.line.rfind("ok ", 0) != 0) {
-        sender.join();
-        return fail("malformed reply line: " + line);
-      }
-      replies.push_back(reply);
+    for (const auto& result : results) {
+      if (!result.error.empty()) return fail(result.error);
+      replies.insert(replies.end(), result.replies.begin(),
+                     result.replies.end());
     }
-    sender.join();
-    if (send_failed.load()) return fail("request send failed");
 
     if (shutdown_after) {
+      const int fd = connect_with_retry(socket_path, 100);
+      smart::util::LineChannel channel(fd);
       smart::util::LineChannel writer(fd);
       writer.write_all("shutdown h_end\n");
+      std::string line;
       const auto r = channel.read_line(line);
+      ::close(fd);
       if (r != smart::util::LineChannel::ReadResult::kLine ||
           line != "ok h_end bye") {
         return fail("bad shutdown reply: " + line);
       }
     }
-    ::close(fd);
 
     if (fuzz_mode) {
       std::size_t err_count = 0;
